@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Figure 11: performance gain of MITTS over static bandwidth
+ * provisioning at the same average bandwidth (1 GB/s).
+ *
+ * Expected shape (paper): every benchmark gains (geomean 1.18x);
+ * bursty memory-intensive apps gain the most (mcf 1.64x, omnetpp
+ * 1.68x); the online GA is slightly worse than the offline GA.
+ *
+ * Method: the static baseline is a strict 1-request-per-154-cycles
+ * token bucket. MITTS is constrained to the same total credits per
+ * period and the same average inter-arrival time (bin geometry
+ * L=32 so I_avg = 154 is representable), leaving only the shape of
+ * the distribution for the GA to exploit.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "system/metrics.hh"
+#include "tuner/constraints.hh"
+#include "tuner/online_tuner.hh"
+
+using namespace mitts;
+
+int
+main()
+{
+    bench::header(
+        "Figure 11: MITTS vs static bandwidth provisioning (1 GB/s)");
+
+    const double kGBps = 1.0;
+    const double kInterval = 64.0 * 2.4 / kGBps; // 153.6 cycles
+    (void)kInterval;
+
+    // Paper-default geometry: 10 bins x 10 cycles, T_r = 10k.
+    BinSpec spec;
+    const std::uint64_t budget =
+        BinConfig::creditsForBandwidth(spec, kGBps, 2.4);
+
+    const auto opts = bench::runOptions(120'000);
+
+    std::vector<double> offline_gains, online_gains;
+    std::printf("%-12s %10s %10s %10s %9s %9s\n", "app", "static",
+                "offlineGA", "onlineGA", "gain_off", "gain_on");
+
+    for (const char *app :
+         {"gcc", "libquantum", "bzip", "mcf", "astar", "gobmk",
+          "sjeng", "omnetpp", "h264ref", "hmmer"}) {
+        // --- static baseline ---------------------------------------
+        SystemConfig stat = SystemConfig::singleProgram(app);
+        stat.gate = GateKind::Static;
+        stat.staticIntervals = {kInterval};
+        const Tick static_cycles = runSingle(stat, opts);
+
+        // --- offline GA under the equal-average constraints --------
+        SystemConfig mitts_cfg = SystemConfig::singleProgram(app);
+        mitts_cfg.gate = GateKind::Mitts;
+        mitts_cfg.binSpec = spec;
+
+        // Constraint: equal average bandwidth (total credits per
+        // period). The paper also states an I_avg equality, but with
+        // its own bin geometry (t_i <= 95 cycles) an average interval
+        // of 154 cycles is unrepresentable, so the bandwidth equality
+        // is the binding constraint (see EXPERIMENTS.md).
+        auto projection = [spec, budget](Genome &g) {
+            projectToBudget(g, spec, budget);
+        };
+
+        OfflineTunerOptions topts;
+        topts.ga = bench::gaConfig(10, 5);
+        topts.run = opts;
+        const auto tuned = tuneSingleProgram(
+            mitts_cfg, Objective::Performance, nullptr, projection,
+            topts);
+
+        // --- online GA ---------------------------------------------
+        // The paper runs 200M ROI cycles, so its CONFIG_PHASE is an
+        // amortized sliver; at our ~1M-cycle scale a fixed-length
+        // CONFIG_PHASE would dominate. To stay scale-faithful, let
+        // the online GA search in-situ (noisy epoch measurements,
+        // modelled software overhead), then evaluate its winner from
+        // cold like the other columns — the online column then
+        // reflects the paper's "imperfect online measurement"
+        // effect, not an artifact of run length.
+        SystemConfig online_cfg = mitts_cfg;
+        Tick online_cycles;
+        {
+            System search_sys(online_cfg);
+            OnlineTunerOptions oo;
+            oo.epochLength = 5'000;
+            oo.population = 10;
+            oo.generations = 5;
+            oo.objective = Objective::Performance;
+            oo.projection = projection;
+            OnlineTuner tuner(search_sys, oo);
+            search_sys.sim().add(&tuner);
+            search_sys.sim().runUntil(
+                [&tuner] { return tuner.inRunPhase(); },
+                opts.maxCycles);
+            SystemConfig found = online_cfg;
+            found.mittsConfigs = tuner.bestConfigs();
+            online_cycles = runSingle(found, opts);
+        }
+
+        const double gain_off =
+            static_cast<double>(static_cycles) /
+            static_cast<double>(tuned.bestCycles);
+        const double gain_on = static_cast<double>(static_cycles) /
+                               static_cast<double>(online_cycles);
+        offline_gains.push_back(gain_off);
+        online_gains.push_back(gain_on);
+        std::printf("%-12s %10llu %10llu %10llu %9.3f %9.3f\n", app,
+                    static_cast<unsigned long long>(static_cycles),
+                    static_cast<unsigned long long>(tuned.bestCycles),
+                    static_cast<unsigned long long>(online_cycles),
+                    gain_off, gain_on);
+        std::fflush(stdout);
+    }
+
+    std::printf("\ngeomean gain: offline %.3fx, online %.3fx "
+                "(paper: 1.18x offline, online slightly lower)\n",
+                geomean(offline_gains), geomean(online_gains));
+    return 0;
+}

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Figure 12: four-program throughput (S_avg) and fairness (S_max)
+ * versus conventional memory schedulers, workloads 1-3 (Table III).
+ *
+ * Expected shape (paper): MITTS beats the best conventional scheduler
+ * on both metrics — by 11%/17% (wl1), 16%/40% (wl2), 17%/52% (wl3);
+ * online GA slightly worse than offline; phase-based slightly better.
+ */
+
+#include "bench_common.hh"
+
+using namespace mitts;
+
+int
+main()
+{
+    const auto opts = bench::runOptions(400'000);
+    for (unsigned wl = 1; wl <= 3; ++wl) {
+        bench::header("Figure 12: workload " + std::to_string(wl) +
+                      " (4 programs, 1MB shared LLC)");
+        const auto rows = bench::schedulerComparison(
+            wl, 1024 * 1024, opts, /*include_online=*/true);
+        bench::reportComparison(rows);
+    }
+    return 0;
+}

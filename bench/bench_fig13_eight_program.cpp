@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Figure 13: eight-program throughput (S_avg) and fairness (S_max)
+ * versus conventional memory schedulers, workloads 4-6 (Table III).
+ *
+ * Expected shape (paper): MITTS improves over the best conventional
+ * scheduler by 11%/30% (wl4), 12%/24% (wl5), 4%/32% (wl6).
+ */
+
+#include "bench_common.hh"
+
+using namespace mitts;
+
+int
+main()
+{
+    const auto opts = bench::runOptions(150'000);
+    for (unsigned wl = 4; wl <= 6; ++wl) {
+        bench::header("Figure 13: workload " + std::to_string(wl) +
+                      " (8 programs, 1MB shared LLC)");
+        const auto rows = bench::schedulerComparison(
+            wl, 1024 * 1024, opts, /*include_online=*/true);
+        bench::reportComparison(rows);
+    }
+    return 0;
+}

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Figure 15: the scheduler comparison repeated with an 8MB LLC
+ * (approximating a current-day multicore), workloads 1 and 4.
+ *
+ * Expected shape (paper): fewer off-chip misses overall, but MITTS
+ * still outperforms the best conventional scheduler — by 5.3%/12.7%
+ * (wl1) and 2.3%/6% (wl4); the margins shrink versus the 1MB LLC.
+ */
+
+#include "bench_common.hh"
+
+using namespace mitts;
+
+int
+main()
+{
+    const auto opts = bench::runOptions(400'000);
+    for (unsigned wl : {1u, 4u}) {
+        bench::header("Figure 15: workload " + std::to_string(wl) +
+                      " with 8MB LLC");
+        const auto rows = bench::schedulerComparison(
+            wl, 8 * 1024 * 1024, opts, /*include_online=*/false);
+        bench::reportComparison(rows);
+    }
+    return 0;
+}

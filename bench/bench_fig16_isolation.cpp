@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Figure 16: bandwidth isolation — static even split vs optimal
+ * heterogeneous static allocation vs MITTS, workload 4 (8 programs),
+ * with MITTS constrained not to over-provision total bandwidth.
+ *
+ * Expected shape (paper): MITTS beats the even split by ~14%/21%
+ * (throughput/fairness) and the optimal heterogeneous static split
+ * by ~8%/7%.
+ */
+
+#include "bench_common.hh"
+#include "trace/app_profile.hh"
+#include "tuner/static_search.hh"
+
+using namespace mitts;
+
+int
+main()
+{
+    bench::header("Figure 16: isolation, workload 4 (8 programs)");
+
+    SystemConfig base = SystemConfig::multiProgram(workloadApps(4));
+    base.seed = 1600;
+    const auto opts = bench::runOptions(150'000);
+    const auto alone = aloneCyclesForAll(base, opts);
+
+    // Total provisioned bandwidth: 8 GB/s of the ~10.7 GB/s channel.
+    const double total_gbps = 8.0;
+
+    const auto even =
+        evenStaticSplit(base, alone, total_gbps, opts);
+    std::printf("%-22s S_avg=%.3f S_max=%.3f\n", "static even",
+                even.metrics.savg, even.metrics.smax);
+
+    const auto hetero = searchHeterogeneousSplit(
+        base, alone, total_gbps, Objective::Throughput, 3, opts);
+    std::printf("%-22s S_avg=%.3f S_max=%.3f\n", "static hetero-opt",
+                hetero.metrics.savg, hetero.metrics.smax);
+
+    // MITTS with the chip-wide credit budget matching total_gbps.
+    SystemConfig mitts_cfg = base;
+    mitts_cfg.gate = GateKind::Mitts;
+    const std::uint64_t budget = BinConfig::creditsForBandwidth(
+        mitts_cfg.binSpec, total_gbps, base.cpuGhz);
+    OfflineTunerOptions topts;
+    topts.ga = bench::gaConfig(10, 5);  // 8-program: keep small
+    topts.run = opts;
+    const auto thr = tuneMultiProgram(
+        mitts_cfg, alone, Objective::Throughput, budget, topts);
+    const auto fair = tuneMultiProgram(
+        mitts_cfg, alone, Objective::Fairness, budget, topts);
+    std::printf("%-22s S_avg=%.3f S_max=%.3f\n", "MITTS(throughput)",
+                thr.metrics.savg, thr.metrics.smax);
+    std::printf("%-22s S_avg=%.3f S_max=%.3f\n", "MITTS(fairness)",
+                fair.metrics.savg, fair.metrics.smax);
+
+    const double best_mitts_savg =
+        std::min(thr.metrics.savg, fair.metrics.savg);
+    const double best_mitts_smax =
+        std::min(thr.metrics.smax, fair.metrics.smax);
+    std::printf("\nvs even split:   throughput %+0.1f%%, fairness "
+                "%+0.1f%%  (paper: +14%% / +21%%)\n",
+                100.0 * (even.metrics.savg / best_mitts_savg - 1.0),
+                100.0 * (even.metrics.smax / best_mitts_smax - 1.0));
+    std::printf("vs hetero split: throughput %+0.1f%%, fairness "
+                "%+0.1f%%  (paper: +8%% / +7%%)\n",
+                100.0 * (hetero.metrics.savg / best_mitts_savg - 1.0),
+                100.0 *
+                    (hetero.metrics.smax / best_mitts_smax - 1.0));
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Figure 18: efficiency (performance-per-cost) of MITTS versus the
+ * optimal static single-bin provisioning.
+ *
+ * Expected shape (paper): every benchmark gains; geomean 2.69x, up
+ * to ~10x. The static baseline is the best configuration with
+ * credits in exactly one bin (a fixed request rate), found by
+ * exhaustive search; MITTS may spread credits across bins.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "iaas/pricing.hh"
+#include "system/metrics.hh"
+#include "tuner/static_search.hh"
+
+using namespace mitts;
+
+int
+main()
+{
+    bench::header(
+        "Figure 18: perf/cost vs optimal static provisioning");
+
+    PricingModel pricing;
+    const auto opts = bench::runOptions(300'000);
+    const std::vector<std::uint32_t> credit_grid{1,  2,  4,  8, 16,
+                                                 32, 64, 128, 256};
+
+    std::vector<double> gains;
+    std::printf("%-14s %14s %14s %8s\n", "app", "static(ppc)",
+                "MITTS(ppc)", "gain");
+
+    for (const char *app :
+         {"mcf", "libquantum", "omnetpp", "gcc", "bzip", "astar",
+          "sjeng", "gobmk", "h264ref", "hmmer"}) {
+        SystemConfig cfg = SystemConfig::singleProgram(app);
+        cfg.gate = GateKind::Mitts;
+        cfg.seed = 1800;
+
+        const auto fixed = searchBestSingleBin(cfg, pricing,
+                                               credit_grid, opts);
+
+        OfflineTunerOptions topts;
+        topts.ga = bench::gaConfig(12, 8);
+        topts.run = opts;
+        // Seed the GA with the static winner: the paper's GA runs
+        // 600 evaluations, ours ~100, so start the refinement from
+        // the best single-bin configuration.
+        topts.seedConfigs = {fixed.best};
+        const auto tuned = tuneSingleProgram(
+            cfg, Objective::PerfPerCost, &pricing, nullptr, topts);
+
+        const double gain = tuned.bestFitness / fixed.perfPerCost;
+        gains.push_back(gain);
+        std::printf("%-14s %14.5f %14.5f %8.2fx\n", app,
+                    fixed.perfPerCost, tuned.bestFitness, gain);
+        std::fflush(stdout);
+    }
+
+    std::printf("\ngeomean perf/cost gain: %.2fx (paper: 2.69x, up "
+                "to ~10x)\n",
+                geomean(gains));
+    return 0;
+}

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Micro-benchmarks of the MITTS shaper model itself — the C++
+ * analogue of the paper's hardware-cost discussion (Sec. III-E:
+ * 0.0035 mm^2, <0.9% of core area). Reports the cost of a shaper
+ * decision and the architectural state footprint, plus raw simulator
+ * throughput.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "shaper/mitts_shaper.hh"
+#include "system/system.hh"
+
+using namespace mitts;
+
+namespace
+{
+
+BinConfig
+denseConfig()
+{
+    BinSpec spec;
+    BinConfig cfg(spec);
+    for (auto &k : cfg.credits)
+        k = 64;
+    return cfg;
+}
+
+void
+BM_ShaperTryIssue(benchmark::State &state)
+{
+    MittsShaper shaper("bm", denseConfig());
+    MemRequest req;
+    req.core = 0;
+    Tick now = 0;
+    SeqNum seq = 0;
+    for (auto _ : state) {
+        req.seq = seq++;
+        now += 7;
+        benchmark::DoNotOptimize(shaper.tryIssue(req, now));
+        shaper.onLlcResponse(req, (seq & 3) == 0, now + 5);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ShaperTryIssue);
+
+void
+BM_ShaperStalledPath(benchmark::State &state)
+{
+    BinSpec spec;
+    BinConfig cfg(spec); // zero credits: always stalls
+    MittsShaper shaper("bm", cfg);
+    MemRequest req;
+    req.core = 0;
+    req.seq = 1;
+    Tick now = 0;
+    for (auto _ : state) {
+        now += 1;
+        benchmark::DoNotOptimize(shaper.tryIssue(req, now));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ShaperStalledPath);
+
+void
+BM_ShaperHardwareState(benchmark::State &state)
+{
+    MittsShaper shaper("bm", denseConfig());
+    for (auto _ : state)
+        benchmark::DoNotOptimize(shaper.hardwareStateBytes());
+    state.counters["state_bytes"] = static_cast<double>(
+        shaper.hardwareStateBytes());
+}
+BENCHMARK(BM_ShaperHardwareState);
+
+void
+BM_SimulatorThroughput(benchmark::State &state)
+{
+    SystemConfig cfg = SystemConfig::multiProgram(
+        {"gcc", "mcf", "libquantum", "sjeng"});
+    cfg.gate = GateKind::Mitts;
+    System sys(cfg);
+    Tick cycles = 0;
+    for (auto _ : state) {
+        sys.run(10'000);
+        cycles += 10'000;
+    }
+    state.counters["sim_cycles_per_s"] = benchmark::Counter(
+        static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatorThroughput)->Unit(benchmark::kMillisecond);
+
+} // namespace

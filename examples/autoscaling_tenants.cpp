@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Cloud auto-scaling demo (paper Sec. III-F): two tenants on one
+ * chip, one with schedule-based reconfiguration ("more credits during
+ * business hours"), one with a rule-based trigger ("buy more burst
+ * credits when my IPC drops below a threshold"). Billing accrues per
+ * replenishment period for whatever was held.
+ *
+ *   $ ./autoscaling_tenants
+ */
+
+#include <cstdio>
+
+#include "iaas/tenant.hh"
+#include "system/system.hh"
+
+int
+main()
+{
+    using namespace mitts;
+
+    SystemConfig cfg = SystemConfig::multiProgram({"apache", "mcf"});
+    cfg.gate = GateKind::Mitts;
+    cfg.seed = 333;
+
+    // Both tenants start on a small bulk-only plan (~0.5 GB/s).
+    BinConfig small(cfg.binSpec);
+    small.credits[9] =
+        static_cast<std::uint32_t>(BinConfig::creditsForBandwidth(
+            cfg.binSpec, 0.5, cfg.cpuGhz));
+    cfg.mittsConfigs = {small, small};
+
+    System sys(cfg);
+    PricingModel pricing;
+
+    Tenant web("web-tenant", pricing, {sys.shaper(0)});
+    Tenant batch("batch-tenant", pricing, {sys.shaper(1)});
+
+    // Tenant 1: schedule-based — upgrade to a bursty plan at "9am"
+    // (cycle 100k), downgrade at "6pm" (cycle 400k).
+    AutoScaler web_scaler("web-as", web, 1'000);
+    BinConfig busy(cfg.binSpec);
+    busy.credits[0] = 40;
+    busy.credits[9] = 60;
+    web_scaler.schedule({100'000, busy});
+    web_scaler.schedule({400'000, small});
+
+    // Tenant 2: rule-based — if IPC over the last window drops below
+    // 0.4, buy a bigger plan (with a cooldown so it fires sparingly).
+    AutoScaler batch_scaler("batch-as", batch, 5'000);
+    struct IpcWindow
+    {
+        std::uint64_t lastInstr = 0;
+        Tick lastAt = 0;
+        double value = 1.0;
+    };
+    auto window = std::make_shared<IpcWindow>();
+    ReconfigRule rule;
+    Core &batch_core = sys.core(sys.coresOfApp(1).front());
+    rule.trigger = [&batch_core, window](Tick now) {
+        if (now <= window->lastAt + 20'000)
+            return false;
+        const std::uint64_t instr = batch_core.instructions();
+        window->value = static_cast<double>(instr -
+                                            window->lastInstr) /
+                        static_cast<double>(now - window->lastAt);
+        window->lastInstr = instr;
+        window->lastAt = now;
+        return window->value < 0.4;
+    };
+    BinConfig bigger(cfg.binSpec);
+    bigger.credits[0] = 30;
+    bigger.credits[9] = 90;
+    rule.action = [&batch, bigger](Tick now) {
+        batch.purchase(bigger, now);
+    };
+    rule.cooldown = 150'000;
+    batch_scaler.addRule(rule);
+
+    sys.sim().add(&web_scaler);
+    sys.sim().add(&batch_scaler);
+
+    const Tick horizon = 600'000;
+    sys.run(horizon);
+
+    std::printf("after %llu cycles:\n",
+                static_cast<unsigned long long>(horizon));
+    std::printf("  %-13s reconfigs=%llu bill=%.2f  (plan now: %s)\n",
+                web.name().c_str(),
+                static_cast<unsigned long long>(
+                    web_scaler.reconfigurations()),
+                web.bill(horizon),
+                web.currentConfig().toString().c_str());
+    std::printf("  %-13s reconfigs=%llu bill=%.2f  (plan now: %s)\n",
+                batch.name().c_str(),
+                static_cast<unsigned long long>(
+                    batch_scaler.reconfigurations()),
+                batch.bill(horizon),
+                batch.currentConfig().toString().c_str());
+    std::printf("  rule firings for %s: %llu (IPC window %.2f)\n",
+                batch.name().c_str(),
+                static_cast<unsigned long long>(
+                    batch_scaler.ruleFirings()),
+                window->value);
+    return 0;
+}

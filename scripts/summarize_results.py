@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Summarize a bench_output.txt run.
+
+Extracts every explicit `paper check:` verdict and the quantitative
+headline of each experiment (geomeans, MITTS-vs-conventional margins,
+isolation gains) into one screenful.
+
+Usage: scripts/summarize_results.py [bench_output.txt]
+"""
+
+import re
+import sys
+
+
+def main() -> int:
+    path = sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt"
+    try:
+        text = open(path).read()
+    except OSError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 1
+
+    section = "?"
+    checks = []
+    headlines = []
+    for line in text.splitlines():
+        m = re.match(r"=+ (bench_\w+) =+", line)
+        if m:
+            section = m.group(1)
+            continue
+        if line.startswith("paper check:"):
+            checks.append((section, line[len("paper check:"):].strip()))
+        if re.search(
+            r"geomean|MITTS vs best conventional|hybrid over|"
+            r"vs even split|vs hetero split",
+            line,
+        ):
+            headlines.append((section, line.strip()))
+
+    print("== headline results ==")
+    last = None
+    for sec, line in headlines:
+        if sec != last:
+            print(f"[{sec}]")
+            last = sec
+        print(f"  {line}")
+
+    print("\n== paper checks ==")
+    passed = failed = 0
+    for sec, line in checks:
+        verdict = "PASS" if line.endswith("YES") else (
+            "FAIL" if line.endswith("NO") else "INFO")
+        passed += verdict == "PASS"
+        failed += verdict == "FAIL"
+        print(f"  {verdict}  [{sec}] {line}")
+    print(f"\n{passed} checks passed, {failed} failed")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

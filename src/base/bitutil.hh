@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used by caches and DRAM mapping.
+ */
+
+#ifndef MITTS_BASE_BITUTIL_HH
+#define MITTS_BASE_BITUTIL_HH
+
+#include <cstdint>
+
+#include "base/logging.hh"
+
+namespace mitts
+{
+
+/** True iff x is a power of two (0 is not). */
+constexpr bool
+isPowerOf2(std::uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** floor(log2(x)); x must be nonzero. */
+constexpr unsigned
+floorLog2(std::uint64_t x)
+{
+    unsigned l = 0;
+    while (x >>= 1)
+        ++l;
+    return l;
+}
+
+/** Extract bits [lo, lo+len) of x. */
+constexpr std::uint64_t
+bits(std::uint64_t x, unsigned lo, unsigned len)
+{
+    if (len >= 64)
+        return x >> lo;
+    return (x >> lo) & ((std::uint64_t{1} << len) - 1);
+}
+
+/** Integer ceiling division. */
+constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace mitts
+
+#endif // MITTS_BASE_BITUTIL_HH

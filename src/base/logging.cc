@@ -1,0 +1,37 @@
+#include "base/logging.hh"
+
+#include <atomic>
+
+namespace mitts
+{
+
+namespace
+{
+std::atomic<bool> gQuiet{false};
+} // namespace
+
+void
+setQuiet(bool quiet)
+{
+    gQuiet.store(quiet, std::memory_order_relaxed);
+}
+
+bool
+quiet()
+{
+    return gQuiet.load(std::memory_order_relaxed);
+}
+
+namespace detail
+{
+
+void
+emit(const char *tag, const std::string &msg)
+{
+    std::fprintf(stderr, "[%s] %s\n", tag, msg.c_str());
+    std::fflush(stderr);
+}
+
+} // namespace detail
+
+} // namespace mitts

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Status and error reporting helpers, following the gem5 split between
+ * panic() (simulator bug, aborts) and fatal() (user error, clean exit).
+ */
+
+#ifndef MITTS_BASE_LOGGING_HH
+#define MITTS_BASE_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace mitts
+{
+
+namespace detail
+{
+
+/** Join any streamable arguments into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+void emit(const char *tag, const std::string &msg);
+
+} // namespace detail
+
+/** Toggle for inform()/warn() output (benches silence them). */
+void setQuiet(bool quiet);
+bool quiet();
+
+/**
+ * Report an internal invariant violation and abort. Use for conditions
+ * that indicate a bug in the simulator itself.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::emit("panic", detail::concat(std::forward<Args>(args)...));
+    std::abort();
+}
+
+/**
+ * Report an unrecoverable user/configuration error and exit(1).
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::emit("fatal", detail::concat(std::forward<Args>(args)...));
+    std::exit(1);
+}
+
+/** Non-fatal warning about suspicious behaviour or approximations. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    if (!quiet())
+        detail::emit("warn", detail::concat(std::forward<Args>(args)...));
+}
+
+/** Informational status message. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    if (!quiet())
+        detail::emit("info", detail::concat(std::forward<Args>(args)...));
+}
+
+/** panic() unless the given condition holds. */
+#define MITTS_ASSERT(cond, ...)                                             \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            ::mitts::panic("assertion '", #cond, "' failed at ",            \
+                           __FILE__, ":", __LINE__, ": ", ##__VA_ARGS__);   \
+    } while (0)
+
+} // namespace mitts
+
+#endif // MITTS_BASE_LOGGING_HH

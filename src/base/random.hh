@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic component owns its own Random stream seeded from the
+ * system seed, so simulations are bit-reproducible regardless of
+ * component construction order or host platform.
+ */
+
+#ifndef MITTS_BASE_RANDOM_HH
+#define MITTS_BASE_RANDOM_HH
+
+#include <cstdint>
+
+#include "base/logging.hh"
+
+namespace mitts
+{
+
+/**
+ * xoshiro256++ generator (Blackman & Vigna). Small, fast, and fully
+ * deterministic across platforms, unlike std::default_random_engine.
+ */
+class Random
+{
+  public:
+    explicit Random(std::uint64_t seed = 0x9E3779B97F4A7C15ULL)
+    {
+        // SplitMix64 expansion of the seed into the 256-bit state.
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            x += 0x9E3779B97F4A7C15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+            z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result =
+            rotl(state_[0] + state_[3], 23) + state_[0];
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). bound must be > 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        MITTS_ASSERT(bound > 0, "Random::below(0)");
+        // Lemire-style rejection-free mapping is overkill here; the
+        // simple multiply-shift keeps bias < 2^-64 * bound.
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    between(std::int64_t lo, std::int64_t hi)
+    {
+        MITTS_ASSERT(lo <= hi, "Random::between: lo > hi");
+        return lo + static_cast<std::int64_t>(
+                        below(static_cast<std::uint64_t>(hi - lo) + 1));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    real()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw. */
+    bool chance(double p) { return real() < p; }
+
+    /** Geometric-ish gap: number of failures before success prob p. */
+    std::uint64_t
+    geometric(double p)
+    {
+        if (p >= 1.0)
+            return 0;
+        if (p <= 0.0)
+            return ~0ULL;
+        std::uint64_t n = 0;
+        while (!chance(p) && n < (1ULL << 20))
+            ++n;
+        return n;
+    }
+
+    /** Derive an independent child stream (for per-component seeding). */
+    Random
+    fork()
+    {
+        return Random(next() ^ 0xD1B54A32D192ED03ULL);
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace mitts
+
+#endif // MITTS_BASE_RANDOM_HH

@@ -1,0 +1,76 @@
+#include "base/stats.hh"
+
+#include <iomanip>
+
+namespace mitts::stats
+{
+
+void
+Histogram::print(std::ostream &os, unsigned max_width) const
+{
+    std::uint64_t peak = 1;
+    for (auto b : bins_)
+        peak = std::max(peak, b);
+    for (std::size_t i = 0; i < bins_.size(); ++i) {
+        const double lo = static_cast<double>(i) * width_;
+        const double hi = lo + width_;
+        const auto bar_len = static_cast<unsigned>(
+            static_cast<double>(bins_[i]) / static_cast<double>(peak) *
+            max_width);
+        os << std::setw(8) << lo << "-" << std::setw(8) << hi << " |"
+           << std::string(bar_len, '#') << " " << bins_[i] << "\n";
+    }
+    if (overflow_)
+        os << "  overflow: " << overflow_ << "\n";
+}
+
+Counter &
+Group::addCounter(const std::string &name)
+{
+    counters_.push_back(std::make_unique<Counter>(name));
+    return *counters_.back();
+}
+
+Average &
+Group::addAverage(const std::string &name)
+{
+    averages_.push_back(std::make_unique<Average>(name));
+    return *averages_.back();
+}
+
+Histogram &
+Group::addHistogram(const std::string &name, unsigned bins, double width)
+{
+    histograms_.push_back(std::make_unique<Histogram>(name, bins, width));
+    return *histograms_.back();
+}
+
+void
+Group::dump(std::ostream &os) const
+{
+    for (const auto &c : counters_)
+        os << name_ << "." << c->name() << " = " << c->value() << "\n";
+    for (const auto &a : averages_) {
+        os << name_ << "." << a->name() << " : mean=" << a->mean()
+           << " count=" << a->count() << " min=" << a->min()
+           << " max=" << a->max() << "\n";
+    }
+    for (const auto &h : histograms_) {
+        os << name_ << "." << h->name() << " : total=" << h->total()
+           << " mean=" << h->mean() << "\n";
+        h->print(os);
+    }
+}
+
+void
+Group::reset()
+{
+    for (auto &c : counters_)
+        c->reset();
+    for (auto &a : averages_)
+        a->reset();
+    for (auto &h : histograms_)
+        h->reset();
+}
+
+} // namespace mitts::stats

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Minimal statistics package: named scalar counters, averages and
+ * fixed-bin histograms grouped per component, with a text dump.
+ *
+ * The inter-arrival-time histograms that motivate MITTS (paper Fig. 2)
+ * are instances of stats::Histogram.
+ */
+
+#ifndef MITTS_BASE_STATS_HH
+#define MITTS_BASE_STATS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "base/logging.hh"
+
+namespace mitts::stats
+{
+
+/** Named 64-bit event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+    explicit Counter(std::string name) : name_(std::move(name)) {}
+
+    void inc(std::uint64_t n = 1) { value_ += n; }
+    void reset() { value_ = 0; }
+    std::uint64_t value() const { return value_; }
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    std::uint64_t value_ = 0;
+};
+
+/** Running mean / min / max of a sampled quantity (e.g. latency). */
+class Average
+{
+  public:
+    Average() = default;
+    explicit Average(std::string name) : name_(std::move(name)) {}
+
+    void
+    sample(double v)
+    {
+        sum_ += v;
+        ++count_;
+        if (v < min_ || count_ == 1)
+            min_ = v;
+        if (v > max_ || count_ == 1)
+            max_ = v;
+    }
+
+    void
+    reset()
+    {
+        sum_ = 0;
+        count_ = 0;
+        min_ = 0;
+        max_ = 0;
+    }
+
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double sum() const { return sum_; }
+    std::uint64_t count() const { return count_; }
+    double min() const { return min_; }
+    double max() const { return max_; }
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    double sum_ = 0;
+    std::uint64_t count_ = 0;
+    double min_ = 0;
+    double max_ = 0;
+};
+
+/**
+ * Histogram with uniform bins of width `binWidth` covering
+ * [0, numBins * binWidth); samples beyond the top land in an overflow
+ * bucket.
+ */
+class Histogram
+{
+  public:
+    Histogram() = default;
+
+    Histogram(std::string name, unsigned num_bins, double bin_width)
+        : name_(std::move(name)), width_(bin_width),
+          bins_(num_bins, 0)
+    {
+        MITTS_ASSERT(num_bins > 0 && bin_width > 0,
+                     "Histogram needs bins");
+    }
+
+    void
+    sample(double v, std::uint64_t n = 1)
+    {
+        total_ += n;
+        sum_ += v * static_cast<double>(n);
+        if (v < 0) {
+            underflow_ += n;
+            return;
+        }
+        auto idx = static_cast<std::size_t>(v / width_);
+        if (idx >= bins_.size())
+            overflow_ += n;
+        else
+            bins_[idx] += n;
+    }
+
+    void
+    reset()
+    {
+        std::fill(bins_.begin(), bins_.end(), 0);
+        underflow_ = overflow_ = total_ = 0;
+        sum_ = 0;
+    }
+
+    std::uint64_t bin(std::size_t i) const { return bins_.at(i); }
+    std::size_t numBins() const { return bins_.size(); }
+    double binWidth() const { return width_; }
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+    std::uint64_t total() const { return total_; }
+    double mean() const { return total_ ? sum_ / total_ : 0.0; }
+    const std::string &name() const { return name_; }
+
+    /** Fraction of samples in bin i (0 when empty). */
+    double
+    fraction(std::size_t i) const
+    {
+        return total_ ? static_cast<double>(bins_.at(i)) / total_ : 0.0;
+    }
+
+    /** Render a one-line-per-bin ASCII bar chart. */
+    void print(std::ostream &os, unsigned max_width = 50) const;
+
+  private:
+    std::string name_;
+    double width_ = 1;
+    std::vector<std::uint64_t> bins_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t total_ = 0;
+    double sum_ = 0;
+};
+
+/**
+ * A named group of statistics belonging to one component. Components
+ * register their stats so System::dumpStats can walk everything.
+ */
+class Group
+{
+  public:
+    explicit Group(std::string name) : name_(std::move(name)) {}
+
+    Counter &addCounter(const std::string &name);
+    Average &addAverage(const std::string &name);
+    Histogram &addHistogram(const std::string &name, unsigned bins,
+                            double width);
+
+    void dump(std::ostream &os) const;
+    void reset();
+
+    const std::string &name() const { return name_; }
+
+    /** Read access for exporters (base/stats_export.hh). */
+    const std::vector<std::unique_ptr<Counter>> &counters() const
+    {
+        return counters_;
+    }
+    const std::vector<std::unique_ptr<Average>> &averages() const
+    {
+        return averages_;
+    }
+    const std::vector<std::unique_ptr<Histogram>> &histograms() const
+    {
+        return histograms_;
+    }
+
+  private:
+    std::string name_;
+    // Deques keep references stable across registration.
+    std::vector<std::unique_ptr<Counter>> counters_;
+    std::vector<std::unique_ptr<Average>> averages_;
+    std::vector<std::unique_ptr<Histogram>> histograms_;
+};
+
+} // namespace mitts::stats
+
+#endif // MITTS_BASE_STATS_HH

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Machine-readable statistics export: JSON (one object per group)
+ * and CSV (counter rows), for plotting and regression tooling on top
+ * of the bench harness.
+ */
+
+#ifndef MITTS_BASE_STATS_EXPORT_HH
+#define MITTS_BASE_STATS_EXPORT_HH
+
+#include <ostream>
+#include <vector>
+
+#include "base/stats.hh"
+
+namespace mitts::stats
+{
+
+/** Write groups as a JSON object keyed by group name. */
+void exportJson(std::ostream &os,
+                const std::vector<const Group *> &groups);
+
+/** Write counters as CSV rows: group,stat,value. */
+void exportCsv(std::ostream &os,
+               const std::vector<const Group *> &groups);
+
+} // namespace mitts::stats
+
+#endif // MITTS_BASE_STATS_EXPORT_HH

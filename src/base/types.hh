@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every subsystem.
+ */
+
+#ifndef MITTS_BASE_TYPES_HH
+#define MITTS_BASE_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace mitts
+{
+
+/** Simulation time in CPU clock cycles (2.4 GHz by default). */
+using Tick = std::uint64_t;
+
+/** Physical byte address. */
+using Addr = std::uint64_t;
+
+/** Monotonically increasing identifier for in-flight requests. */
+using SeqNum = std::uint64_t;
+
+/** Core index within the simulated chip. */
+using CoreId = int;
+
+/** Sentinel for "no tick scheduled" / "never". */
+constexpr Tick kTickNever = std::numeric_limits<Tick>::max();
+
+/** Sentinel address. */
+constexpr Addr kAddrInvalid = std::numeric_limits<Addr>::max();
+
+/** Sentinel core id, used by requests not owned by any core. */
+constexpr CoreId kNoCore = -1;
+
+/** Cache block size used throughout the memory hierarchy. */
+constexpr unsigned kBlockBytes = 64;
+
+} // namespace mitts
+
+#endif // MITTS_BASE_TYPES_HH

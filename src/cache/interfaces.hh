@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Abstract interfaces stitching the memory hierarchy together.
+ */
+
+#ifndef MITTS_CACHE_INTERFACES_HH
+#define MITTS_CACHE_INTERFACES_HH
+
+#include "base/types.hh"
+#include "mem/request.hh"
+
+namespace mitts
+{
+
+/** Upstream consumer of L1 load completions (the core model). */
+class L1Client
+{
+  public:
+    virtual ~L1Client() = default;
+
+    /** The load identified by `seq` has its data. */
+    virtual void loadComplete(SeqNum seq, Tick now) = 0;
+};
+
+/**
+ * Source-side traffic gate between the L1 and the LLC — the MITTS
+ * shaper, the static bandwidth limiter, MemGuard's budget enforcer, or
+ * a pass-through. The L1 asks tryIssue() for the head of its miss
+ * queue each cycle; a refusal back-pressures the core.
+ */
+class SourceGate
+{
+  public:
+    virtual ~SourceGate() = default;
+
+    /**
+     * May this L1 miss be sent to the LLC now? Implementations may
+     * consume credits as a side effect only when returning true.
+     */
+    virtual bool tryIssue(MemRequest &req, Tick now) = 0;
+
+    /**
+     * LLC hit/miss notification for a previously issued request (the
+     * hybrid MITTS placement needs this to reconcile credits).
+     */
+    virtual void onLlcResponse(const MemRequest &req, bool hit,
+                               Tick now)
+    {
+        (void)req;
+        (void)hit;
+        (void)now;
+    }
+};
+
+/** Gate that never blocks (no shaping). */
+class NullGate : public SourceGate
+{
+  public:
+    bool
+    tryIssue(MemRequest &req, Tick now) override
+    {
+        (void)req;
+        (void)now;
+        return true;
+    }
+};
+
+/** Downstream sink with bounded capacity (LLC bank, memory ctrl). */
+class MemSink
+{
+  public:
+    virtual ~MemSink() = default;
+
+    /** Is there room for one more request right now? */
+    virtual bool canAccept(const MemRequest &req) const = 0;
+
+    /** Hand over the request (caller must have checked canAccept). */
+    virtual void push(ReqPtr req, Tick now) = 0;
+};
+
+} // namespace mitts
+
+#endif // MITTS_CACHE_INTERFACES_HH

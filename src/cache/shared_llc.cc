@@ -1,0 +1,202 @@
+#include "cache/shared_llc.hh"
+
+#include "base/logging.hh"
+
+namespace mitts
+{
+
+SharedLlc::SharedLlc(std::string name, const LlcConfig &cfg,
+                     unsigned num_cores, EventQueue &events)
+    : Clocked(std::move(name)), cfg_(cfg), events_(events),
+      array_(cfg.sizeBytes, cfg.assoc), banks_(cfg.numBanks),
+      l1s_(num_cores, nullptr), gates_(num_cores, nullptr),
+      stats_(this->name()),
+      hits_(stats_.addCounter("hits")),
+      misses_(stats_.addCounter("misses")),
+      merged_(stats_.addCounter("merged_misses")),
+      writebacks_(stats_.addCounter("writebacks")),
+      bankStalls_(stats_.addCounter("bank_stall_cycles"))
+{
+    for (unsigned c = 0; c < num_cores; ++c) {
+        coreHits_.push_back(
+            &stats_.addCounter("core" + std::to_string(c) + "_hits"));
+        coreMisses_.push_back(
+            &stats_.addCounter("core" + std::to_string(c) + "_misses"));
+        missHist_.push_back(&stats_.addHistogram(
+            "core" + std::to_string(c) + "_miss_inter_arrival",
+            cfg.histBins, static_cast<double>(cfg.histBinWidth)));
+    }
+    lastMissAt_.assign(num_cores, kTickNever);
+}
+
+unsigned
+SharedLlc::bankOf(Addr block_addr) const
+{
+    return static_cast<unsigned>((block_addr / kBlockBytes) %
+                                 cfg_.numBanks);
+}
+
+bool
+SharedLlc::canAccept(const MemRequest &req) const
+{
+    const Bank &bank = banks_[bankOf(req.blockAddr)];
+    return bank.queue.size() < cfg_.bankQueueDepth;
+}
+
+void
+SharedLlc::push(ReqPtr req, Tick now)
+{
+    const unsigned b = bankOf(req->blockAddr);
+    Bank &bank = banks_[b];
+    MITTS_ASSERT(bank.queue.size() < cfg_.bankQueueDepth,
+                 "LLC bank overflow");
+    req->llcAt = now;
+    Tick delay = 1;
+    if (noc_ && req->core >= 0) {
+        delay += noc_->route(
+            static_cast<unsigned>(req->core) % noc_->numNodes(),
+            b % noc_->numNodes(), now);
+    }
+    bank.queue.push_back(BankEntry{std::move(req), now + delay});
+}
+
+void
+SharedLlc::tick(Tick now)
+{
+    // Drain one pending LLC writeback to memory per cycle.
+    if (!wbQueue_.empty() && downstream_ &&
+        downstream_->canAccept(*wbQueue_.front())) {
+        downstream_->push(std::move(wbQueue_.front()), now);
+        wbQueue_.pop_front();
+    }
+    for (auto &bank : banks_)
+        processBank(bank, now);
+}
+
+void
+SharedLlc::processBank(Bank &bank, Tick now)
+{
+    if (bank.queue.empty() || bank.queue.front().readyAt > now)
+        return;
+
+    ReqPtr &req = bank.queue.front().req;
+    const Addr block = req->blockAddr;
+
+    if (req->op == MemOp::Writeback) {
+        // L1 dirty eviction: install/refresh the line as dirty.
+        if (array_.touch(block)) {
+            array_.markDirty(block);
+        } else {
+            Victim v = array_.insert(block, true);
+            if (v.valid && v.dirty) {
+                writebacks_.inc();
+                wbQueue_.push_back(makeRequest(nextWbSeq_++,
+                                               v.blockAddr,
+                                               MemOp::Writeback, kNoCore,
+                                               now));
+            }
+        }
+        bank.queue.pop_front();
+        return;
+    }
+
+    // Demand access.
+    if (array_.touch(block)) {
+        hits_.inc();
+        if (req->core >= 0)
+            coreHits_[req->core]->inc();
+        req->llcHit = true;
+        notifyGate(req, true, now);
+        respondToL1(req, cfg_.hitLatency, now);
+        bank.queue.pop_front();
+        return;
+    }
+
+    // Miss. Merge with an outstanding fill for the same block.
+    if (auto it = missMap_.find(block); it != missMap_.end()) {
+        merged_.inc();
+        misses_.inc();
+        if (req->core >= 0) {
+            coreMisses_[req->core]->inc();
+            sampleMissInterArrival(req->core, now);
+        }
+        notifyGate(req, false, now);
+        it->second.push_back(std::move(req));
+        bank.queue.pop_front();
+        return;
+    }
+
+    // New miss: needs a miss-map slot and memory-controller space.
+    if (missMap_.size() >= cfg_.maxOutstandingMisses || !downstream_ ||
+        !downstream_->canAccept(*req)) {
+        bankStalls_.inc();
+        return;
+    }
+
+    misses_.inc();
+    if (req->core >= 0) {
+        coreMisses_[req->core]->inc();
+        sampleMissInterArrival(req->core, now);
+    }
+    req->llcHit = false;
+    notifyGate(req, false, now);
+    missMap_[block].push_back(req);
+    downstream_->push(req, now);
+    bank.queue.pop_front();
+}
+
+void
+SharedLlc::fillFromMem(const ReqPtr &req, Tick now)
+{
+    const Addr block = req->blockAddr;
+    if (!array_.contains(block)) {
+        Victim v = array_.insert(block, false);
+        if (v.valid && v.dirty) {
+            writebacks_.inc();
+            wbQueue_.push_back(makeRequest(nextWbSeq_++, v.blockAddr,
+                                           MemOp::Writeback, kNoCore,
+                                           now));
+        }
+    }
+
+    auto it = missMap_.find(block);
+    MITTS_ASSERT(it != missMap_.end(), "fill for unknown miss");
+    for (const auto &waiter : it->second)
+        respondToL1(waiter, cfg_.fillToL1Latency, now);
+    missMap_.erase(it);
+}
+
+void
+SharedLlc::respondToL1(const ReqPtr &req, Tick delay, Tick now)
+{
+    if (req->core < 0 || !l1s_[req->core])
+        return;
+    L1Cache *l1 = l1s_[req->core];
+    if (noc_) {
+        delay += noc_->route(
+            bankOf(req->blockAddr) % noc_->numNodes(),
+            static_cast<unsigned>(req->core) % noc_->numNodes(),
+            now + delay);
+    }
+    const Tick when = now + delay;
+    events_.schedule(when, [l1, req, when] { l1->fill(req, when); });
+}
+
+
+void
+SharedLlc::sampleMissInterArrival(CoreId core, Tick now)
+{
+    if (lastMissAt_[core] != kTickNever)
+        missHist_[core]->sample(
+            static_cast<double>(now - lastMissAt_[core]));
+    lastMissAt_[core] = now;
+}
+
+void
+SharedLlc::notifyGate(const ReqPtr &req, bool hit, Tick now)
+{
+    if (req->core >= 0 && gates_[req->core])
+        gates_[req->core]->onLlcResponse(*req, hit, now);
+}
+
+} // namespace mitts

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Shared, banked last-level cache.
+ *
+ * Requests are address-interleaved across banks; each bank processes
+ * one request per cycle, reports hit/miss back to the issuing core's
+ * source gate (the hybrid MITTS placement of paper Fig. 7), and
+ * forwards misses to the memory controller with block-level merging.
+ */
+
+#ifndef MITTS_CACHE_SHARED_LLC_HH
+#define MITTS_CACHE_SHARED_LLC_HH
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "base/stats.hh"
+#include "cache/cache_array.hh"
+#include "cache/interfaces.hh"
+#include "cache/l1_cache.hh"
+#include "mem/request.hh"
+#include "noc/mesh.hh"
+#include "sim/clocked.hh"
+#include "sim/event_queue.hh"
+
+namespace mitts
+{
+
+/** LLC geometry (paper Table II: 1 MB shared 8-way, 64KB single). */
+struct LlcConfig
+{
+    std::size_t sizeBytes = 1024 * 1024;
+    unsigned assoc = 8;
+    unsigned numBanks = 8;
+    unsigned bankQueueDepth = 16;
+    unsigned maxOutstandingMisses = 32;
+    Tick hitLatency = 20;
+    Tick fillToL1Latency = 4;
+
+    /** Geometry of the per-core miss inter-arrival histograms (the
+     *  paper's Fig. 2 "intrinsic distributions"). */
+    unsigned histBins = 40;
+    Tick histBinWidth = 25;
+};
+
+class SharedLlc : public Clocked, public MemSink
+{
+  public:
+    SharedLlc(std::string name, const LlcConfig &cfg, unsigned num_cores,
+              EventQueue &events);
+
+    void setL1(CoreId core, L1Cache *l1) { l1s_.at(core) = l1; }
+    void setGate(CoreId core, SourceGate *g) { gates_.at(core) = g; }
+    void setDownstream(MemSink *mc) { downstream_ = mc; }
+
+    /** Optional mesh NoC between the L1s and the LLC banks; adds
+     *  routed latency to requests and fills (node i = core/bank i,
+     *  modulo the mesh size). */
+    void setNoc(MeshNoc *noc) { noc_ = noc; }
+
+    // MemSink (L1 -> LLC side)
+    bool canAccept(const MemRequest &req) const override;
+    void push(ReqPtr req, Tick now) override;
+
+    /** Read fill from the memory controller. */
+    void fillFromMem(const ReqPtr &req, Tick now);
+
+    void tick(Tick now) override;
+
+    stats::Group &statsGroup() { return stats_; }
+    std::uint64_t hits() const { return hits_.value(); }
+    std::uint64_t misses() const { return misses_.value(); }
+    std::uint64_t coreHits(CoreId c) const
+    {
+        return coreHits_.at(c)->value();
+    }
+    std::uint64_t coreMisses(CoreId c) const
+    {
+        return coreMisses_.at(c)->value();
+    }
+
+    /** Inter-arrival time distribution of this core's LLC misses —
+     *  its intrinsic memory request distribution (paper Fig. 2). */
+    const stats::Histogram &
+    missInterArrival(CoreId c) const
+    {
+        return *missHist_.at(c);
+    }
+
+    /** Back-invalidate nothing — the hierarchy is non-inclusive. */
+
+  private:
+    struct BankEntry
+    {
+        ReqPtr req;
+        Tick readyAt;
+    };
+
+    struct Bank
+    {
+        std::deque<BankEntry> queue;
+    };
+
+    unsigned bankOf(Addr block_addr) const;
+    void processBank(Bank &bank, Tick now);
+    void sampleMissInterArrival(CoreId core, Tick now);
+    void respondToL1(const ReqPtr &req, Tick delay, Tick now);
+    void notifyGate(const ReqPtr &req, bool hit, Tick now);
+
+    LlcConfig cfg_;
+    EventQueue &events_;
+    CacheArray array_;
+    std::vector<Bank> banks_;
+    std::vector<L1Cache *> l1s_;
+    std::vector<SourceGate *> gates_;
+    MemSink *downstream_ = nullptr;
+    MeshNoc *noc_ = nullptr;
+
+    /** Outstanding LLC misses: block -> requests waiting for fill. */
+    std::unordered_map<Addr, std::vector<ReqPtr>> missMap_;
+
+    /** LLC dirty evictions awaiting memory-controller space. */
+    std::deque<ReqPtr> wbQueue_;
+    SeqNum nextWbSeq_ = 1ULL << 61;
+
+    stats::Group stats_;
+    stats::Counter &hits_;
+    stats::Counter &misses_;
+    stats::Counter &merged_;
+    stats::Counter &writebacks_;
+    stats::Counter &bankStalls_;
+    std::vector<stats::Counter *> coreHits_;
+    std::vector<stats::Counter *> coreMisses_;
+    std::vector<stats::Histogram *> missHist_;
+    std::vector<Tick> lastMissAt_;
+};
+
+} // namespace mitts
+
+#endif // MITTS_CACHE_SHARED_LLC_HH

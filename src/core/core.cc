@@ -1,0 +1,139 @@
+#include "core/core.hh"
+
+#include "base/logging.hh"
+
+namespace mitts
+{
+
+Core::Core(std::string name, CoreId id, const CoreConfig &cfg,
+           TraceSource *trace, L1Cache *l1)
+    : Clocked(std::move(name)), cfg_(cfg), id_(id), trace_(trace),
+      l1_(l1),
+      stats_(this->name()),
+      instructions_(stats_.addCounter("instructions")),
+      memStalls_(stats_.addCounter("mem_stall_cycles")),
+      loads_(stats_.addCounter("loads")),
+      stores_(stats_.addCounter("stores")),
+      l1Blocked_(stats_.addCounter("l1_blocked_cycles"))
+{
+    MITTS_ASSERT(trace_ && l1_, "core needs a trace and an L1");
+}
+
+void
+Core::tick(Tick now)
+{
+    if (now < stallUntil_)
+        return;
+    nonMemBudget_ = std::min(nonMemBudget_ + cfg_.nonMemIpc,
+                             2.0 * cfg_.nonMemIpc);
+    retire(now);
+    dispatch(now);
+}
+
+void
+Core::retire(Tick now)
+{
+    unsigned retired = 0;
+    while (retired < cfg_.width && !window_.empty() &&
+           window_.front().done) {
+        window_.pop_front();
+        instructions_.inc();
+        ++retired;
+    }
+    (void)now;
+    if (retired == 0 && !window_.empty() && window_.front().isMem)
+        memStalls_.inc();
+}
+
+void
+Core::dispatch(Tick now)
+{
+    unsigned dispatched = 0;
+    while (dispatched < cfg_.width &&
+           window_.size() < cfg_.windowSize) {
+        if (!havePendingOp_) {
+            pendingOp_ = trace_->next();
+            gapLeft_ = pendingOp_.gap;
+            havePendingOp_ = true;
+        }
+
+        if (gapLeft_ > 0) {
+            // Non-memory instruction: done at dispatch, throttled to
+            // the sustained compute IPC.
+            if (nonMemBudget_ < 1.0)
+                break;
+            nonMemBudget_ -= 1.0;
+            window_.push_back(WindowEntry{nextSeq_++, true, false});
+            --gapLeft_;
+            ++dispatched;
+            continue;
+        }
+
+        // Pointer-chase dependency: the address is not known until
+        // the producing load returns.
+        if (pendingOp_.dependsOnPrev && !prevLoadDone()) {
+            ++memDepStalls_;
+            break;
+        }
+
+        // The memory operation itself.
+        const SeqNum seq = nextSeq_;
+        const L1Result res =
+            l1_->access(pendingOp_.addr, pendingOp_.isWrite, seq, now);
+        if (res == L1Result::Blocked) {
+            l1Blocked_.inc();
+            break; // retry same op next cycle; seq not consumed
+        }
+        ++nextSeq_;
+        if (pendingOp_.isWrite) {
+            stores_.inc();
+        } else {
+            loads_.inc();
+            lastLoadSeq_ = seq;
+            if (pendingOp_.dependsOnPrev)
+                lastChaseSeq_ = seq;
+        }
+
+        // Stores complete into the write buffer immediately; loads
+        // wait for loadComplete (both on hits and fills).
+        const bool done = pendingOp_.isWrite;
+        window_.push_back(WindowEntry{seq, done, true});
+        havePendingOp_ = false;
+        ++dispatched;
+    }
+}
+
+bool
+Core::prevLoadDone() const
+{
+    // Chase ops serialize against the previous chase-chain load (the
+    // pointer they dereference); hot-set hits in between do not
+    // break the chain.
+    const SeqNum producer =
+        lastChaseSeq_ ? lastChaseSeq_ : lastLoadSeq_;
+    if (producer == 0)
+        return true; // no load issued yet
+    if (window_.empty() || producer < window_.front().seq)
+        return true; // already retired
+    const std::size_t idx =
+        static_cast<std::size_t>(producer - window_.front().seq);
+    return idx >= window_.size() || window_[idx].done;
+}
+
+void
+Core::loadComplete(SeqNum seq, Tick now)
+{
+    (void)now;
+    if (window_.empty())
+        return;
+    const SeqNum head = window_.front().seq;
+    if (seq < head)
+        return; // already retired (cannot happen for loads)
+    const std::size_t idx = static_cast<std::size_t>(seq - head);
+    MITTS_ASSERT(idx < window_.size(),
+                 "loadComplete for unknown window entry");
+    MITTS_ASSERT(window_[idx].isMem, "completion for non-mem entry");
+    window_[idx].done = true;
+}
+
+} // namespace mitts

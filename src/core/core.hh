@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Trace-driven out-of-order core model.
+ *
+ * A 4-wide, 128-entry-window core (paper Table II) consuming a
+ * TraceSource. Non-memory instructions execute in one cycle; loads
+ * occupy their window slot until the memory hierarchy responds, which
+ * reproduces the MSHR/window-limited memory-level parallelism that
+ * memory scheduling studies depend on. Stores retire into the write
+ * buffer on L1 acceptance.
+ */
+
+#ifndef MITTS_CORE_CORE_HH
+#define MITTS_CORE_CORE_HH
+
+#include <algorithm>
+#include <deque>
+
+#include "base/stats.hh"
+#include "cache/interfaces.hh"
+#include "cache/l1_cache.hh"
+#include "sim/clocked.hh"
+#include "trace/trace_source.hh"
+
+namespace mitts
+{
+
+struct CoreConfig
+{
+    unsigned width = 4;     ///< fetch/retire width
+    unsigned windowSize = 128; ///< instruction window entries
+    /**
+     * Sustained non-memory IPC. A real 4-wide core averages well
+     * below its width because of compute dependencies, branches and
+     * fetch gaps; modelling that keeps absolute bandwidth demand in
+     * a realistic range (a few GB/s for the most intense SPEC apps).
+     */
+    double nonMemIpc = 1.5;
+};
+
+class Core : public Clocked, public L1Client
+{
+  public:
+    Core(std::string name, CoreId id, const CoreConfig &cfg,
+         TraceSource *trace, L1Cache *l1);
+
+    void tick(Tick now) override;
+
+    // L1Client
+    void loadComplete(SeqNum seq, Tick now) override;
+
+    CoreId id() const { return id_; }
+    std::uint64_t instructions() const { return instructions_.value(); }
+    std::uint64_t memStallCycles() const { return memStalls_.value(); }
+    std::uint64_t loads() const { return loads_.value(); }
+    std::uint64_t stores() const { return stores_.value(); }
+
+    /** Pause execution for `cycles` from `now` (models runtime
+     *  software overhead such as the online GA's reconfiguration). */
+    void
+    stallFor(Tick cycles, Tick now)
+    {
+        stallUntil_ = std::max(stallUntil_, now) + cycles;
+    }
+
+    stats::Group &statsGroup() { return stats_; }
+
+  private:
+    struct WindowEntry
+    {
+        SeqNum seq;
+        bool done;
+        bool isMem;
+    };
+
+    void retire(Tick now);
+    void dispatch(Tick now);
+    bool prevLoadDone() const;
+
+    CoreConfig cfg_;
+    CoreId id_;
+    TraceSource *trace_;
+    L1Cache *l1_;
+
+    std::deque<WindowEntry> window_;
+    SeqNum nextSeq_ = 1;
+    double nonMemBudget_ = 0.0; ///< compute-IPC accumulator
+    SeqNum lastLoadSeq_ = 0;  ///< most recent load of any kind
+    SeqNum lastChaseSeq_ = 0; ///< most recent chase-chain load
+    std::uint64_t memDepStalls_ = 0;
+
+    // Trace cursor: the op being fed in, and its remaining gap.
+    TraceOp pendingOp_{};
+    bool havePendingOp_ = false;
+    std::uint32_t gapLeft_ = 0;
+
+    Tick stallUntil_ = 0;
+
+    stats::Group stats_;
+    stats::Counter &instructions_;
+    stats::Counter &memStalls_;
+    stats::Counter &loads_;
+    stats::Counter &stores_;
+    stats::Counter &l1Blocked_;
+};
+
+} // namespace mitts
+
+#endif // MITTS_CORE_CORE_HH

@@ -1,0 +1,145 @@
+#include "dram/dram.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace mitts
+{
+
+Dram::Dram(const DramConfig &cfg)
+    : cfg_(cfg), banks_(cfg.numBanks),
+      recentActivates_(4, 0),
+      nextRefreshAt_(cfg.refreshEnabled ? cfg.tREFI : kTickNever),
+      stats_("dram"),
+      rowHits_(stats_.addCounter("row_hits")),
+      rowMisses_(stats_.addCounter("row_misses")),
+      rowConflicts_(stats_.addCounter("row_conflicts")),
+      refreshes_(stats_.addCounter("refreshes"))
+{
+    MITTS_ASSERT(isPowerOf2(cfg.numBanks), "banks must be a power of 2");
+}
+
+RowState
+Dram::rowState(Addr block_addr) const
+{
+    const DramCoord c = mapAddress(block_addr, cfg_);
+    const Bank &b = banks_[c.bank];
+    if (!b.rowOpen)
+        return RowState::Closed;
+    return b.row == c.row ? RowState::Hit : RowState::Conflict;
+}
+
+bool
+Dram::activateAllowed(Tick at) const
+{
+    if (!anyActivate_)
+        return true;
+    if (at < lastActivate_ + cfg_.tRRD)
+        return false;
+    // tFAW: the fourth-most-recent activate bounds a new one (only
+    // meaningful once four activates have actually happened).
+    if (numActivates_ < recentActivates_.size())
+        return true;
+    const Tick fourth = recentActivates_[actHead_];
+    return at >= fourth + cfg_.tFAW;
+}
+
+void
+Dram::recordActivate(Tick at)
+{
+    recentActivates_[actHead_] = at;
+    actHead_ = (actHead_ + 1) % recentActivates_.size();
+    lastActivate_ = at;
+    anyActivate_ = true;
+    ++numActivates_;
+}
+
+bool
+Dram::canIssue(Addr block_addr, bool is_write, Tick now) const
+{
+    (void)is_write;
+    if (now < refBlockUntil_)
+        return false;
+
+    const DramCoord c = mapAddress(block_addr, cfg_);
+    const Bank &b = banks_[c.bank];
+    if (now < b.busyUntil)
+        return false;
+
+    switch (rowState(block_addr)) {
+      case RowState::Hit:
+        // Bound the bus backlog so queueing happens in the scheduler's
+        // view, not hidden inside the bus reservation.
+        return now + cfg_.tCL >= busFreeAt_;
+      case RowState::Closed:
+        return activateAllowed(now);
+      case RowState::Conflict:
+        if (now < b.activateAt + cfg_.tRAS)
+            return false;
+        if (now < b.writeRecoverUntil)
+            return false;
+        return activateAllowed(now + cfg_.tRP);
+    }
+    return false;
+}
+
+Tick
+Dram::issue(Addr block_addr, bool is_write, Tick now)
+{
+    MITTS_ASSERT(canIssue(block_addr, is_write, now),
+                 "issue() without canIssue()");
+    const DramCoord c = mapAddress(block_addr, cfg_);
+    Bank &b = banks_[c.bank];
+
+    Tick cas = now;
+    switch (rowState(block_addr)) {
+      case RowState::Hit:
+        rowHits_.inc();
+        break;
+      case RowState::Closed:
+        rowMisses_.inc();
+        recordActivate(now);
+        b.activateAt = now;
+        b.rowOpen = true;
+        b.row = c.row;
+        cas = now + cfg_.tRCD;
+        break;
+      case RowState::Conflict: {
+        rowConflicts_.inc();
+        const Tick act = now + cfg_.tRP;
+        recordActivate(act);
+        b.activateAt = act;
+        b.row = c.row;
+        cas = act + cfg_.tRCD;
+        break;
+      }
+    }
+
+    const Tick access_lat = is_write ? cfg_.tWL : cfg_.tCL;
+    const Tick data_start = std::max(cas + access_lat, busFreeAt_);
+    const Tick data_end = data_start + cfg_.tBURST;
+    busFreeAt_ = data_end;
+    b.busyUntil = cas; // bank command slot freed once CAS is issued
+    if (is_write)
+        b.writeRecoverUntil = data_end + cfg_.tWR;
+    return data_end;
+}
+
+void
+Dram::tick(Tick now)
+{
+    if (now < nextRefreshAt_)
+        return;
+    // Close all rows and block the channel for tRFC. Banks finishing
+    // in-flight bursts keep their busyUntil if later.
+    refBlockUntil_ = now + cfg_.tRFC;
+    for (auto &b : banks_) {
+        b.rowOpen = false;
+        b.busyUntil = std::max(b.busyUntil, refBlockUntil_);
+    }
+    nextRefreshAt_ += cfg_.tREFI;
+    refreshes_.inc();
+}
+
+} // namespace mitts

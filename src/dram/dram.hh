@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Transaction-level DRAM channel timing model (DRAMSim2-lite).
+ *
+ * Per-bank row-buffer state machines plus a shared data bus. The
+ * memory controller asks canIssue() for each candidate transaction and
+ * calls issue() on the scheduler's pick; issue() returns the tick at
+ * which the data burst completes.
+ */
+
+#ifndef MITTS_DRAM_DRAM_HH
+#define MITTS_DRAM_DRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/stats.hh"
+#include "base/types.hh"
+#include "dram/dram_config.hh"
+
+namespace mitts
+{
+
+/** Row-buffer outcome of a would-be access. */
+enum class RowState
+{
+    Hit,     ///< row open and matching
+    Closed,  ///< bank precharged, needs activate
+    Conflict ///< different row open, needs precharge + activate
+};
+
+/** One DDR3 channel: 8 banks, one shared data bus, refresh. */
+class Dram
+{
+  public:
+    explicit Dram(const DramConfig &cfg);
+
+    const DramConfig &config() const { return cfg_; }
+
+    /** Row-buffer state the access would see right now. */
+    RowState rowState(Addr block_addr) const;
+
+    /** True iff the access would be a row-buffer hit. */
+    bool
+    isRowHit(Addr block_addr) const
+    {
+        return rowState(block_addr) == RowState::Hit;
+    }
+
+    /**
+     * May a transaction to this address legally start at `now`?
+     * Enforces bank busy, tRAS/tWR before precharge, tRRD/tFAW
+     * activate spacing, refresh blocking, and bounded bus backlog.
+     */
+    bool canIssue(Addr block_addr, bool is_write, Tick now) const;
+
+    /**
+     * Start the transaction (caller must have checked canIssue).
+     * @return tick at which the data burst completes.
+     */
+    Tick issue(Addr block_addr, bool is_write, Tick now);
+
+    /** Advance refresh logic; call once per CPU cycle. */
+    void tick(Tick now);
+
+    /** True iff the channel is refresh-blocked at `now`. */
+    bool refreshing(Tick now) const { return now < refBlockUntil_; }
+
+    stats::Group &statsGroup() { return stats_; }
+
+    std::uint64_t rowHits() const { return rowHits_.value(); }
+    std::uint64_t rowMisses() const { return rowMisses_.value(); }
+    std::uint64_t rowConflicts() const { return rowConflicts_.value(); }
+
+  private:
+    struct Bank
+    {
+        bool rowOpen = false;
+        std::uint64_t row = 0;
+        Tick busyUntil = 0;        ///< earliest next command
+        Tick activateAt = 0;       ///< for tRAS
+        Tick writeRecoverUntil = 0;///< earliest precharge after write
+    };
+
+    bool activateAllowed(Tick at) const;
+    void recordActivate(Tick at);
+
+    DramConfig cfg_;
+    std::vector<Bank> banks_;
+    Tick busFreeAt_ = 0;
+    std::vector<Tick> recentActivates_; ///< ring of last 4 ACT times
+    std::size_t actHead_ = 0;
+    std::size_t numActivates_ = 0;
+    Tick lastActivate_ = 0;
+    bool anyActivate_ = false;
+    Tick nextRefreshAt_;
+    Tick refBlockUntil_ = 0;
+
+    stats::Group stats_;
+    stats::Counter &rowHits_;
+    stats::Counter &rowMisses_;
+    stats::Counter &rowConflicts_;
+    stats::Counter &refreshes_;
+};
+
+} // namespace mitts
+
+#endif // MITTS_DRAM_DRAM_HH

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * DRAM organization and timing parameters.
+ *
+ * All timing is stored in CPU cycles; the DDR3-1333 preset converts
+ * nanosecond datasheet values using the CPU frequency, so the whole
+ * simulator runs in a single clock domain (paper Table II: 2.4 GHz
+ * cores, DDR3-1333, 1 channel x 1 rank x 8 banks, 8 KB row buffer).
+ */
+
+#ifndef MITTS_DRAM_DRAM_CONFIG_HH
+#define MITTS_DRAM_DRAM_CONFIG_HH
+
+#include "base/bitutil.hh"
+#include "base/types.hh"
+
+namespace mitts
+{
+
+/** How block addresses map onto (bank, row, column). */
+enum class AddressMap
+{
+    /** Consecutive blocks fill a row; adjacent rows rotate across
+     *  banks. Streams get row locality (DRAMSim2's default). */
+    RowInterleaved,
+    /** Consecutive blocks rotate across banks. Streams get bank
+     *  parallelism instead of open-row hits. */
+    BlockInterleaved,
+};
+
+/** Organization and timing of one memory channel. */
+struct DramConfig
+{
+    // --- organization -------------------------------------------------
+    unsigned numBanks = 8;       ///< banks per rank (1 rank modelled)
+    unsigned rowBytes = 8192;    ///< row-buffer size
+    AddressMap addressMap = AddressMap::RowInterleaved;
+    Addr capacityBytes = 1ULL << 32; ///< 4 GB channel
+
+    // --- timing (CPU cycles) -------------------------------------------
+    Tick tCL = 32;     ///< CAS latency (13.5 ns)
+    Tick tWL = 24;     ///< write latency (10 ns)
+    Tick tRCD = 32;    ///< activate -> CAS (13.5 ns)
+    Tick tRP = 32;     ///< precharge (13.5 ns)
+    Tick tRAS = 86;    ///< activate -> precharge (36 ns)
+    Tick tWR = 36;     ///< write recovery (15 ns)
+    Tick tBURST = 14;  ///< 64B over an 8B DDR bus at 1333 MT/s (6 ns)
+    Tick tRRD = 15;    ///< activate -> activate, different banks (6 ns)
+    Tick tFAW = 72;    ///< four-activate window (30 ns)
+    Tick tREFI = 18720;///< refresh interval (7.8 us)
+    Tick tRFC = 384;   ///< refresh cycle time (160 ns)
+    bool refreshEnabled = true;
+
+    /** DDR3-1333 timing at the given CPU frequency (default preset). */
+    static DramConfig
+    ddr3_1333(double cpu_ghz = 2.4)
+    {
+        DramConfig c;
+        auto cyc = [cpu_ghz](double ns) {
+            return static_cast<Tick>(ns * cpu_ghz + 0.5);
+        };
+        c.tCL = cyc(13.5);
+        c.tWL = cyc(10.0);
+        c.tRCD = cyc(13.5);
+        c.tRP = cyc(13.5);
+        c.tRAS = cyc(36.0);
+        c.tWR = cyc(15.0);
+        c.tBURST = cyc(6.0);
+        c.tRRD = cyc(6.0);
+        c.tFAW = cyc(30.0);
+        c.tREFI = cyc(7800.0);
+        c.tRFC = cyc(160.0);
+        return c;
+    }
+
+    /** Slower DDR3-1066 timing preset (sensitivity studies). */
+    static DramConfig
+    ddr3_1066(double cpu_ghz = 2.4)
+    {
+        DramConfig c = ddr3_1333(cpu_ghz);
+        auto cyc = [cpu_ghz](double ns) {
+            return static_cast<Tick>(ns * cpu_ghz + 0.5);
+        };
+        c.tCL = cyc(15.0);
+        c.tRCD = cyc(15.0);
+        c.tRP = cyc(15.0);
+        c.tBURST = cyc(7.5); // 64B at 1066 MT/s on an 8B bus
+        c.tRRD = cyc(7.5);
+        return c;
+    }
+
+    unsigned blocksPerRow() const { return rowBytes / kBlockBytes; }
+
+    /**
+     * Peak data bandwidth in blocks per CPU cycle (the reciprocal of
+     * tBURST); used to express static bandwidth caps in credits.
+     */
+    double
+    peakBlocksPerCycle() const
+    {
+        return 1.0 / static_cast<double>(tBURST);
+    }
+};
+
+/** Location of a block within the channel. */
+struct DramCoord
+{
+    unsigned bank;
+    std::uint64_t row;
+    unsigned col; ///< block index within the row
+};
+
+/** Decompose a block address per the configured AddressMap. */
+inline DramCoord
+mapAddress(Addr block_addr, const DramConfig &cfg)
+{
+    const std::uint64_t block = block_addr / kBlockBytes;
+    const unsigned bpr = cfg.blocksPerRow();
+    DramCoord c;
+    if (cfg.addressMap == AddressMap::BlockInterleaved) {
+        c.bank = static_cast<unsigned>(block % cfg.numBanks);
+        const std::uint64_t within = block / cfg.numBanks;
+        c.col = static_cast<unsigned>(within % bpr);
+        c.row = within / bpr;
+        return c;
+    }
+    c.col = static_cast<unsigned>(block % bpr);
+    c.bank = static_cast<unsigned>((block / bpr) % cfg.numBanks);
+    c.row = block / (static_cast<std::uint64_t>(bpr) * cfg.numBanks);
+    return c;
+}
+
+} // namespace mitts
+
+#endif // MITTS_DRAM_DRAM_CONFIG_HH

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * IaaS economics for MITTS bins (paper Sec. IV-G).
+ *
+ * A credit in bin i enables one memory transaction at inter-arrival
+ * t_i, i.e. an instantaneous bandwidth of blockBytes/t_i. Its price is
+ * proportional to that bandwidth, additionally penalized by the linear
+ * burst factor 2 - t_i/t_N (faster credits cost more than their
+ * bandwidth dictates, Fig. 17). A processor core costs the same as
+ * 1.6 GB/s of bandwidth.
+ */
+
+#ifndef MITTS_IAAS_PRICING_HH
+#define MITTS_IAAS_PRICING_HH
+
+#include <cmath>
+
+#include "shaper/bin_config.hh"
+
+namespace mitts
+{
+
+struct PricingModel
+{
+    double cpuGhz = 2.4;
+    /** GB/s of bandwidth that cost the same as one core. */
+    double coreEquivalentGBps = 1.6;
+    /** Price of 1 GB/s of slowest-bin bandwidth (the money unit). */
+    double pricePerGBps = 1.0;
+    /**
+     * Exponent on the instantaneous-rate premium t_N / t_i. The
+     * paper's Fig. 17 prices credits "proportional to the bandwidth
+     * it stands for" with the linear burst penalty as the
+     * differentiator (weight 0, the default — every credit delivers
+     * the same 64B per period, so the base price is equal and the
+     * penalty doubles the fastest bin). Weight 1 instead charges the
+     * full instantaneous rate, making burst credits ~20x dearer —
+     * the "even more costly than their bandwidth dictates" market
+     * the paper speculates about in Sec. III-B.
+     */
+    double ratePremiumWeight = 0.0;
+
+    /** Instantaneous bandwidth (GB/s) a bin-i credit stands for. */
+    double
+    binBandwidthGBps(const BinSpec &spec, unsigned bin) const
+    {
+        const double t_i = static_cast<double>(spec.binTime(bin));
+        return static_cast<double>(kBlockBytes) * cpuGhz / t_i;
+    }
+
+    /** Burst penalty 2 - t_i / t_N (paper Fig. 17 caption). */
+    double
+    burstPenalty(const BinSpec &spec, unsigned bin) const
+    {
+        const double t_i = static_cast<double>(spec.binTime(bin));
+        const double t_n =
+            static_cast<double>(spec.binTime(spec.numBins - 1));
+        return 2.0 - t_i / t_n;
+    }
+
+    /** Price of one credit in bin i. */
+    double
+    creditPrice(const BinSpec &spec, unsigned bin) const
+    {
+        // Base: the credit's share of the replenishment period's
+        // average bandwidth (64B per T_r, the same for every bin).
+        const double avg_gbps =
+            static_cast<double>(kBlockBytes) * cpuGhz /
+            static_cast<double>(spec.replenishPeriod);
+        const double t_n =
+            static_cast<double>(spec.binTime(spec.numBins - 1));
+        const double t_i = static_cast<double>(spec.binTime(bin));
+        const double premium =
+            std::pow(t_n / t_i, ratePremiumWeight);
+        return pricePerGBps * avg_gbps * premium *
+               burstPenalty(spec, bin);
+    }
+
+    /** Total bandwidth price of a configuration. */
+    double
+    configPrice(const BinConfig &cfg) const
+    {
+        double total = 0.0;
+        for (unsigned i = 0; i < cfg.spec.numBins; ++i)
+            total += static_cast<double>(cfg.credits[i]) *
+                     creditPrice(cfg.spec, i);
+        return total;
+    }
+
+    /** Price of one core in the same money unit. */
+    double
+    corePrice() const
+    {
+        return pricePerGBps * coreEquivalentGBps;
+    }
+
+    /** Core + bandwidth price for a single-core tenant. */
+    double
+    tenantPrice(const BinConfig &cfg, unsigned num_cores = 1) const
+    {
+        return corePrice() * num_cores + configPrice(cfg);
+    }
+
+    /** Performance-per-cost (perf = e.g. IPC or 1/cycles). */
+    double
+    perfPerCost(double perf, const BinConfig &cfg,
+                unsigned num_cores = 1) const
+    {
+        return perf / tenantPrice(cfg, num_cores);
+    }
+};
+
+} // namespace mitts
+
+#endif // MITTS_IAAS_PRICING_HH

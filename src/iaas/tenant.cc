@@ -1,0 +1,117 @@
+#include "iaas/tenant.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace mitts
+{
+
+Tenant::Tenant(std::string name, const PricingModel &pricing,
+               std::vector<MittsShaper *> shapers)
+    : name_(std::move(name)), pricing_(pricing),
+      shapers_(std::move(shapers))
+{
+    MITTS_ASSERT(!shapers_.empty(), "tenant needs at least one core");
+    for (auto *s : shapers_)
+        MITTS_ASSERT(s, "tenant shaper must not be null");
+    current_ = shapers_.front()->config();
+}
+
+void
+Tenant::purchase(const BinConfig &cfg, Tick now)
+{
+    accrue(now);
+    current_ = cfg;
+    for (auto *shaper : shapers_)
+        shaper->setConfig(cfg);
+}
+
+double
+Tenant::currentRate() const
+{
+    // Per-period price: bandwidth charges plus the core rental,
+    // normalized to one replenishment period.
+    return pricing_.configPrice(current_) * numCores() +
+           pricing_.corePrice() * numCores();
+}
+
+void
+Tenant::accrue(Tick now)
+{
+    if (now <= accruedTo_)
+        return;
+    const double periods =
+        static_cast<double>(now - accruedTo_) /
+        static_cast<double>(current_.spec.replenishPeriod);
+    charges_ += periods * currentRate();
+    accruedTo_ = now;
+}
+
+double
+Tenant::bill(Tick now)
+{
+    accrue(now);
+    return charges_;
+}
+
+AutoScaler::AutoScaler(std::string name, Tenant &tenant,
+                       Tick check_period)
+    : Clocked(std::move(name)), tenant_(tenant),
+      checkPeriod_(check_period),
+      stats_(this->name()),
+      reconfigs_(stats_.addCounter("reconfigurations")),
+      ruleFirings_(stats_.addCounter("rule_firings"))
+{
+    MITTS_ASSERT(check_period > 0, "check period must be positive");
+}
+
+void
+AutoScaler::schedule(ScheduledReconfig entry)
+{
+    schedule_.push_back(std::move(entry));
+    std::sort(schedule_.begin(), schedule_.end(),
+              [](const ScheduledReconfig &a,
+                 const ScheduledReconfig &b) { return a.at < b.at; });
+}
+
+void
+AutoScaler::addRule(ReconfigRule rule)
+{
+    MITTS_ASSERT(rule.trigger && rule.action,
+                 "rule needs trigger and action");
+    rules_.push_back(std::move(rule));
+}
+
+void
+AutoScaler::tick(Tick now)
+{
+    // Apply due schedule entries (cheap check before the period
+    // gate so entries land on their exact cycle).
+    while (!schedule_.empty() && schedule_.front().at <= now) {
+        tenant_.purchase(schedule_.front().config, now);
+        reconfigs_.inc();
+        schedule_.erase(schedule_.begin());
+    }
+
+    if (now < nextCheckAt_)
+        return;
+    nextCheckAt_ = now + checkPeriod_;
+
+    for (auto &rule : rules_) {
+        const bool cooled =
+            rule.lastFiredAt == kTickNever ||
+            (rule.cooldown > 0 &&
+             now >= rule.lastFiredAt + rule.cooldown);
+        if (!cooled)
+            continue;
+        if (rule.trigger(now)) {
+            rule.action(now);
+            rule.lastFiredAt = now;
+            ruleFirings_.inc();
+            reconfigs_.inc();
+        }
+    }
+}
+
+} // namespace mitts

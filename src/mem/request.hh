@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The memory request that travels core -> L1 -> (shaper) -> LLC ->
+ * memory controller -> DRAM and back. Timestamps at each hop feed the
+ * statistics and the MITTS bookkeeping.
+ */
+
+#ifndef MITTS_MEM_REQUEST_HH
+#define MITTS_MEM_REQUEST_HH
+
+#include <memory>
+
+#include "base/types.hh"
+
+namespace mitts
+{
+
+/** Kind of memory access. */
+enum class MemOp
+{
+    Read,      ///< demand load miss (needs a response)
+    Write,     ///< demand store miss (write-allocate fill, responds)
+    Writeback, ///< dirty eviction, fire-and-forget
+};
+
+/** One cache-block-sized memory transaction. */
+struct MemRequest
+{
+    SeqNum seq = 0;             ///< unique id
+    Addr addr = kAddrInvalid;   ///< byte address of the access
+    Addr blockAddr = kAddrInvalid; ///< addr & ~(kBlockBytes-1)
+    MemOp op = MemOp::Read;
+    CoreId core = kNoCore;      ///< issuing core (kNoCore for evictions)
+    int thread = 0;             ///< thread within a multithreaded app
+
+    Tick createdAt = 0;      ///< core issued the access
+    Tick l1MissAt = 0;       ///< L1 declared a miss
+    Tick shaperReleaseAt = 0;///< MITTS/static gate let it pass to LLC
+    Tick llcAt = 0;          ///< arrived at the LLC bank
+    Tick mcEnqueueAt = 0;    ///< entered the memory controller queue
+    Tick dramIssueAt = 0;    ///< DRAM command issued
+    Tick doneAt = 0;         ///< data returned (or write retired)
+
+    bool llcHit = false;     ///< filled by the LLC lookup
+
+    /** Demand requests need responses; writebacks do not. */
+    bool isDemand() const { return op != MemOp::Writeback; }
+    bool isRead() const { return op == MemOp::Read; }
+};
+
+using ReqPtr = std::shared_ptr<MemRequest>;
+
+/** Build a demand request. */
+inline ReqPtr
+makeRequest(SeqNum seq, Addr addr, MemOp op, CoreId core, Tick now,
+            int thread = 0)
+{
+    auto r = std::make_shared<MemRequest>();
+    r->seq = seq;
+    r->addr = addr;
+    r->blockAddr = addr & ~static_cast<Addr>(kBlockBytes - 1);
+    r->op = op;
+    r->core = core;
+    r->thread = thread;
+    r->createdAt = now;
+    return r;
+}
+
+} // namespace mitts
+
+#endif // MITTS_MEM_REQUEST_HH

@@ -1,0 +1,197 @@
+#include "memctrl/mem_controller.hh"
+
+#include "base/logging.hh"
+#include "cache/shared_llc.hh"
+
+namespace mitts
+{
+
+MemController::MemController(std::string name, const McConfig &cfg,
+                             const DramConfig &dram_cfg,
+                             EventQueue &events)
+    : Clocked(std::move(name)), cfg_(cfg), events_(events),
+      stats_(this->name()),
+      reads_(stats_.addCounter("reads")),
+      writes_(stats_.addCounter("writes")),
+      completed_(stats_.addCounter("completed_reads")),
+      queueLatency_(stats_.addAverage("queue_latency")),
+      totalLatency_(stats_.addAverage("mem_latency"))
+{
+    MITTS_ASSERT(cfg.queueDepth > 0, "queue depth must be positive");
+    MITTS_ASSERT(cfg.numChannels > 0, "need at least one channel");
+    for (unsigned c = 0; c < cfg.numChannels; ++c)
+        drams_.push_back(std::make_unique<Dram>(dram_cfg));
+    queues_.resize(cfg.numChannels);
+    draining_.assign(cfg.numChannels, false);
+}
+
+void
+MemController::initPerCore(unsigned num_cores)
+{
+    for (unsigned c = 0; c < num_cores; ++c) {
+        completedPerCore_.push_back(&stats_.addCounter(
+            "core" + std::to_string(c) + "_completed"));
+    }
+}
+
+unsigned
+MemController::channelOf(Addr block_addr) const
+{
+    if (cfg_.numChannels == 1)
+        return 0;
+    // Interleave rows across channels so streams spread out.
+    const std::uint64_t row =
+        block_addr / drams_[0]->config().rowBytes;
+    return static_cast<unsigned>(row % cfg_.numChannels);
+}
+
+bool
+MemController::canAccept(const MemRequest &req) const
+{
+    if (cfg_.smoothingFifoDepth > 0)
+        return smoothingFifo_.size() < cfg_.smoothingFifoDepth;
+    return queues_[channelOf(req.blockAddr)].size() <
+           cfg_.queueDepth;
+}
+
+void
+MemController::push(ReqPtr req, Tick now)
+{
+    MITTS_ASSERT(canAccept(*req), "MC overflow");
+    if (req->isRead() || req->op == MemOp::Write)
+        reads_.inc();
+    else
+        writes_.inc();
+
+    if (cfg_.smoothingFifoDepth > 0) {
+        smoothingFifo_.push_back(std::move(req));
+        return;
+    }
+    req->mcEnqueueAt = now;
+    if (sched_)
+        sched_->onEnqueue(*req, now);
+    queues_[channelOf(req->blockAddr)].push_back(std::move(req));
+}
+
+void
+MemController::tick(Tick now)
+{
+    for (auto &dram : drams_)
+        dram->tick(now);
+    if (sched_)
+        sched_->tick(now);
+
+    // Drain the smoothing FIFO into the transaction queues in order —
+    // this is what serializes simultaneous multi-core bursts.
+    while (!smoothingFifo_.empty()) {
+        auto &q =
+            queues_[channelOf(smoothingFifo_.front()->blockAddr)];
+        if (q.size() >= cfg_.queueDepth)
+            break;
+        ReqPtr req = std::move(smoothingFifo_.front());
+        smoothingFifo_.pop_front();
+        req->mcEnqueueAt = now;
+        if (sched_)
+            sched_->onEnqueue(*req, now);
+        q.push_back(std::move(req));
+    }
+
+    for (unsigned c = 0; c < cfg_.numChannels; ++c)
+        scheduleChannel(c, now);
+}
+
+int
+MemController::pickOldestWrite(const std::vector<ReqPtr> &queue,
+                               const Dram &dram, Tick now) const
+{
+    int best = -1;
+    Tick best_at = kTickNever;
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+        const auto &r = queue[i];
+        if (r->isDemand())
+            continue;
+        if (!dram.canIssue(r->blockAddr, true, now))
+            continue;
+        if (r->mcEnqueueAt < best_at) {
+            best = static_cast<int>(i);
+            best_at = r->mcEnqueueAt;
+        }
+    }
+    return best;
+}
+
+void
+MemController::scheduleChannel(unsigned channel, Tick now)
+{
+    auto &queue = queues_[channel];
+    if (queue.empty())
+        return;
+
+    MITTS_ASSERT(sched_, "MemController has no scheduler");
+    Dram &dram = *drams_[channel];
+
+    // Write-drain hysteresis: writebacks normally lose to demand
+    // reads, so they are batched once they threaten to fill the
+    // queue.
+    if (cfg_.writeDrainHigh > 0) {
+        unsigned writes = 0;
+        for (const auto &r : queue)
+            writes += r->isDemand() ? 0 : 1;
+        if (writes >= cfg_.writeDrainHigh)
+            draining_[channel] = true;
+        else if (writes <= cfg_.writeDrainLow)
+            draining_[channel] = false;
+        if (draining_[channel]) {
+            const int wpick = pickOldestWrite(queue, dram, now);
+            if (wpick >= 0) {
+                ReqPtr req = queue[wpick];
+                queue.erase(queue.begin() + wpick);
+                req->dramIssueAt = now;
+                dram.issue(req->blockAddr, true, now);
+                return;
+            }
+        }
+    }
+
+    const int pick = sched_->pick(queue, dram, now);
+    if (pick < 0)
+        return;
+    MITTS_ASSERT(static_cast<std::size_t>(pick) < queue.size(),
+                 "scheduler picked out of range");
+
+    ReqPtr req = queue[pick];
+    MITTS_ASSERT(dram.canIssue(req->blockAddr, !req->isRead(), now),
+                 "scheduler picked non-ready transaction");
+    queue.erase(queue.begin() + pick);
+
+    req->dramIssueAt = now;
+    queueLatency_.sample(static_cast<double>(now - req->mcEnqueueAt));
+    const Tick done = dram.issue(req->blockAddr, !req->isRead(), now);
+
+    if (req->isDemand()) {
+        MemScheduler *sched = sched_;
+        SharedLlc *llc = llc_;
+        auto *completed_ctr = &completed_;
+        auto *per_core = (req->core >= 0 &&
+                          static_cast<std::size_t>(req->core) <
+                              completedPerCore_.size())
+                             ? completedPerCore_[req->core]
+                             : nullptr;
+        auto *total_lat = &totalLatency_;
+        events_.schedule(done, [req, done, sched, llc, completed_ctr,
+                                per_core, total_lat] {
+            req->doneAt = done;
+            completed_ctr->inc();
+            if (per_core)
+                per_core->inc();
+            total_lat->sample(
+                static_cast<double>(done - req->l1MissAt));
+            if (sched)
+                sched->onComplete(*req, done);
+            if (llc)
+                llc->fillFromMem(req, done);
+        });
+    }
+}
+
+} // namespace mitts

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Memory controller: bounded transaction queue, pluggable scheduling
+ * policy, optional global MITTS smoothing FIFO (paper Sec. III-C).
+ */
+
+#ifndef MITTS_MEMCTRL_MEM_CONTROLLER_HH
+#define MITTS_MEMCTRL_MEM_CONTROLLER_HH
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "base/stats.hh"
+#include "cache/interfaces.hh"
+#include "dram/dram.hh"
+#include "mem/request.hh"
+#include "sched/mem_scheduler.hh"
+#include "sim/clocked.hh"
+#include "sim/event_queue.hh"
+
+namespace mitts
+{
+
+class SharedLlc;
+
+/** Controller parameters (paper Table II: 32-entry queue). */
+struct McConfig
+{
+    unsigned queueDepth = 32;
+    /**
+     * Independent memory channels (paper Table II uses 1). Blocks
+     * interleave across channels at row granularity; each channel
+     * has its own DRAM device and transaction queue, sharing one
+     * scheduling policy (cf. application-aware channel partitioning
+     * in the paper's related work).
+     */
+    unsigned numChannels = 1;
+    /**
+     * Write-drain watermarks: when a channel queue holds at least
+     * `writeDrainHigh` writebacks the controller services writes
+     * preferentially until `writeDrainLow` remain (standard
+     * read-priority controllers batch writes this way so they never
+     * back up into the LLC). 0 disables draining.
+     */
+    unsigned writeDrainHigh = 12;
+    unsigned writeDrainLow = 4;
+    /**
+     * Depth of the global FIFO in front of the transaction queue that
+     * absorbs simultaneous bursts from many MITTS shapers; 0 disables
+     * it (requests enter the queue directly).
+     */
+    unsigned smoothingFifoDepth = 0;
+};
+
+class MemController : public Clocked, public MemSink
+{
+  public:
+    MemController(std::string name, const McConfig &cfg,
+                  const DramConfig &dram_cfg, EventQueue &events);
+
+    void setScheduler(MemScheduler *sched) { sched_ = sched; }
+    void setLlc(SharedLlc *llc) { llc_ = llc; }
+
+    // MemSink (LLC -> MC side)
+    bool canAccept(const MemRequest &req) const override;
+    void push(ReqPtr req, Tick now) override;
+
+    void tick(Tick now) override;
+
+    Dram &dram(unsigned channel = 0) { return *drams_[channel]; }
+    const Dram &dram(unsigned channel = 0) const
+    {
+        return *drams_[channel];
+    }
+    unsigned numChannels() const { return cfg_.numChannels; }
+
+    /** Channel a block maps to (row-granularity interleave). */
+    unsigned channelOf(Addr block_addr) const;
+
+    /** Demand reads completed, per core (for service-rate estimates). */
+    std::uint64_t completed(CoreId core) const
+    {
+        return completedPerCore_.at(core)->value();
+    }
+
+    /** Total demand reads completed. */
+    std::uint64_t completed() const { return completed_.value(); }
+
+    stats::Group &statsGroup() { return stats_; }
+    double avgQueueLatency() const { return queueLatency_.mean(); }
+    /** Entries across all channel queues. Kept inline: callers in
+     *  mitts_sched (MemGuard) sit below this library in the link
+     *  order. */
+    std::size_t
+    queueSize() const
+    {
+        std::size_t total = 0;
+        for (const auto &q : queues_)
+            total += q.size();
+        return total;
+    }
+    unsigned queueCapacity() const
+    {
+        return cfg_.queueDepth * cfg_.numChannels;
+    }
+
+    /** Number of cores tracked in per-core stats. */
+    void initPerCore(unsigned num_cores);
+
+  private:
+    void scheduleChannel(unsigned channel, Tick now);
+    int pickOldestWrite(const std::vector<ReqPtr> &queue,
+                        const Dram &dram, Tick now) const;
+
+    McConfig cfg_;
+    EventQueue &events_;
+    std::vector<std::unique_ptr<Dram>> drams_; ///< one per channel
+    MemScheduler *sched_ = nullptr;
+    SharedLlc *llc_ = nullptr;
+
+    /** Scheduler-visible transaction queues, one per channel. */
+    std::vector<std::vector<ReqPtr>> queues_;
+    std::vector<bool> draining_; ///< per-channel write-drain mode
+    std::deque<ReqPtr> smoothingFifo_;///< optional global MITTS FIFO
+
+    stats::Group stats_;
+    stats::Counter &reads_;
+    stats::Counter &writes_;
+    stats::Counter &completed_;
+    stats::Average &queueLatency_;
+    stats::Average &totalLatency_;
+    std::vector<stats::Counter *> completedPerCore_;
+};
+
+} // namespace mitts
+
+#endif // MITTS_MEMCTRL_MEM_CONTROLLER_HH

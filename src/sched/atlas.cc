@@ -1,0 +1,78 @@
+#include "sched/atlas.hh"
+
+#include <algorithm>
+#include <numeric>
+
+namespace mitts
+{
+
+AtlasScheduler::AtlasScheduler(unsigned num_cores,
+                               const AtlasConfig &cfg)
+    : numCores_(num_cores), cfg_(cfg),
+      quantumService_(num_cores, 0.0), totalService_(num_cores, 0.0),
+      ranks_(num_cores, 0), nextQuantumAt_(cfg.quantum)
+{
+}
+
+void
+AtlasScheduler::onComplete(const MemRequest &req, Tick now)
+{
+    (void)now;
+    if (req.core >= 0 &&
+        static_cast<unsigned>(req.core) < numCores_) {
+        // Service charged as the DRAM occupancy of the transaction.
+        quantumService_[req.core] +=
+            static_cast<double>(req.doneAt - req.dramIssueAt);
+    }
+}
+
+void
+AtlasScheduler::tick(Tick now)
+{
+    if (now >= nextQuantumAt_) {
+        requantize();
+        nextQuantumAt_ += cfg_.quantum;
+    }
+}
+
+void
+AtlasScheduler::requantize()
+{
+    for (unsigned c = 0; c < numCores_; ++c) {
+        totalService_[c] = cfg_.alpha * totalService_[c] +
+                           (1.0 - cfg_.alpha) * quantumService_[c];
+        quantumService_[c] = 0.0;
+    }
+    // Least attained service -> highest rank.
+    std::vector<unsigned> order(numCores_);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](unsigned a, unsigned b) {
+        return totalService_[a] < totalService_[b];
+    });
+    for (unsigned i = 0; i < numCores_; ++i)
+        ranks_[order[i]] = static_cast<int>(numCores_ - i);
+}
+
+int
+AtlasScheduler::pick(const std::vector<ReqPtr> &queue,
+                     const Dram &dram, Tick now)
+{
+    // Starvation guard: the oldest over-threshold request wins.
+    int oldest = -1;
+    Tick oldest_at = kTickNever;
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+        const auto &r = queue[i];
+        if (!dram.canIssue(r->blockAddr, !r->isRead(), now))
+            continue;
+        if (now - r->mcEnqueueAt >= cfg_.starvationThreshold &&
+            r->mcEnqueueAt < oldest_at) {
+            oldest = static_cast<int>(i);
+            oldest_at = r->mcEnqueueAt;
+        }
+    }
+    if (oldest >= 0)
+        return oldest;
+    return RankedFrfcfs::pick(queue, dram, now);
+}
+
+} // namespace mitts

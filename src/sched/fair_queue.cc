@@ -1,0 +1,76 @@
+#include "sched/fair_queue.hh"
+
+#include "base/logging.hh"
+
+namespace mitts
+{
+
+FairQueueScheduler::FairQueueScheduler(unsigned num_cores,
+                                       std::vector<double> shares)
+    : numCores_(num_cores), shares_(std::move(shares)),
+      virtualClock_(num_cores, 0.0)
+{
+    if (shares_.empty())
+        shares_.assign(num_cores, 1.0 / num_cores);
+    MITTS_ASSERT(shares_.size() == num_cores, "share vector size");
+}
+
+double
+FairQueueScheduler::virtualFinishOf(CoreId core, Tick now,
+                                    double service_cost) const
+{
+    // Start tag: the core's own clock, but never before the system
+    // virtual time (so long-idle cores cannot bank unbounded credit).
+    (void)now;
+    const double start = std::max(virtualClock_[core], systemVt_);
+    return start + service_cost / shares_[core];
+}
+
+int
+FairQueueScheduler::pick(const std::vector<ReqPtr> &queue,
+                         const Dram &dram, Tick now)
+{
+    // Service cost approximated by the burst time; a row miss costs
+    // more but charging uniformly matches Nesbit's idealized server.
+    const double cost = static_cast<double>(dram.config().tBURST);
+
+    int best = -1;
+    double best_vft = 0.0;
+    Tick best_arrival = kTickNever;
+    int best_wb = -1;
+    Tick best_wb_arrival = kTickNever;
+
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+        const auto &r = queue[i];
+        if (!dram.canIssue(r->blockAddr, !r->isRead(), now))
+            continue;
+        if (r->core == kNoCore) {
+            // Writebacks are background traffic: issue only when no
+            // demand transaction is ready.
+            if (r->mcEnqueueAt < best_wb_arrival) {
+                best_wb = static_cast<int>(i);
+                best_wb_arrival = r->mcEnqueueAt;
+            }
+            continue;
+        }
+        const double vft = virtualFinishOf(r->core, now, cost);
+        if (best == -1 || vft < best_vft ||
+            (vft == best_vft && r->mcEnqueueAt < best_arrival)) {
+            best = static_cast<int>(i);
+            best_vft = vft;
+            best_arrival = r->mcEnqueueAt;
+        }
+    }
+
+    if (best >= 0) {
+        const CoreId core = queue[best]->core;
+        // System virtual time advances to the start tag of the packet
+        // being serviced (start-time fair queueing).
+        systemVt_ = std::max(systemVt_, virtualClock_[core]);
+        virtualClock_[core] = best_vft;
+        return best;
+    }
+    return best_wb;
+}
+
+} // namespace mitts

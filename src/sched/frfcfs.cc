@@ -1,0 +1,46 @@
+#include "sched/frfcfs.hh"
+
+namespace mitts
+{
+
+int
+RankedFrfcfs::pick(const std::vector<ReqPtr> &queue, const Dram &dram,
+                   Tick now)
+{
+    int best = -1;
+    int best_rank = 0;
+    bool best_hit = false;
+    Tick best_arrival = kTickNever;
+
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+        const auto &r = queue[i];
+        if (!dram.canIssue(r->blockAddr, !r->isRead(), now))
+            continue;
+
+        // Boosted core outranks everything; writebacks (core == -1)
+        // use the minimum rank.
+        int rank;
+        if (r->core == boosted_ && boosted_ != kNoCore)
+            rank = 1 << 30;
+        else if (r->core == kNoCore)
+            rank = -(1 << 30);
+        else
+            rank = rankOf(r->core);
+
+        const bool hit = dram.isRowHit(r->blockAddr);
+        const bool better =
+            best == -1 || rank > best_rank ||
+            (rank == best_rank &&
+             (hit != best_hit ? hit
+                              : r->mcEnqueueAt < best_arrival));
+        if (better) {
+            best = static_cast<int>(i);
+            best_rank = rank;
+            best_hit = hit;
+            best_arrival = r->mcEnqueueAt;
+        }
+    }
+    return best;
+}
+
+} // namespace mitts

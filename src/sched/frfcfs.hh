@@ -1,0 +1,76 @@
+/**
+ * @file
+ * FR-FCFS (Rixner et al., ISCA 2000) and a ranked generalization.
+ *
+ * RankedFrfcfs picks the ready transaction whose core has the highest
+ * rank; within a rank it prefers row hits, then age. Plain FR-FCFS is
+ * the degenerate single-rank case. TCM and MISE derive from this by
+ * supplying rank functions; a transient "boost" core (used by slowdown
+ * measurement) outranks everything.
+ */
+
+#ifndef MITTS_SCHED_FRFCFS_HH
+#define MITTS_SCHED_FRFCFS_HH
+
+#include <vector>
+
+#include "sched/mem_scheduler.hh"
+
+namespace mitts
+{
+
+class RankedFrfcfs : public MemScheduler
+{
+  public:
+    std::string name() const override { return "fr-fcfs"; }
+
+    int pick(const std::vector<ReqPtr> &queue, const Dram &dram,
+             Tick now) override;
+
+    /**
+     * Temporarily give one core absolute priority (kNoCore to clear).
+     * Used by MISE-style slowdown measurement epochs.
+     */
+    void setBoostedCore(CoreId core) { boosted_ = core; }
+    CoreId boostedCore() const { return boosted_; }
+
+  protected:
+    /**
+     * Rank of a core; higher wins. Default 0 for everyone, which
+     * reduces the policy to plain FR-FCFS.
+     */
+    virtual int
+    rankOf(CoreId core) const
+    {
+        (void)core;
+        return 0;
+    }
+
+  private:
+    CoreId boosted_ = kNoCore;
+};
+
+/** Plain FR-FCFS under its canonical name. */
+class FrfcfsScheduler : public RankedFrfcfs
+{
+  public:
+    std::string name() const override { return "fr-fcfs"; }
+};
+
+/** Strict first-come first-served (no row-hit reordering). */
+class FcfsScheduler : public MemScheduler
+{
+  public:
+    std::string name() const override { return "fcfs"; }
+
+    int
+    pick(const std::vector<ReqPtr> &queue, const Dram &dram,
+         Tick now) override
+    {
+        return firstReady(queue, dram, now);
+    }
+};
+
+} // namespace mitts
+
+#endif // MITTS_SCHED_FRFCFS_HH

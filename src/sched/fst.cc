@@ -1,0 +1,95 @@
+#include "sched/fst.hh"
+
+#include <algorithm>
+
+namespace mitts
+{
+
+constexpr double FstScheduler::kLevels[];
+
+bool
+FstGate::tryIssue(MemRequest &req, Tick now)
+{
+    (void)req;
+    const FstConfig &cfg = owner_.config();
+    const double rate = owner_.throttleLevel(core_) * cfg.maxRate;
+    allowance_ = std::min(
+        cfg.burstCap,
+        allowance_ + static_cast<double>(now - lastRefill_) * rate);
+    lastRefill_ = now;
+    if (allowance_ >= 1.0) {
+        allowance_ -= 1.0;
+        return true;
+    }
+    return false;
+}
+
+FstScheduler::FstScheduler(unsigned num_cores, const FstConfig &cfg)
+    : numCores_(num_cores), cfg_(cfg), levels_(num_cores, 1.0),
+      nextAdjustAt_(cfg.interval), levelIdx_(num_cores, 0)
+{
+    SlowdownEstimatorConfig ecfg;
+    ecfg.epochLength = cfg.epochLength;
+    est_ = std::make_unique<SlowdownEstimator>(num_cores, ecfg);
+    est_->attach(this, nullptr);
+    for (unsigned c = 0; c < num_cores; ++c) {
+        gates_.push_back(std::make_unique<FstGate>(
+            *this, static_cast<CoreId>(c)));
+    }
+}
+
+void
+FstScheduler::setMonitor(const AppMonitor *mon)
+{
+    MemScheduler::setMonitor(mon);
+    est_->attach(this, mon);
+}
+
+void
+FstScheduler::onComplete(const MemRequest &req, Tick now)
+{
+    (void)now;
+    if (req.isDemand())
+        est_->onComplete(req.core);
+}
+
+void
+FstScheduler::tick(Tick now)
+{
+    est_->tick(now);
+    if (now >= nextAdjustAt_) {
+        adjust();
+        nextAdjustAt_ += cfg_.interval;
+    }
+}
+
+void
+FstScheduler::adjust()
+{
+    CoreId most = 0, least = 0;
+    for (unsigned c = 1; c < numCores_; ++c) {
+        if (est_->slowdown(c) > est_->slowdown(most))
+            most = static_cast<CoreId>(c);
+        if (est_->slowdown(c) < est_->slowdown(least))
+            least = static_cast<CoreId>(c);
+    }
+    const double unfairness =
+        est_->slowdown(most) / std::max(1.0, est_->slowdown(least));
+
+    constexpr int num_levels =
+        static_cast<int>(sizeof(kLevels) / sizeof(kLevels[0]));
+    if (unfairness > cfg_.unfairnessThresh) {
+        // Throttle the interferer down one level, free the victim.
+        levelIdx_[least] =
+            std::min(levelIdx_[least] + 1, num_levels - 1);
+        levelIdx_[most] = std::max(levelIdx_[most] - 1, 0);
+    } else {
+        // System is fair enough: gradually unthrottle everyone.
+        for (unsigned c = 0; c < numCores_; ++c)
+            levelIdx_[c] = std::max(levelIdx_[c] - 1, 0);
+    }
+    for (unsigned c = 0; c < numCores_; ++c)
+        levels_[c] = kLevels[levelIdx_[c]];
+}
+
+} // namespace mitts

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Fairness via Source Throttling (Ebrahimi et al., ASPLOS 2010),
+ * best-effort reimplementation.
+ *
+ * A central controller estimates per-application slowdown (using the
+ * same MISE-style estimator the paper's framework relies on) and, at
+ * each interval, when unfairness = max/min slowdown exceeds a
+ * threshold, throttles down the least slowed-down application's
+ * memory injection rate and unthrottles the most slowed-down one.
+ * Throttling acts at the source through per-core token-bucket gates,
+ * over a plain FR-FCFS memory controller.
+ */
+
+#ifndef MITTS_SCHED_FST_HH
+#define MITTS_SCHED_FST_HH
+
+#include <memory>
+#include <vector>
+
+#include "cache/interfaces.hh"
+#include "sched/frfcfs.hh"
+#include "sched/slowdown_estimator.hh"
+
+namespace mitts
+{
+
+struct FstConfig
+{
+    Tick interval = 100'000;     ///< fairness evaluation interval
+    double unfairnessThresh = 1.4;
+    double maxRate = 1.0 / 14.0; ///< peak injections/cycle (1/tBURST)
+    double burstCap = 4.0;       ///< token bucket depth
+    Tick epochLength = 10'000;   ///< estimator epoch
+};
+
+class FstScheduler;
+
+/** Per-core injection throttle driven by the FST controller. */
+class FstGate : public SourceGate
+{
+  public:
+    FstGate(FstScheduler &owner, CoreId core)
+        : owner_(owner), core_(core)
+    {
+    }
+
+    bool tryIssue(MemRequest &req, Tick now) override;
+
+  private:
+    FstScheduler &owner_;
+    CoreId core_;
+    double allowance_ = 1.0;
+    Tick lastRefill_ = 0;
+};
+
+/**
+ * FR-FCFS service order plus the FST fairness control loop. Owns the
+ * per-core gates that the system installs between L1 and LLC.
+ */
+class FstScheduler : public RankedFrfcfs
+{
+  public:
+    FstScheduler(unsigned num_cores, const FstConfig &cfg);
+
+    std::string name() const override { return "fst"; }
+
+    void tick(Tick now) override;
+    void onComplete(const MemRequest &req, Tick now) override;
+    void setMonitor(const AppMonitor *mon) override;
+
+    /** Gate to install for `core`. */
+    SourceGate *gate(CoreId core) { return gates_[core].get(); }
+
+    /** Current throttle fraction of peak injection rate. */
+    double throttleLevel(CoreId core) const { return levels_[core]; }
+    const FstConfig &config() const { return cfg_; }
+
+  private:
+    void adjust();
+
+    unsigned numCores_;
+    FstConfig cfg_;
+    std::unique_ptr<SlowdownEstimator> est_;
+    std::vector<double> levels_;
+    std::vector<std::unique_ptr<FstGate>> gates_;
+    Tick nextAdjustAt_;
+
+    /** Discrete throttle levels from the FST paper. */
+    static constexpr double kLevels[] = {1.0,  0.5,  0.25, 0.10,
+                                         0.05, 0.04, 0.03, 0.02};
+    std::vector<int> levelIdx_;
+};
+
+} // namespace mitts
+
+#endif // MITTS_SCHED_FST_HH

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Memory-controller scheduling policy interface.
+ *
+ * The controller presents its transaction queue and the DRAM timing
+ * state; the policy picks which ready transaction issues this cycle.
+ * Policies that need application information (TCM's MPKI clustering,
+ * MISE's slowdown estimation) read it through AppMonitor.
+ */
+
+#ifndef MITTS_SCHED_MEM_SCHEDULER_HH
+#define MITTS_SCHED_MEM_SCHEDULER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+#include "dram/dram.hh"
+#include "mem/request.hh"
+
+namespace mitts
+{
+
+/**
+ * Read-only view of per-core execution state, provided by the System,
+ * used by application-aware schedulers.
+ */
+class AppMonitor
+{
+  public:
+    virtual ~AppMonitor() = default;
+
+    virtual unsigned numCores() const = 0;
+
+    /** Instructions committed by the core so far. */
+    virtual std::uint64_t instructions(CoreId core) const = 0;
+
+    /** Cycles the core spent stalled on memory so far. */
+    virtual std::uint64_t memStallCycles(CoreId core) const = 0;
+};
+
+/** Scheduling policy plugged into the memory controller. */
+class MemScheduler
+{
+  public:
+    virtual ~MemScheduler() = default;
+
+    virtual std::string name() const = 0;
+
+    /**
+     * Choose the index of the transaction to issue, or -1 to idle.
+     * Only entries for which dram.canIssue(...) holds may be chosen.
+     */
+    virtual int pick(const std::vector<ReqPtr> &queue, const Dram &dram,
+                     Tick now) = 0;
+
+    /** A transaction entered the controller queue. */
+    virtual void onEnqueue(const MemRequest &req, Tick now)
+    {
+        (void)req;
+        (void)now;
+    }
+
+    /** A transaction's data burst completed. */
+    virtual void onComplete(const MemRequest &req, Tick now)
+    {
+        (void)req;
+        (void)now;
+    }
+
+    /** Per-cycle bookkeeping (epochs, quanta). */
+    virtual void tick(Tick now) { (void)now; }
+
+    /** Supply application state for application-aware policies. */
+    virtual void setMonitor(const AppMonitor *mon) { monitor_ = mon; }
+
+  protected:
+    /** Oldest queue entry that can issue now; -1 if none. */
+    static int
+    firstReady(const std::vector<ReqPtr> &queue, const Dram &dram,
+               Tick now)
+    {
+        int best = -1;
+        Tick best_arrival = kTickNever;
+        for (std::size_t i = 0; i < queue.size(); ++i) {
+            const auto &r = queue[i];
+            if (!dram.canIssue(r->blockAddr, !r->isRead(), now))
+                continue;
+            if (r->mcEnqueueAt < best_arrival) {
+                best_arrival = r->mcEnqueueAt;
+                best = static_cast<int>(i);
+            }
+        }
+        return best;
+    }
+
+    const AppMonitor *monitor_ = nullptr;
+};
+
+} // namespace mitts
+
+#endif // MITTS_SCHED_MEM_SCHEDULER_HH

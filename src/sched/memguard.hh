@@ -1,0 +1,92 @@
+/**
+ * @file
+ * MemGuard (Yun/Caccamo et al., RTAS 2013) memory bandwidth
+ * reservation, best-effort reimplementation.
+ *
+ * Each core gets a guaranteed per-period request budget. Exhausted
+ * cores may reclaim budget other cores are predicted not to use; once
+ * the global guaranteed budget is spent, requests proceed best-effort
+ * only while the memory controller is otherwise idle. Enforcement is
+ * at the source through per-core gates over FR-FCFS.
+ */
+
+#ifndef MITTS_SCHED_MEMGUARD_HH
+#define MITTS_SCHED_MEMGUARD_HH
+
+#include <memory>
+#include <vector>
+
+#include "base/stats.hh"
+#include "cache/interfaces.hh"
+#include "sim/clocked.hh"
+
+namespace mitts
+{
+
+class MemController;
+
+struct MemGuardConfig
+{
+    Tick period = 50'000;      ///< regulation period
+    /**
+     * Guaranteed fraction of peak bandwidth split across cores
+     * (MemGuard guarantees r_min, below peak to stay feasible).
+     */
+    double guaranteedFraction = 0.9;
+    double peakRequestsPerCycle = 1.0 / 14.0; ///< 1/tBURST
+    /** Optional per-core weights (empty = equal split). */
+    std::vector<double> weights;
+};
+
+class MemGuardController;
+
+/** Per-core budget enforcement gate. */
+class MemGuardGate : public SourceGate
+{
+  public:
+    MemGuardGate(MemGuardController &ctrl, CoreId core)
+        : ctrl_(ctrl), core_(core)
+    {
+    }
+
+    bool tryIssue(MemRequest &req, Tick now) override;
+
+  private:
+    MemGuardController &ctrl_;
+    CoreId core_;
+};
+
+class MemGuardController : public Clocked
+{
+  public:
+    MemGuardController(std::string name, unsigned num_cores,
+                       const MemGuardConfig &cfg);
+
+    /** MC used for the best-effort idleness check. */
+    void setMemController(const MemController *mc) { mc_ = mc; }
+
+    SourceGate *gate(CoreId core) { return gates_[core].get(); }
+
+    /** Called by gates; consumes budget on success. */
+    bool request(CoreId core, Tick now);
+
+    void tick(Tick now) override;
+
+    std::uint64_t budget(CoreId core) const { return budget_[core]; }
+    std::uint64_t used(CoreId core) const { return used_[core]; }
+
+  private:
+    MemGuardConfig cfg_;
+    unsigned numCores_;
+    const MemController *mc_ = nullptr;
+    std::vector<std::unique_ptr<MemGuardGate>> gates_;
+    std::vector<std::uint64_t> budget_;
+    std::vector<std::uint64_t> used_;
+    std::uint64_t globalBudget_ = 0;
+    std::uint64_t globalUsed_ = 0;
+    Tick nextResetAt_;
+};
+
+} // namespace mitts
+
+#endif // MITTS_SCHED_MEMGUARD_HH

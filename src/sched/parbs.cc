@@ -1,0 +1,95 @@
+#include "sched/parbs.hh"
+
+#include <algorithm>
+#include <numeric>
+
+namespace mitts
+{
+
+ParbsScheduler::ParbsScheduler(unsigned num_cores,
+                               const ParbsConfig &cfg)
+    : numCores_(num_cores), cfg_(cfg), ranks_(num_cores, 0)
+{
+}
+
+void
+ParbsScheduler::formBatch(const std::vector<ReqPtr> &queue)
+{
+    marked_.clear();
+    std::vector<unsigned> load(numCores_, 0);
+
+    // Mark up to batchCap oldest requests per core. The queue is in
+    // arrival order, so a forward scan marks the oldest first.
+    for (const auto &r : queue) {
+        if (r->core < 0) {
+            marked_.insert(keyOf(*r)); // writebacks ride along
+            continue;
+        }
+        auto &n = load[r->core];
+        if (n < cfg_.batchCap) {
+            ++n;
+            marked_.insert(keyOf(*r));
+        }
+    }
+
+    // Shortest-job-first ranking: cores with fewer marked requests
+    // finish their batch share sooner, preserving their parallelism.
+    std::vector<unsigned> order(numCores_);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](unsigned a, unsigned b) {
+        return load[a] < load[b];
+    });
+    for (unsigned i = 0; i < numCores_; ++i)
+        ranks_[order[i]] = static_cast<int>(numCores_ - i);
+}
+
+int
+ParbsScheduler::pick(const std::vector<ReqPtr> &queue,
+                     const Dram &dram, Tick now)
+{
+    if (queue.empty())
+        return -1;
+
+    // Drop marks for requests that have left the queue; re-batch when
+    // the current batch is fully serviced.
+    if (!marked_.empty()) {
+        std::unordered_set<std::uint64_t> still;
+        for (const auto &r : queue) {
+            const auto key = keyOf(*r);
+            if (marked_.count(key))
+                still.insert(key);
+        }
+        marked_ = std::move(still);
+    }
+    if (marked_.empty())
+        formBatch(queue);
+
+    int best = -1;
+    int best_rank = 0;
+    bool best_hit = false;
+    Tick best_arrival = kTickNever;
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+        const auto &r = queue[i];
+        if (!marked_.count(keyOf(*r)))
+            continue; // batch boundary: newer requests wait
+        if (!dram.canIssue(r->blockAddr, !r->isRead(), now))
+            continue;
+        const int rank =
+            r->core < 0 ? -(1 << 30) : ranks_[r->core];
+        const bool hit = dram.isRowHit(r->blockAddr);
+        const bool better =
+            best == -1 || rank > best_rank ||
+            (rank == best_rank &&
+             (hit != best_hit ? hit
+                              : r->mcEnqueueAt < best_arrival));
+        if (better) {
+            best = static_cast<int>(i);
+            best_rank = rank;
+            best_hit = hit;
+            best_arrival = r->mcEnqueueAt;
+        }
+    }
+    return best;
+}
+
+} // namespace mitts

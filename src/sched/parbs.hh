@@ -1,0 +1,65 @@
+/**
+ * @file
+ * PAR-BS: Parallelism-Aware Batch Scheduling (Mutlu & Moscibroda,
+ * ISCA 2008), best-effort reimplementation — the paper's related
+ * work [8].
+ *
+ * Requests are grouped into batches (at most `batchCap` per core per
+ * batch). The current batch is serviced to completion before any
+ * newer request, which bounds starvation; within a batch, cores are
+ * ranked shortest-job-first (fewest requests in the batch first) to
+ * preserve each thread's bank-level parallelism, with FR-FCFS
+ * tie-breaking.
+ */
+
+#ifndef MITTS_SCHED_PARBS_HH
+#define MITTS_SCHED_PARBS_HH
+
+#include <unordered_set>
+#include <vector>
+
+#include "sched/mem_scheduler.hh"
+
+namespace mitts
+{
+
+struct ParbsConfig
+{
+    /** Marking cap: max requests per core admitted to a batch. */
+    unsigned batchCap = 5;
+};
+
+class ParbsScheduler : public MemScheduler
+{
+  public:
+    ParbsScheduler(unsigned num_cores, const ParbsConfig &cfg);
+
+    std::string name() const override { return "par-bs"; }
+
+    int pick(const std::vector<ReqPtr> &queue, const Dram &dram,
+             Tick now) override;
+
+    /** Requests still marked in the current batch (testing). */
+    std::size_t batchRemaining() const { return marked_.size(); }
+
+  private:
+    void formBatch(const std::vector<ReqPtr> &queue);
+
+    unsigned numCores_;
+    ParbsConfig cfg_;
+    /** Sequence keys (core<<48 ^ seq) of marked requests. */
+    std::unordered_set<std::uint64_t> marked_;
+    /** Within-batch rank per core (higher = served earlier). */
+    std::vector<int> ranks_;
+
+    static std::uint64_t
+    keyOf(const MemRequest &r)
+    {
+        return (static_cast<std::uint64_t>(r.core + 1) << 48) ^
+               r.seq;
+    }
+};
+
+} // namespace mitts
+
+#endif // MITTS_SCHED_PARBS_HH

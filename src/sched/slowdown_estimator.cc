@@ -1,0 +1,72 @@
+#include "sched/slowdown_estimator.hh"
+
+#include <algorithm>
+
+namespace mitts
+{
+
+SlowdownEstimator::SlowdownEstimator(
+    unsigned num_cores, const SlowdownEstimatorConfig &cfg)
+    : numCores_(num_cores), cfg_(cfg),
+      epochServiced_(num_cores, 0), lastStall_(num_cores, 0),
+      aloneRate_(num_cores, 0.0), sharedRate_(num_cores, 0.0),
+      slowdown_(num_cores, 1.0)
+{
+}
+
+void
+SlowdownEstimator::onComplete(CoreId core)
+{
+    if (core >= 0 && static_cast<unsigned>(core) < numCores_)
+        ++epochServiced_[core];
+}
+
+void
+SlowdownEstimator::tick(Tick now)
+{
+    if (now >= epochStart_ + cfg_.epochLength)
+        closeEpoch(now);
+}
+
+void
+SlowdownEstimator::closeEpoch(Tick now)
+{
+    const double len = static_cast<double>(now - epochStart_);
+    if (len > 0) {
+        for (unsigned c = 0; c < numCores_; ++c) {
+            const double rate =
+                static_cast<double>(epochServiced_[c]) / len;
+            const bool measured =
+                static_cast<CoreId>(c) == measuredCore_;
+            double &slot = measured ? aloneRate_[c] : sharedRate_[c];
+            slot = cfg_.ewma * rate + (1.0 - cfg_.ewma) * slot;
+        }
+    }
+
+    // Recompute slowdowns with whatever has been observed so far.
+    for (unsigned c = 0; c < numCores_; ++c) {
+        double ratio = 1.0;
+        if (sharedRate_[c] > 1e-12 && aloneRate_[c] > 1e-12)
+            ratio = std::max(1.0, aloneRate_[c] / sharedRate_[c]);
+
+        double stall_frac = 0.0;
+        if (monitor_ && now > 0) {
+            stall_frac =
+                static_cast<double>(monitor_->memStallCycles(c)) /
+                static_cast<double>(now);
+        }
+        slowdown_[c] = (1.0 - cfg_.alpha) * ratio +
+                       cfg_.alpha * (1.0 + stall_frac);
+        slowdown_[c] = std::max(1.0, slowdown_[c]);
+    }
+
+    // Rotate the measured core and start the next epoch.
+    measuredCore_ = static_cast<CoreId>(
+        (measuredCore_ + 1) % static_cast<CoreId>(numCores_));
+    if (sched_)
+        sched_->setBoostedCore(measuredCore_);
+    std::fill(epochServiced_.begin(), epochServiced_.end(), 0);
+    epochStart_ = now;
+}
+
+} // namespace mitts

@@ -1,0 +1,60 @@
+#include "sched/stfm.hh"
+
+#include <algorithm>
+
+namespace mitts
+{
+
+StfmScheduler::StfmScheduler(unsigned num_cores,
+                             const StfmConfig &cfg)
+    : numCores_(num_cores), cfg_(cfg),
+      nextUpdateAt_(cfg.updatePeriod)
+{
+    SlowdownEstimatorConfig ecfg;
+    ecfg.epochLength = cfg.epochLength;
+    est_ = std::make_unique<SlowdownEstimator>(num_cores, ecfg);
+    est_->attach(this, nullptr);
+}
+
+void
+StfmScheduler::setMonitor(const AppMonitor *mon)
+{
+    MemScheduler::setMonitor(mon);
+    est_->attach(this, mon);
+}
+
+void
+StfmScheduler::onComplete(const MemRequest &req, Tick now)
+{
+    (void)now;
+    if (req.isDemand())
+        est_->onComplete(req.core);
+}
+
+void
+StfmScheduler::tick(Tick now)
+{
+    est_->tick(now);
+    if (now >= nextUpdateAt_) {
+        reevaluate();
+        nextUpdateAt_ += cfg_.updatePeriod;
+    }
+}
+
+void
+StfmScheduler::reevaluate()
+{
+    CoreId most = 0, least = 0;
+    for (unsigned c = 1; c < numCores_; ++c) {
+        if (est_->slowdown(c) > est_->slowdown(most))
+            most = static_cast<CoreId>(c);
+        if (est_->slowdown(c) < est_->slowdown(least))
+            least = static_cast<CoreId>(c);
+    }
+    const double unfairness =
+        est_->slowdown(most) / std::max(1.0, est_->slowdown(least));
+    prioritized_ =
+        unfairness > cfg_.unfairnessThresh ? most : kNoCore;
+}
+
+} // namespace mitts

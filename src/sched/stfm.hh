@@ -1,0 +1,68 @@
+/**
+ * @file
+ * STFM: Stall-Time Fair Memory scheduling (Mutlu & Moscibroda,
+ * MICRO 2007), best-effort reimplementation — the paper's related
+ * work [40].
+ *
+ * STFM estimates each thread's slowdown as T_shared / T_alone of its
+ * memory stall time and, when the ratio of the most- to
+ * least-slowed-down thread exceeds a threshold, prioritizes the most
+ * slowed-down thread; otherwise it schedules FR-FCFS. The alone
+ * stall time is approximated MISE-style from boosted-epoch service
+ * rates (the same estimator infrastructure the rest of this repo's
+ * slowdown-based schedulers share).
+ */
+
+#ifndef MITTS_SCHED_STFM_HH
+#define MITTS_SCHED_STFM_HH
+
+#include <memory>
+#include <vector>
+
+#include "sched/frfcfs.hh"
+#include "sched/slowdown_estimator.hh"
+
+namespace mitts
+{
+
+struct StfmConfig
+{
+    double unfairnessThresh = 1.10; ///< alpha in the STFM paper
+    Tick epochLength = 10'000;      ///< estimator epoch
+    Tick updatePeriod = 2'000;      ///< priority re-evaluation
+};
+
+class StfmScheduler : public RankedFrfcfs
+{
+  public:
+    StfmScheduler(unsigned num_cores, const StfmConfig &cfg);
+
+    std::string name() const override { return "stfm"; }
+
+    void tick(Tick now) override;
+    void onComplete(const MemRequest &req, Tick now) override;
+    void setMonitor(const AppMonitor *mon) override;
+
+    const SlowdownEstimator &estimator() const { return *est_; }
+    CoreId prioritized() const { return prioritized_; }
+
+  protected:
+    int
+    rankOf(CoreId core) const override
+    {
+        return core == prioritized_ ? 1 : 0;
+    }
+
+  private:
+    void reevaluate();
+
+    unsigned numCores_;
+    StfmConfig cfg_;
+    std::unique_ptr<SlowdownEstimator> est_;
+    CoreId prioritized_ = kNoCore;
+    Tick nextUpdateAt_;
+};
+
+} // namespace mitts
+
+#endif // MITTS_SCHED_STFM_HH

@@ -1,0 +1,245 @@
+#include "shaper/mitts_shaper.hh"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mitts
+{
+
+std::string
+BinConfig::toString() const
+{
+    std::ostringstream os;
+    os << "[";
+    for (unsigned i = 0; i < spec.numBins; ++i)
+        os << (i ? " " : "") << credits[i];
+    os << "] Tr=" << spec.replenishPeriod;
+    return os.str();
+}
+
+MittsShaper::MittsShaper(std::string name, const BinConfig &cfg,
+                         HybridMethod method)
+    : cfg_(cfg), method_(method), credits_(cfg.credits),
+      effCredits_(cfg.credits),
+      rollingAcc_(cfg.spec.numBins, 0.0),
+      nextReplenishAt_(cfg.spec.replenishPeriod),
+      stats_(std::move(name)),
+      issued_(stats_.addCounter("issued")),
+      stalls_(stats_.addCounter("stall_cycles")),
+      refunds_(stats_.addCounter("refunds")),
+      deductions_(stats_.addCounter("deductions")),
+      replenishes_(stats_.addCounter("replenishes")),
+      dryDeductions_(stats_.addCounter("dry_deductions")),
+      shapedHist_(stats_.addHistogram(
+          "shaped_inter_arrival", cfg.spec.numBins,
+          static_cast<double>(cfg.spec.intervalLength)))
+{
+}
+
+void
+MittsShaper::setConfig(const BinConfig &cfg)
+{
+    MITTS_ASSERT(cfg.credits.size() == cfg.spec.numBins,
+                 "bad bin config");
+    const bool same_geometry = cfg.spec == cfg_.spec;
+    cfg_ = cfg;
+    cfg_.clamp();
+    recomputeEffective();
+    credits_ = effCredits_;
+    rollingAcc_.assign(cfg_.spec.numBins, 0.0);
+    if (!same_geometry) {
+        // Geometry change invalidates outstanding bookkeeping.
+        pendingBin_.clear();
+        pendingStamp_.clear();
+    }
+}
+
+void
+MittsShaper::recomputeEffective()
+{
+    effCredits_.resize(cfg_.spec.numBins);
+    for (unsigned i = 0; i < cfg_.spec.numBins; ++i) {
+        effCredits_[i] = static_cast<std::uint32_t>(
+            static_cast<double>(cfg_.credits[i]) * congestionScale_ +
+            0.5);
+    }
+}
+
+void
+MittsShaper::setCongestionScale(double scale)
+{
+    congestionScale_ = std::clamp(scale, 0.0, 1.0);
+    recomputeEffective();
+    // Clamp live counters so an in-progress period also scales down.
+    for (unsigned i = 0; i < cfg_.spec.numBins; ++i)
+        credits_[i] = std::min(credits_[i], effCredits_[i]);
+}
+
+void
+MittsShaper::replenishIfDue(Tick now)
+{
+    if (cfg_.spec.policy == ReplenishPolicy::Rolling) {
+        // Continuous accrual: bin i gains K_i / T_r credits per
+        // cycle, capped at K_i. Evaluated lazily over the elapsed
+        // gap, which is exact because credits are only observed at
+        // issue points.
+        if (now <= lastReplenishAt_)
+            return;
+        const double elapsed =
+            static_cast<double>(now - lastReplenishAt_);
+        const double period =
+            static_cast<double>(cfg_.spec.replenishPeriod);
+        lastReplenishAt_ = now;
+        for (unsigned i = 0; i < cfg_.spec.numBins; ++i) {
+            rollingAcc_[i] +=
+                static_cast<double>(effectiveK(i)) * elapsed / period;
+            const auto whole =
+                static_cast<std::uint32_t>(rollingAcc_[i]);
+            if (whole > 0) {
+                rollingAcc_[i] -= whole;
+                credits_[i] = std::min(effectiveK(i),
+                                       credits_[i] + whole);
+            }
+        }
+        return;
+    }
+
+    // Algorithm 1: when T_c reaches T_r, reset every bin to K_i.
+    // Lazy evaluation (catch up over idle gaps) is behaviourally
+    // identical because credits are only observed at issue points.
+    if (now < nextReplenishAt_)
+        return;
+    const Tick period = cfg_.spec.replenishPeriod;
+    const Tick periods_behind = (now - nextReplenishAt_) / period + 1;
+    nextReplenishAt_ += periods_behind * period;
+    credits_ = effCredits_;
+    replenishes_.inc(periods_behind);
+}
+
+int
+MittsShaper::eligibleBin(unsigned bin) const
+{
+    for (int i = static_cast<int>(bin); i >= 0; --i) {
+        if (credits_[static_cast<unsigned>(i)] > 0)
+            return i;
+    }
+    return -1;
+}
+
+bool
+MittsShaper::tryIssue(MemRequest &req, Tick now)
+{
+    if (!enabled_)
+        return true;
+    replenishIfDue(now);
+
+    // Inter-arrival time since the previous issued request; the very
+    // first request is treated as maximally spaced.
+    const Tick t = lastIssueAt_ == kTickNever
+                       ? cfg_.spec.numBins * cfg_.spec.intervalLength
+                       : now - lastIssueAt_;
+    const unsigned bin = cfg_.spec.binOf(t);
+    const int take = eligibleBin(bin);
+
+    if (take < 0) {
+        stalls_.inc();
+        return false;
+    }
+
+    if (method_ == HybridMethod::ConservativeRefund) {
+        // Deduct now, refund on LLC hit.
+        --credits_[static_cast<unsigned>(take)];
+        deductions_.inc();
+        pendingBin_[pendingKey(req)] = static_cast<unsigned>(take);
+    } else {
+        // Method 1: gate on (stale) counters, deduct on LLC miss.
+        pendingStamp_[pendingKey(req)] = now;
+    }
+
+    issued_.inc();
+    shapedHist_.sample(static_cast<double>(t));
+    lastIssueAt_ = now;
+    return true;
+}
+
+void
+MittsShaper::onLlcResponse(const MemRequest &req, bool hit, Tick now)
+{
+    if (!enabled_)
+        return;
+    replenishIfDue(now);
+
+    if (method_ == HybridMethod::ConservativeRefund) {
+        auto it = pendingBin_.find(pendingKey(req));
+        if (it == pendingBin_.end())
+            return; // reconfigured mid-flight
+        if (hit) {
+            // Add the credit back to the bin it came from, bounded by
+            // the replenish value (register width semantics).
+            const unsigned bin = it->second;
+            if (credits_[bin] < effectiveK(bin)) {
+                ++credits_[bin];
+                refunds_.inc();
+            }
+        }
+        pendingBin_.erase(it);
+        return;
+    }
+
+    // Method 1: on a confirmed LLC miss, deduct using the spacing
+    // between consecutive LLC misses.
+    auto it = pendingStamp_.find(pendingKey(req));
+    if (it == pendingStamp_.end())
+        return;
+    const Tick stamp = it->second;
+    pendingStamp_.erase(it);
+    if (hit)
+        return;
+    const Tick t = lastLlcMissStamp_ == kTickNever
+                       ? cfg_.spec.numBins * cfg_.spec.intervalLength
+                       : (stamp > lastLlcMissStamp_
+                              ? stamp - lastLlcMissStamp_
+                              : 0);
+    lastLlcMissStamp_ = stamp;
+    deductForMiss(t);
+}
+
+void
+MittsShaper::deductForMiss(Tick inter_arrival)
+{
+    const unsigned bin = cfg_.spec.binOf(inter_arrival);
+    int take = eligibleBin(bin);
+    if (take < 0) {
+        // Aggressive issue already happened; take from the cheapest
+        // non-empty bin instead, or record the loss.
+        for (int i = static_cast<int>(cfg_.spec.numBins) - 1;
+             i > static_cast<int>(bin); --i) {
+            if (credits_[static_cast<unsigned>(i)] > 0) {
+                take = i;
+                break;
+            }
+        }
+    }
+    if (take >= 0) {
+        --credits_[static_cast<unsigned>(take)];
+        deductions_.inc();
+    } else {
+        dryDeductions_.inc();
+    }
+}
+
+std::size_t
+MittsShaper::hardwareStateBytes() const
+{
+    const unsigned n = cfg_.spec.numBins;
+    // Per bin: a 10-bit credit register and a 10-bit replenish
+    // register; plus T_c/T_r counters, the last-issue counter, and an
+    // 8-entry pending table holding a bin index (or timestamp) each.
+    const std::size_t bin_bits = 2 * n * 10;
+    const std::size_t counters_bits = 3 * 32;
+    const std::size_t pending_bits =
+        8 * (method_ == HybridMethod::ConservativeRefund ? 4 : 32);
+    return (bin_bits + counters_bits + pending_bits + 7) / 8;
+}
+
+} // namespace mitts

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * The MITTS per-core hardware traffic shaper (paper Sec. III).
+ *
+ * Models exactly the state the taped-out RTL holds: a credit register
+ * per bin, a replenish-value register per bin, the T_c/T_r counters,
+ * the last-issue timestamp, and the small pending table used by the
+ * hybrid L1/LLC placement. Two reconciliation methods are modelled:
+ *
+ *  - Method 1 (SpeculativeTimestamp): issue is gated only by the
+ *    (possibly stale) credit counters; credits are deducted when the
+ *    LLC confirms a miss, using timestamps between consecutive LLC
+ *    misses. Slightly aggressive.
+ *  - Method 2 (ConservativeRefund, the one fabricated in the 25-core
+ *    chip): a credit is deducted for every L1 miss at issue and
+ *    refunded if the LLC reports a hit.
+ */
+
+#ifndef MITTS_SHAPER_MITTS_SHAPER_HH
+#define MITTS_SHAPER_MITTS_SHAPER_HH
+
+#include <unordered_map>
+
+#include "base/stats.hh"
+#include "cache/interfaces.hh"
+#include "shaper/bin_config.hh"
+
+namespace mitts
+{
+
+/** Credit reconciliation scheme for the hybrid placement (Fig. 7). */
+enum class HybridMethod
+{
+    SpeculativeTimestamp, ///< method 1
+    ConservativeRefund,   ///< method 2 (taped out)
+};
+
+class MittsShaper : public SourceGate
+{
+  public:
+    MittsShaper(std::string name, const BinConfig &cfg,
+                HybridMethod method = HybridMethod::ConservativeRefund);
+
+    /**
+     * Reconfigure the replenish registers (what the OS/hypervisor or
+     * the genetic algorithm writes). Takes effect immediately: current
+     * credits are reset to the new K_i, as after a replenish.
+     */
+    void setConfig(const BinConfig &cfg);
+    const BinConfig &config() const { return cfg_; }
+
+    /** Enable/disable shaping entirely (disabled = pass-through). */
+    void setEnabled(bool on) { enabled_ = on; }
+    bool enabled() const { return enabled_; }
+
+    // SourceGate
+    bool tryIssue(MemRequest &req, Tick now) override;
+    void onLlcResponse(const MemRequest &req, bool hit,
+                       Tick now) override;
+
+    /** Current credits in bin i (testing / introspection). */
+    std::uint32_t credits(unsigned i) const { return credits_[i]; }
+
+    /** Force a replenish check (normally lazy inside tryIssue). */
+    void replenishIfDue(Tick now);
+
+    /**
+     * Global congestion scale factor in (0, 1]: replenish values are
+     * multiplied by it (paper Sec. III-C future work; driven by the
+     * CongestionController).
+     */
+    void setCongestionScale(double scale);
+    double congestionScale() const { return congestionScale_; }
+
+    HybridMethod method() const { return method_; }
+
+    stats::Group &statsGroup() { return stats_; }
+    std::uint64_t issued() const { return issued_.value(); }
+    std::uint64_t stallCycles() const { return stalls_.value(); }
+    std::uint64_t refunds() const { return refunds_.value(); }
+
+    /** Histogram of shaped (post-gate) inter-arrival times. */
+    const stats::Histogram &shapedInterArrival() const
+    {
+        return shapedHist_;
+    }
+
+    /**
+     * Bytes of architectural state this configuration implies
+     * (credit + replenish registers, counters, pending table); the
+     * C++ analogue of the paper's 0.0035 mm^2 area discussion.
+     */
+    std::size_t hardwareStateBytes() const;
+
+  private:
+    /** Largest-interval non-empty bin with index <= `bin`, or -1. */
+    int eligibleBin(unsigned bin) const;
+    void deductForMiss(Tick inter_arrival);
+    void recomputeEffective();
+    std::uint32_t effectiveK(unsigned i) const
+    {
+        return effCredits_[i];
+    }
+
+    BinConfig cfg_;
+    HybridMethod method_;
+    bool enabled_ = true;
+
+    std::vector<std::uint32_t> credits_; ///< n_i registers
+    std::vector<std::uint32_t> effCredits_; ///< K_i x congestion scale
+    std::vector<double> rollingAcc_;     ///< Rolling policy remainders
+    double congestionScale_ = 1.0;
+    Tick nextReplenishAt_;
+    Tick lastReplenishAt_ = 0;
+    Tick lastIssueAt_ = kTickNever;      ///< no request seen yet
+
+    /**
+     * Pending-table key. A shaper may be shared by several cores
+     * (threaded applications, Sec. IV-H), whose sequence numbers are
+     * only unique per core.
+     */
+    static std::uint64_t
+    pendingKey(const MemRequest &req)
+    {
+        return (static_cast<std::uint64_t>(req.core + 1) << 48) ^
+               req.seq;
+    }
+
+    /** Method 2: request -> bin a credit was taken from. */
+    std::unordered_map<std::uint64_t, unsigned> pendingBin_;
+    /** Method 1: request -> issue timestamp (tag-indexed table). */
+    std::unordered_map<std::uint64_t, Tick> pendingStamp_;
+    Tick lastLlcMissStamp_ = kTickNever;
+
+    stats::Group stats_;
+    stats::Counter &issued_;
+    stats::Counter &stalls_;
+    stats::Counter &refunds_;
+    stats::Counter &deductions_;
+    stats::Counter &replenishes_;
+    stats::Counter &dryDeductions_; ///< method-1 deduct w/o credits
+    stats::Histogram &shapedHist_;
+};
+
+} // namespace mitts
+
+#endif // MITTS_SHAPER_MITTS_SHAPER_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Constant-rate source limiter — the "static bandwidth allocation"
+ * baseline of paper Sec. IV-C/IV-F. A token bucket with configurable
+ * (small) depth limits a core to one memory request per `interval`
+ * cycles on average, with no notion of inter-arrival distribution.
+ */
+
+#ifndef MITTS_SHAPER_STATIC_GATE_HH
+#define MITTS_SHAPER_STATIC_GATE_HH
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "base/stats.hh"
+#include "cache/interfaces.hh"
+
+namespace mitts
+{
+
+class StaticRateGate : public SourceGate
+{
+  public:
+    /**
+     * @param interval cycles per permitted request (e.g. 1 GB/s at
+     *                 2.4 GHz and 64B blocks => 154 cycles)
+     * @param depth    bucket depth; 1.0 = strictly periodic
+     */
+    StaticRateGate(std::string name, double interval,
+                   double depth = 1.0)
+        : interval_(interval), depth_(depth), tokens_(depth),
+          stats_(std::move(name)),
+          issued_(stats_.addCounter("issued")),
+          stalls_(stats_.addCounter("stall_cycles"))
+    {
+        MITTS_ASSERT(interval > 0 && depth >= 1.0,
+                     "bad static gate parameters");
+    }
+
+    bool
+    tryIssue(MemRequest &req, Tick now) override
+    {
+        (void)req;
+        tokens_ = std::min(
+            depth_, tokens_ + static_cast<double>(now - lastRefill_) /
+                                  interval_);
+        lastRefill_ = now;
+        if (tokens_ >= 1.0) {
+            tokens_ -= 1.0;
+            issued_.inc();
+            return true;
+        }
+        stalls_.inc();
+        return false;
+    }
+
+    /** Average allowed bandwidth in GB/s at `cpu_ghz`. */
+    double
+    bandwidthGBps(double cpu_ghz) const
+    {
+        return kBlockBytes * cpu_ghz / interval_;
+    }
+
+    double interval() const { return interval_; }
+    stats::Group &statsGroup() { return stats_; }
+
+  private:
+    double interval_;
+    double depth_;
+    double tokens_;
+    Tick lastRefill_ = 0;
+
+    stats::Group stats_;
+    stats::Counter &issued_;
+    stats::Counter &stalls_;
+};
+
+} // namespace mitts
+
+#endif // MITTS_SHAPER_STATIC_GATE_HH

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Interface for components driven by the CPU clock.
+ */
+
+#ifndef MITTS_SIM_CLOCKED_HH
+#define MITTS_SIM_CLOCKED_HH
+
+#include <string>
+
+#include "base/types.hh"
+
+namespace mitts
+{
+
+class Simulation;
+
+/**
+ * A component ticked once per CPU cycle by the owning Simulation.
+ *
+ * Components are registered with Simulation::add in dependency order;
+ * within a cycle they are ticked in registration order. The simulated
+ * chip registers cores first, then caches, then the memory controller,
+ * so a request can traverse at most one hierarchy level per cycle —
+ * matching the one-cycle-per-hop pipeline of the modelled hardware.
+ */
+class Clocked
+{
+  public:
+    explicit Clocked(std::string name) : name_(std::move(name)) {}
+    virtual ~Clocked() = default;
+
+    Clocked(const Clocked &) = delete;
+    Clocked &operator=(const Clocked &) = delete;
+
+    /** Advance one CPU cycle. `now` is the cycle being executed. */
+    virtual void tick(Tick now) = 0;
+
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+};
+
+} // namespace mitts
+
+#endif // MITTS_SIM_CLOCKED_HH

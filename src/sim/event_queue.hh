@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Small delayed-callback queue for modelling fixed response latencies
+ * (cache hit latency, wire delays) without per-cycle polling.
+ */
+
+#ifndef MITTS_SIM_EVENT_QUEUE_HH
+#define MITTS_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "base/logging.hh"
+#include "base/types.hh"
+
+namespace mitts
+{
+
+/**
+ * Min-heap of (tick, sequence, callback). Events scheduled for the same
+ * tick fire in scheduling order, keeping the simulation deterministic.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Schedule `cb` to run at absolute tick `when`. */
+    void
+    schedule(Tick when, Callback cb)
+    {
+        heap_.push(Event{when, nextSeq_++, std::move(cb)});
+    }
+
+    /** Run all events with tick <= now (events may schedule more). */
+    void
+    runDue(Tick now)
+    {
+        while (!heap_.empty() && heap_.top().when <= now) {
+            // Copy out before pop so the callback can schedule events.
+            Callback cb = std::move(
+                const_cast<Event &>(heap_.top()).cb);
+            heap_.pop();
+            cb();
+        }
+    }
+
+    bool empty() const { return heap_.empty(); }
+    std::size_t size() const { return heap_.size(); }
+
+    /** Tick of the earliest pending event (kTickNever when empty). */
+    Tick
+    nextEventTick() const
+    {
+        return heap_.empty() ? kTickNever : heap_.top().when;
+    }
+
+  private:
+    struct Event
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+
+        bool
+        operator>(const Event &o) const
+        {
+            return when != o.when ? when > o.when : seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+    std::uint64_t nextSeq_ = 0;
+};
+
+} // namespace mitts
+
+#endif // MITTS_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Cycle-stepped simulation driver.
+ */
+
+#ifndef MITTS_SIM_SIMULATION_HH
+#define MITTS_SIM_SIMULATION_HH
+
+#include <functional>
+#include <ostream>
+#include <vector>
+
+#include "base/stats.hh"
+#include "base/types.hh"
+#include "sim/clocked.hh"
+#include "sim/event_queue.hh"
+
+namespace mitts
+{
+
+/**
+ * Owns simulated time. Components are registered (not owned) in tick
+ * order; stats groups are registered for dumping. The driver alternates
+ * event-queue drain and component ticks each cycle.
+ */
+class Simulation
+{
+  public:
+    Simulation() = default;
+
+    /** Register a component; ticked in registration order. */
+    void add(Clocked *c) { components_.push_back(c); }
+
+    /** Register a stats group for dumpStats(). */
+    void addStats(stats::Group *g) { statGroups_.push_back(g); }
+
+    /** Current cycle (the cycle being executed during a tick). */
+    Tick now() const { return now_; }
+
+    /** Delayed-callback queue shared by all components. */
+    EventQueue &events() { return events_; }
+
+    /** Run for `cycles` more cycles. */
+    void
+    run(Tick cycles)
+    {
+        const Tick end = now_ + cycles;
+        while (now_ < end)
+            step();
+    }
+
+    /**
+     * Run until `done()` returns true or `maxCycles` elapse.
+     * @return true when the predicate fired (not the cycle limit).
+     */
+    bool
+    runUntil(const std::function<bool()> &done, Tick max_cycles)
+    {
+        const Tick end = now_ + max_cycles;
+        while (now_ < end) {
+            if (done())
+                return true;
+            step();
+        }
+        return done();
+    }
+
+    /** Execute exactly one cycle. */
+    void
+    step()
+    {
+        events_.runDue(now_);
+        for (auto *c : components_)
+            c->tick(now_);
+        ++now_;
+    }
+
+    void
+    dumpStats(std::ostream &os) const
+    {
+        for (const auto *g : statGroups_)
+            g->dump(os);
+    }
+
+    void
+    resetStats()
+    {
+        for (auto *g : statGroups_)
+            g->reset();
+    }
+
+  private:
+    Tick now_ = 0;
+    std::vector<Clocked *> components_;
+    std::vector<stats::Group *> statGroups_;
+    EventQueue events_;
+};
+
+} // namespace mitts
+
+#endif // MITTS_SIM_SIMULATION_HH

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Whole-system configuration (paper Table II defaults).
+ */
+
+#ifndef MITTS_SYSTEM_CONFIG_HH
+#define MITTS_SYSTEM_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cache/l1_cache.hh"
+#include "trace/app_profile.hh"
+#include "cache/shared_llc.hh"
+#include "core/core.hh"
+#include "dram/dram_config.hh"
+#include "memctrl/mem_controller.hh"
+#include "noc/mesh.hh"
+#include "sched/atlas.hh"
+#include "sched/parbs.hh"
+#include "sched/stfm.hh"
+#include "sched/fst.hh"
+#include "sched/memguard.hh"
+#include "sched/mise.hh"
+#include "sched/tcm.hh"
+#include "shaper/bin_config.hh"
+#include "shaper/congestion.hh"
+#include "shaper/mitts_shaper.hh"
+
+namespace mitts
+{
+
+/** Memory-controller scheduling policy selection. */
+enum class SchedulerKind
+{
+    Frfcfs,
+    Fcfs,
+    FairQueue,
+    Atlas,
+    Parbs,
+    Stfm,
+    Tcm,
+    Fst,      ///< FR-FCFS + FST source throttling gates
+    MemGuard, ///< FR-FCFS + MemGuard budget gates
+    Mise,
+};
+
+/** Source gate installed between each L1 and the LLC. */
+enum class GateKind
+{
+    None,   ///< pass-through (or the scheduler's own gates)
+    Mitts,  ///< MITTS bin shaper
+    Static, ///< constant-rate token bucket
+};
+
+const char *schedulerName(SchedulerKind k);
+
+struct SystemConfig
+{
+    /** Application profile names, one per app; multithreaded profiles
+     *  expand to profile.numThreads cores. */
+    std::vector<std::string> apps;
+
+    /** Optional explicit profiles, parallel to `apps`. When set they
+     *  override the registry lookup — the hook for user-defined
+     *  workloads and calibration sweeps. */
+    std::vector<AppProfile> customProfiles;
+
+    CoreConfig core;
+    L1Config l1;
+    LlcConfig llc;
+    McConfig mc;
+    NocConfig noc; ///< L1<->LLC mesh (disabled by default)
+    DramConfig dram = DramConfig::ddr3_1333();
+
+    SchedulerKind sched = SchedulerKind::Frfcfs;
+    TcmConfig tcm;
+    AtlasConfig atlas;
+    ParbsConfig parbs;
+    StfmConfig stfm;
+    MiseConfig mise;
+    FstConfig fst;
+    MemGuardConfig memguard;
+
+    GateKind gate = GateKind::None;
+    BinSpec binSpec;
+    HybridMethod hybridMethod = HybridMethod::ConservativeRefund;
+    /** Per-core initial MITTS configs; empty = all credits maxed. */
+    std::vector<BinConfig> mittsConfigs;
+    /** One shaper shared by all threads of an app (Sec. IV-H). */
+    bool sharedShaperPerApp = false;
+    /** Enable the 32-entry global smoothing FIFO with MITTS. */
+    bool useSmoothingFifo = true;
+    /** Enable global congestion feedback to the shapers (paper
+     *  Sec. III-C future work). */
+    bool congestionFeedback = false;
+    CongestionConfig congestion;
+
+    /** Per-core static gate intervals (cycles/request). */
+    std::vector<double> staticIntervals;
+    double staticBucketDepth = 1.0;
+
+    std::uint64_t seed = 12345;
+    double cpuGhz = 2.4;
+
+    /** Single-program preset: one app, 64KB private-style LLC. */
+    static SystemConfig
+    singleProgram(const std::string &app)
+    {
+        SystemConfig c;
+        c.apps = {app};
+        c.llc.sizeBytes = 64 * 1024;
+        c.llc.numBanks = 1;
+        return c;
+    }
+
+    /** Multi-program preset: 1MB shared LLC (paper Table II). */
+    static SystemConfig
+    multiProgram(std::vector<std::string> app_names)
+    {
+        SystemConfig c;
+        c.apps = std::move(app_names);
+        c.llc.sizeBytes = 1024 * 1024;
+        c.llc.numBanks = 8;
+        return c;
+    }
+};
+
+} // namespace mitts
+
+#endif // MITTS_SYSTEM_CONFIG_HH

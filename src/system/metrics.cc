@@ -1,0 +1,43 @@
+#include "system/metrics.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace mitts
+{
+
+MultiProgramMetrics
+computeMetrics(const std::vector<AppResult> &shared,
+               const std::vector<Tick> &alone)
+{
+    MITTS_ASSERT(shared.size() == alone.size(),
+                 "metrics: result count mismatch");
+    MultiProgramMetrics m;
+    for (std::size_t a = 0; a < shared.size(); ++a) {
+        MITTS_ASSERT(alone[a] > 0, "alone run took zero cycles");
+        const double s = static_cast<double>(shared[a].completedAt) /
+                         static_cast<double>(alone[a]);
+        m.slowdowns.push_back(s);
+        m.savg += s;
+        m.smax = std::max(m.smax, s);
+        m.weightedSpeedup += 1.0 / s;
+    }
+    m.savg /= static_cast<double>(shared.size());
+    return m;
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    MITTS_ASSERT(!values.empty(), "geomean of nothing");
+    double log_sum = 0.0;
+    for (double v : values) {
+        MITTS_ASSERT(v > 0, "geomean needs positive values");
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+} // namespace mitts

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Multi-program throughput/fairness metrics (paper Sec. IV-D):
+ * per-app slowdown T_shared/T_single, average slowdown S_avg
+ * (throughput measure) and maximum slowdown S_max (fairness measure);
+ * lower is better for both.
+ */
+
+#ifndef MITTS_SYSTEM_METRICS_HH
+#define MITTS_SYSTEM_METRICS_HH
+
+#include <vector>
+
+#include "base/types.hh"
+#include "system/system.hh"
+
+namespace mitts
+{
+
+struct MultiProgramMetrics
+{
+    std::vector<double> slowdowns; ///< per app
+    double savg = 0.0;             ///< mean slowdown (throughput)
+    double smax = 0.0;             ///< max slowdown (fairness)
+    double weightedSpeedup = 0.0;  ///< sum of 1/slowdown
+};
+
+/** Combine shared-run completions with alone-run cycle counts. */
+MultiProgramMetrics computeMetrics(const std::vector<AppResult> &shared,
+                                   const std::vector<Tick> &alone);
+
+/** Geometric mean of positive values. */
+double geomean(const std::vector<double> &values);
+
+} // namespace mitts
+
+#endif // MITTS_SYSTEM_METRICS_HH

@@ -1,0 +1,62 @@
+#include "system/runner.hh"
+
+#include "base/logging.hh"
+
+namespace mitts
+{
+
+Tick
+runAlone(const SystemConfig &base, unsigned app_idx,
+         const RunnerOptions &opts)
+{
+    MITTS_ASSERT(app_idx < base.apps.size(), "bad app index");
+    SystemConfig cfg = base;
+    cfg.apps = {base.apps[app_idx]};
+    if (!base.customProfiles.empty())
+        cfg.customProfiles = {base.customProfiles[app_idx]};
+    cfg.gate = GateKind::None;
+    cfg.sched = SchedulerKind::Frfcfs;
+    cfg.mittsConfigs.clear();
+    cfg.staticIntervals.clear();
+
+    System sys(cfg);
+    auto results = sys.runUntilInstructions(opts.instrTarget,
+                                            opts.maxCycles);
+    if (!results[0].completed) {
+        warn("alone run of ", cfg.apps[0],
+             " hit the cycle cap; results will be pessimistic");
+    }
+    return results[0].completedAt;
+}
+
+std::vector<Tick>
+aloneCyclesForAll(const SystemConfig &base, const RunnerOptions &opts)
+{
+    std::vector<Tick> alone;
+    for (unsigned a = 0; a < base.apps.size(); ++a)
+        alone.push_back(runAlone(base, a, opts));
+    return alone;
+}
+
+MultiOutcome
+runMulti(const SystemConfig &cfg, const std::vector<Tick> &alone,
+         const RunnerOptions &opts)
+{
+    System sys(cfg);
+    MultiOutcome out;
+    out.results =
+        sys.runUntilInstructions(opts.instrTarget, opts.maxCycles);
+    out.metrics = computeMetrics(out.results, alone);
+    return out;
+}
+
+Tick
+runSingle(const SystemConfig &cfg, const RunnerOptions &opts)
+{
+    System sys(cfg);
+    auto results =
+        sys.runUntilInstructions(opts.instrTarget, opts.maxCycles);
+    return results[0].completedAt;
+}
+
+} // namespace mitts

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * High-level experiment runners: alone-run baselines and shared runs
+ * with slowdown metrics.
+ */
+
+#ifndef MITTS_SYSTEM_RUNNER_HH
+#define MITTS_SYSTEM_RUNNER_HH
+
+#include <vector>
+
+#include "system/metrics.hh"
+#include "system/system.hh"
+
+namespace mitts
+{
+
+struct RunnerOptions
+{
+    /** Instructions each core must retire for its app to complete. */
+    std::uint64_t instrTarget = 200'000;
+    /** Hard cycle cap per simulation. */
+    Tick maxCycles = 40'000'000;
+};
+
+/**
+ * Run application `app_idx` of `base` alone: same memory system, no
+ * co-runners, no gates, FR-FCFS. @return cycles to the target.
+ */
+Tick runAlone(const SystemConfig &base, unsigned app_idx,
+              const RunnerOptions &opts);
+
+/** Alone-run cycles for every app in the mix. */
+std::vector<Tick> aloneCyclesForAll(const SystemConfig &base,
+                                    const RunnerOptions &opts);
+
+/** Shared run + metrics for a fully specified config. */
+struct MultiOutcome
+{
+    std::vector<AppResult> results;
+    MultiProgramMetrics metrics;
+};
+
+MultiOutcome runMulti(const SystemConfig &cfg,
+                      const std::vector<Tick> &alone,
+                      const RunnerOptions &opts);
+
+/** Cycles for a single-program run of `cfg` (first app). */
+Tick runSingle(const SystemConfig &cfg, const RunnerOptions &opts);
+
+} // namespace mitts
+
+#endif // MITTS_SYSTEM_RUNNER_HH

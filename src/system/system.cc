@@ -1,0 +1,336 @@
+#include "system/system.hh"
+
+#include "base/logging.hh"
+#include "base/random.hh"
+#include "sched/fair_queue.hh"
+#include "sched/frfcfs.hh"
+#include "trace/app_profile.hh"
+
+namespace mitts
+{
+
+const char *
+schedulerName(SchedulerKind k)
+{
+    switch (k) {
+      case SchedulerKind::Frfcfs:
+        return "FR-FCFS";
+      case SchedulerKind::Fcfs:
+        return "FCFS";
+      case SchedulerKind::FairQueue:
+        return "FairQueue";
+      case SchedulerKind::Atlas:
+        return "ATLAS";
+      case SchedulerKind::Parbs:
+        return "PAR-BS";
+      case SchedulerKind::Stfm:
+        return "STFM";
+      case SchedulerKind::Tcm:
+        return "TCM";
+      case SchedulerKind::Fst:
+        return "SourceThro";
+      case SchedulerKind::MemGuard:
+        return "MemGuard";
+      case SchedulerKind::Mise:
+        return "MISE";
+    }
+    return "?";
+}
+
+System::System(const SystemConfig &cfg) : cfg_(cfg)
+{
+    MITTS_ASSERT(!cfg_.apps.empty(), "system needs at least one app");
+
+    MITTS_ASSERT(cfg_.customProfiles.empty() ||
+                     cfg_.customProfiles.size() == cfg_.apps.size(),
+                 "customProfiles must parallel apps");
+
+    // Expand applications into cores (one core per thread).
+    coresOfApp_.resize(cfg_.apps.size());
+    for (unsigned a = 0; a < cfg_.apps.size(); ++a) {
+        const AppProfile &prof = cfg_.customProfiles.empty()
+                                     ? appProfile(cfg_.apps[a])
+                                     : cfg_.customProfiles[a];
+        for (unsigned t = 0; t < prof.numThreads; ++t) {
+            appOfCore_.push_back(a);
+            coresOfApp_[a].push_back(static_cast<CoreId>(numCores_));
+            ++numCores_;
+        }
+    }
+
+    // Memory controller (DRAM lives inside it).
+    McConfig mc_cfg = cfg_.mc;
+    if (cfg_.gate == GateKind::Mitts && cfg_.useSmoothingFifo)
+        mc_cfg.smoothingFifoDepth = 32;
+    mc_ = std::make_unique<MemController>("mc", mc_cfg, cfg_.dram,
+                                          sim_.events());
+    mc_->initPerCore(numCores_);
+
+    // Shared LLC.
+    llc_ = std::make_unique<SharedLlc>("llc", cfg_.llc, numCores_,
+                                       sim_.events());
+    llc_->setDownstream(mc_.get());
+    mc_->setLlc(llc_.get());
+    if (cfg_.noc.enabled) {
+        noc_ = std::make_unique<MeshNoc>(cfg_.noc);
+        llc_->setNoc(noc_.get());
+    }
+
+    buildScheduler();
+
+    // Per-core structures.
+    Random master(cfg_.seed);
+    shapers_.assign(numCores_, nullptr);
+    staticGates_.assign(numCores_, nullptr);
+    MittsShaper *app_shared_shaper = nullptr;
+    unsigned prev_app = ~0u;
+
+    for (unsigned c = 0; c < numCores_; ++c) {
+        const unsigned app = appOfCore_[c];
+        const AppProfile &prof = cfg_.customProfiles.empty()
+                                     ? appProfile(cfg_.apps[app])
+                                     : cfg_.customProfiles[app];
+        const unsigned thread =
+            c - static_cast<unsigned>(coresOfApp_[app].front());
+        const Addr base = static_cast<Addr>(app + 1) << 30;
+
+        traces_.push_back(std::make_unique<SyntheticTrace>(
+            prof, base, master.next(), thread));
+
+        l1s_.push_back(std::make_unique<L1Cache>(
+            "l1." + std::to_string(c), cfg_.l1,
+            static_cast<CoreId>(c), sim_.events()));
+
+        cores_.push_back(std::make_unique<Core>(
+            "core." + std::to_string(c), static_cast<CoreId>(c),
+            cfg_.core, traces_.back().get(), l1s_.back().get()));
+
+        l1s_[c]->setClient(cores_[c].get());
+        l1s_[c]->setDownstream(llc_.get());
+        llc_->setL1(static_cast<CoreId>(c), l1s_[c].get());
+
+        // Source gate selection.
+        SourceGate *gate = nullptr;
+        switch (cfg_.gate) {
+          case GateKind::Mitts: {
+            BinConfig bin_cfg =
+                c < cfg_.mittsConfigs.size()
+                    ? cfg_.mittsConfigs[c]
+                    : BinConfig::uniform(cfg_.binSpec,
+                                         cfg_.binSpec.maxCredits);
+            if (cfg_.sharedShaperPerApp) {
+                if (app != prev_app) {
+                    auto shaper = std::make_unique<MittsShaper>(
+                        "mitts.app" + std::to_string(app), bin_cfg,
+                        cfg_.hybridMethod);
+                    app_shared_shaper = shaper.get();
+                    ownedGates_.push_back(std::move(shaper));
+                    prev_app = app;
+                }
+                gate = app_shared_shaper;
+                shapers_[c] = app_shared_shaper;
+            } else {
+                auto shaper = std::make_unique<MittsShaper>(
+                    "mitts." + std::to_string(c), bin_cfg,
+                    cfg_.hybridMethod);
+                shapers_[c] = shaper.get();
+                gate = shaper.get();
+                ownedGates_.push_back(std::move(shaper));
+            }
+            break;
+          }
+          case GateKind::Static: {
+            const double interval =
+                c < cfg_.staticIntervals.size()
+                    ? cfg_.staticIntervals[c]
+                    : 154.0; // 1 GB/s at 2.4 GHz, 64B blocks
+            auto sg = std::make_unique<StaticRateGate>(
+                "static." + std::to_string(c), interval,
+                cfg_.staticBucketDepth);
+            staticGates_[c] = sg.get();
+            gate = sg.get();
+            ownedGates_.push_back(std::move(sg));
+            break;
+          }
+          case GateKind::None: {
+            // Scheduler-owned gates (FST, MemGuard) slot in here.
+            if (cfg_.sched == SchedulerKind::Fst) {
+                gate = static_cast<FstScheduler *>(sched_.get())
+                           ->gate(static_cast<CoreId>(c));
+            } else if (cfg_.sched == SchedulerKind::MemGuard) {
+                gate = static_cast<MemGuardController *>(
+                           extraClocked_.get())
+                           ->gate(static_cast<CoreId>(c));
+            }
+            break;
+          }
+        }
+        if (gate) {
+            l1s_[c]->setGate(gate);
+            llc_->setGate(static_cast<CoreId>(c), gate);
+        }
+    }
+
+    // Optional congestion feedback over the shapers.
+    if (cfg_.gate == GateKind::Mitts && cfg_.congestionFeedback) {
+        congestionCtrl_ = std::make_unique<CongestionController>(
+            "congestion", cfg_.congestion, *mc_, shapers_);
+    }
+
+    // Tick order: cores -> L1s -> LLC -> controllers -> MC.
+    for (auto &core : cores_)
+        sim_.add(core.get());
+    for (auto &l1 : l1s_)
+        sim_.add(l1.get());
+    sim_.add(llc_.get());
+    if (extraClocked_)
+        sim_.add(extraClocked_.get());
+    if (congestionCtrl_)
+        sim_.add(congestionCtrl_.get());
+    sim_.add(mc_.get());
+
+    // Stats registration.
+    for (auto &core : cores_)
+        sim_.addStats(&core->statsGroup());
+    for (auto &l1 : l1s_)
+        sim_.addStats(&l1->statsGroup());
+    sim_.addStats(&llc_->statsGroup());
+    if (noc_)
+        sim_.addStats(&noc_->statsGroup());
+    sim_.addStats(&mc_->statsGroup());
+    sim_.addStats(&mc_->dram().statsGroup());
+    for (auto *shaper : shapers_) {
+        if (shaper && (!cfg_.sharedShaperPerApp ||
+                       shaper != app_shared_shaper))
+            sim_.addStats(&shaper->statsGroup());
+    }
+    if (cfg_.sharedShaperPerApp && app_shared_shaper)
+        sim_.addStats(&app_shared_shaper->statsGroup());
+    if (congestionCtrl_)
+        sim_.addStats(&congestionCtrl_->statsGroup());
+}
+
+System::~System() = default;
+
+void
+System::buildScheduler()
+{
+    switch (cfg_.sched) {
+      case SchedulerKind::Frfcfs:
+        sched_ = std::make_unique<FrfcfsScheduler>();
+        break;
+      case SchedulerKind::Fcfs:
+        sched_ = std::make_unique<FcfsScheduler>();
+        break;
+      case SchedulerKind::FairQueue:
+        sched_ = std::make_unique<FairQueueScheduler>(numCores_);
+        break;
+      case SchedulerKind::Atlas:
+        sched_ = std::make_unique<AtlasScheduler>(numCores_,
+                                                  cfg_.atlas);
+        break;
+      case SchedulerKind::Parbs:
+        sched_ = std::make_unique<ParbsScheduler>(numCores_,
+                                                  cfg_.parbs);
+        break;
+      case SchedulerKind::Stfm:
+        sched_ = std::make_unique<StfmScheduler>(numCores_,
+                                                 cfg_.stfm);
+        break;
+      case SchedulerKind::Tcm: {
+        TcmConfig t = cfg_.tcm;
+        t.seed = cfg_.seed ^ 0x7C3Du;
+        sched_ = std::make_unique<TcmScheduler>(numCores_, t);
+        break;
+      }
+      case SchedulerKind::Fst: {
+        FstConfig f = cfg_.fst;
+        f.maxRate = 1.0 / static_cast<double>(cfg_.dram.tBURST);
+        sched_ = std::make_unique<FstScheduler>(numCores_, f);
+        break;
+      }
+      case SchedulerKind::MemGuard: {
+        sched_ = std::make_unique<FrfcfsScheduler>();
+        MemGuardConfig m = cfg_.memguard;
+        m.peakRequestsPerCycle =
+            1.0 / static_cast<double>(cfg_.dram.tBURST);
+        auto ctrl = std::make_unique<MemGuardController>(
+            "memguard", numCores_, m);
+        ctrl->setMemController(mc_.get());
+        extraClocked_ = std::move(ctrl);
+        break;
+      }
+      case SchedulerKind::Mise:
+        sched_ = std::make_unique<MiseScheduler>(numCores_, cfg_.mise);
+        break;
+    }
+    sched_->setMonitor(this);
+    mc_->setScheduler(sched_.get());
+}
+
+std::uint64_t
+System::instructions(CoreId core) const
+{
+    return cores_[core]->instructions();
+}
+
+std::uint64_t
+System::memStallCycles(CoreId core) const
+{
+    return cores_[core]->memStallCycles();
+}
+
+void
+System::setShaperConfig(CoreId core, const BinConfig &cfg)
+{
+    if (shapers_[core])
+        shapers_[core]->setConfig(cfg);
+}
+
+std::vector<AppResult>
+System::runUntilInstructions(std::uint64_t instr_target,
+                             Tick max_cycles)
+{
+    std::vector<AppResult> results(numApps());
+    for (unsigned a = 0; a < numApps(); ++a)
+        results[a].name = cfg_.apps[a];
+
+    const Tick end = sim_.now() + max_cycles;
+    unsigned remaining = numApps();
+    while (remaining > 0 && sim_.now() < end) {
+        // Step a small batch between completion checks.
+        for (int i = 0; i < 32 && sim_.now() < end; ++i)
+            sim_.step();
+        for (unsigned a = 0; a < numApps(); ++a) {
+            if (results[a].completed)
+                continue;
+            bool all_done = true;
+            for (CoreId c : coresOfApp_[a]) {
+                if (cores_[c]->instructions() < instr_target) {
+                    all_done = false;
+                    break;
+                }
+            }
+            if (all_done) {
+                results[a].completed = true;
+                results[a].completedAt = sim_.now();
+                --remaining;
+            }
+        }
+    }
+
+    for (unsigned a = 0; a < numApps(); ++a) {
+        std::uint64_t instr = 0, stall = 0;
+        for (CoreId c : coresOfApp_[a]) {
+            instr += cores_[c]->instructions();
+            stall += cores_[c]->memStallCycles();
+        }
+        results[a].instructions = instr;
+        results[a].memStallCycles = stall;
+        if (!results[a].completed)
+            results[a].completedAt = sim_.now();
+    }
+    return results;
+}
+
+} // namespace mitts

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * The simulated chip: cores + L1s + gates + shared LLC + memory
+ * controller + DRAM, wired per a SystemConfig.
+ */
+
+#ifndef MITTS_SYSTEM_SYSTEM_HH
+#define MITTS_SYSTEM_SYSTEM_HH
+
+#include <memory>
+#include <ostream>
+#include <vector>
+
+#include "cache/interfaces.hh"
+#include "shaper/congestion.hh"
+#include "cache/l1_cache.hh"
+#include "cache/shared_llc.hh"
+#include "core/core.hh"
+#include "memctrl/mem_controller.hh"
+#include "sched/mem_scheduler.hh"
+#include "shaper/static_gate.hh"
+#include "sim/simulation.hh"
+#include "system/config.hh"
+#include "trace/synth_trace.hh"
+
+namespace mitts
+{
+
+/** Completion record for one application in a run. */
+struct AppResult
+{
+    std::string name;
+    Tick completedAt = 0;       ///< cycle the app hit its target
+    bool completed = false;
+    std::uint64_t instructions = 0;
+    std::uint64_t memStallCycles = 0;
+};
+
+class System : public AppMonitor
+{
+  public:
+    explicit System(const SystemConfig &cfg);
+    ~System() override;
+
+    // AppMonitor
+    unsigned numCores() const override { return numCores_; }
+    std::uint64_t instructions(CoreId core) const override;
+    std::uint64_t memStallCycles(CoreId core) const override;
+
+    unsigned numApps() const
+    {
+        return static_cast<unsigned>(cfg_.apps.size());
+    }
+    const std::string &appName(unsigned app) const
+    {
+        return cfg_.apps[app];
+    }
+    unsigned appOfCore(CoreId core) const { return appOfCore_[core]; }
+    const std::vector<CoreId> &coresOfApp(unsigned app) const
+    {
+        return coresOfApp_[app];
+    }
+
+    Simulation &sim() { return sim_; }
+    Core &core(CoreId c) { return *cores_[c]; }
+    L1Cache &l1(CoreId c) { return *l1s_[c]; }
+    SharedLlc &llc() { return *llc_; }
+    MeshNoc *noc() { return noc_.get(); }
+    MemController &memController() { return *mc_; }
+    MemScheduler &scheduler() { return *sched_; }
+
+    /** MITTS shaper for a core (nullptr unless gate == Mitts). */
+    MittsShaper *shaper(CoreId c) { return shapers_[c]; }
+
+    /** Congestion controller (nullptr unless enabled). */
+    CongestionController *congestionController()
+    {
+        return congestionCtrl_.get();
+    }
+    /** Static gate for a core (nullptr unless gate == Static). */
+    StaticRateGate *staticGate(CoreId c) { return staticGates_[c]; }
+
+    /** Reconfigure one core's shaper (no-op without a shaper). */
+    void setShaperConfig(CoreId core, const BinConfig &cfg);
+
+    /** Run for a fixed number of cycles. */
+    void run(Tick cycles) { sim_.run(cycles); }
+
+    /**
+     * Run until every app has retired `instr_target` instructions per
+     * core (or `max_cycles` pass). Returns per-app completion info.
+     */
+    std::vector<AppResult> runUntilInstructions(std::uint64_t
+                                                    instr_target,
+                                                Tick max_cycles);
+
+    void dumpStats(std::ostream &os) const { sim_.dumpStats(os); }
+
+    const SystemConfig &config() const { return cfg_; }
+
+  private:
+    void buildScheduler();
+
+    SystemConfig cfg_;
+    unsigned numCores_ = 0;
+    Simulation sim_;
+
+    std::vector<unsigned> appOfCore_;
+    std::vector<std::vector<CoreId>> coresOfApp_;
+
+    std::vector<std::unique_ptr<SyntheticTrace>> traces_;
+    std::vector<std::unique_ptr<L1Cache>> l1s_;
+    std::vector<std::unique_ptr<Core>> cores_;
+    std::unique_ptr<SharedLlc> llc_;
+    std::unique_ptr<MeshNoc> noc_;
+    std::unique_ptr<MemController> mc_;
+    std::unique_ptr<MemScheduler> sched_;
+    std::unique_ptr<Clocked> extraClocked_; ///< MemGuard controller
+    std::unique_ptr<CongestionController> congestionCtrl_;
+
+    std::vector<std::unique_ptr<SourceGate>> ownedGates_;
+    std::vector<MittsShaper *> shapers_;
+    std::vector<StaticRateGate *> staticGates_;
+};
+
+} // namespace mitts
+
+#endif // MITTS_SYSTEM_SYSTEM_HH

@@ -1,0 +1,438 @@
+#include "trace/app_profile.hh"
+
+#include <map>
+
+#include "base/logging.hh"
+
+namespace mitts
+{
+
+namespace
+{
+
+constexpr Addr KB = 1024;
+constexpr Addr MB = 1024 * 1024;
+
+/**
+ * Profile table. Parameters are calibrated to the qualitative
+ * characterizations in the MITTS paper and standard SPEC CPU2006 /
+ * PARSEC memory studies:
+ *  - mcf / omnetpp: very memory intensive AND bursty (they gain the
+ *    most from distribution-aware shaping, paper Fig. 11),
+ *  - libquantum: intense but streaming/regular,
+ *  - sjeng / gobmk / hmmer / h264ref: CPU bound,
+ *  - Apache / bhm mail: bursty request-service patterns with idle
+ *    gaps,
+ *  - PARSEC: lower overall memory intensity than SPEC (Fig. 17),
+ *    x264 / ferret multithreaded with uneven per-thread demand
+ *    (Sec. IV-H).
+ */
+std::map<std::string, AppProfile>
+buildTable()
+{
+    std::map<std::string, AppProfile> t;
+
+    auto add = [&t](AppProfile p) { t[p.name] = std::move(p); };
+
+    {
+        AppProfile p;
+        p.name = "mcf";
+        p.memFraction = 0.35;
+        p.writeFraction = 0.20;
+        p.workingSetBytes = 32 * MB;
+        p.hotFraction = 0.9299;
+        p.hotSetBytes = 16 * KB;
+        p.midFraction = 0.0675;
+        p.warmFraction = 0.0015;
+        p.warmSetBytes = 96 * KB;
+        p.warmRunBlocks = 24;
+        p.streamFraction = 0.0004;
+        p.chainFraction = 0.55;
+        p.burstEnterProb = 0.0015;
+        p.burstExitProb = 0.010;
+        p.burstIntensityScale = 2.0;
+        p.burstHotScale = 0.04;
+        p.burstWarmBias = 0.45;
+        p.burstLenOps = 55;
+        p.burstMinGapOps = 2'000;
+        p.phases = {{8'000, 1.2, 1.0, 1.0}, {8'000, 0.8, 1.0, 1.0}};
+        add(p);
+    }
+    {
+        AppProfile p;
+        p.name = "libquantum";
+        p.memFraction = 0.1500;
+        p.writeFraction = 0.30;
+        p.workingSetBytes = 32 * MB;
+        p.hotFraction = 0.2770;
+        p.hotSetBytes = 8 * KB;
+        p.midFraction = 0.0300;
+        p.warmFraction = 0.0924;
+        p.warmSetBytes = 96 * KB;
+        p.streamFraction = 0.5199;
+        p.chainFraction = 0.02;
+        p.streamLenBlocks = 64;
+        p.streamOpsPerBlock = 4;
+        add(p);
+    }
+    {
+        AppProfile p;
+        p.name = "omnetpp";
+        p.memFraction = 0.30;
+        p.writeFraction = 0.30;
+        p.workingSetBytes = 16 * MB;
+        p.hotFraction = 0.9294;
+        p.hotSetBytes = 16 * KB;
+        p.midFraction = 0.0675;
+        p.warmFraction = 0.0018;
+        p.warmSetBytes = 96 * KB;
+        p.warmRunBlocks = 24;
+        p.streamFraction = 0.0004;
+        p.streamRegionBytes = 96 * KB;
+        p.chainFraction = 0.55;
+        p.burstEnterProb = 0.0015;
+        p.burstExitProb = 0.012;
+        p.burstIntensityScale = 2.0;
+        p.burstHotScale = 0.05;
+        p.burstWarmBias = 0.45;
+        p.burstLenOps = 45;
+        p.burstMinGapOps = 1'800;
+        p.phases = {{7'000, 1.2, 1.0, 1.0}, {7'000, 0.8, 1.0, 1.0}};
+        add(p);
+    }
+    {
+        AppProfile p;
+        p.name = "bzip";
+        p.memFraction = 0.28;
+        p.writeFraction = 0.30;
+        p.workingSetBytes = 2 * MB;
+        p.hotFraction = 0.9550;
+        p.hotSetBytes = 24 * KB;
+        p.midFraction = 0.0270;
+        p.warmFraction = 0.0073;
+        p.warmSetBytes = 96 * KB;
+        p.streamFraction = 0.0073;
+        p.chainFraction = 0.30;
+        p.burstEnterProb = 0.01;
+        p.burstExitProb = 0.20;
+        p.burstIntensityScale = 3.0;
+        add(p);
+    }
+    {
+        AppProfile p;
+        p.name = "gcc";
+        p.memFraction = 0.25;
+        p.writeFraction = 0.30;
+        p.workingSetBytes = 4 * MB;
+        p.hotFraction = 0.9296;
+        p.hotSetBytes = 24 * KB;
+        p.midFraction = 0.0330;
+        p.warmFraction = 0.0150;
+        p.warmSetBytes = 96 * KB;
+        p.streamFraction = 0.0112;
+        p.streamRegionBytes = 96 * KB;
+        p.chainFraction = 0.80;
+        p.burstEnterProb = 0.015;
+        p.burstExitProb = 0.15;
+        p.burstIntensityScale = 3.5;
+        p.phases = {{6'000, 1.3, 1.0, 1.0}, {6'000, 0.7, 1.0, 1.0}};
+        add(p);
+    }
+    {
+        AppProfile p;
+        p.name = "astar";
+        p.memFraction = 0.30;
+        p.writeFraction = 0.20;
+        p.workingSetBytes = 8 * MB;
+        p.hotFraction = 0.9402;
+        p.hotSetBytes = 16 * KB;
+        p.midFraction = 0.0330;
+        p.warmFraction = 0.0088;
+        p.warmSetBytes = 96 * KB;
+        p.streamFraction = 0.0031;
+        p.chainFraction = 0.80;
+        p.burstEnterProb = 0.01;
+        p.burstExitProb = 0.15;
+        p.burstIntensityScale = 3.0;
+        add(p);
+    }
+    {
+        AppProfile p;
+        p.name = "gobmk";
+        p.memFraction = 0.22;
+        p.writeFraction = 0.25;
+        p.workingSetBytes = 1 * MB;
+        p.hotFraction = 0.9856;
+        p.hotSetBytes = 24 * KB;
+        p.midFraction = 0.0120;
+        p.warmFraction = 0.0010;
+        p.warmSetBytes = 96 * KB;
+        p.streamFraction = 0.0010;
+        p.chainFraction = 0.30;
+        add(p);
+    }
+    {
+        AppProfile p;
+        p.name = "sjeng";
+        p.memFraction = 0.20;
+        p.writeFraction = 0.25;
+        p.workingSetBytes = 512 * KB;
+        p.hotFraction = 0.9907;
+        p.hotSetBytes = 24 * KB;
+        p.midFraction = 0.0080;
+        p.warmFraction = 0.0004;
+        p.warmSetBytes = 96 * KB;
+        p.streamFraction = 0.0004;
+        p.chainFraction = 0.30;
+        add(p);
+    }
+    {
+        AppProfile p;
+        p.name = "h264ref";
+        p.memFraction = 0.30;
+        p.writeFraction = 0.30;
+        p.workingSetBytes = 1 * MB;
+        p.hotFraction = 0.9718;
+        p.hotSetBytes = 24 * KB;
+        p.midFraction = 0.0208;
+        p.warmFraction = 0.0024;
+        p.warmSetBytes = 96 * KB;
+        p.streamFraction = 0.0043;
+        p.chainFraction = 0.10;
+        p.streamLenBlocks = 32;
+        add(p);
+    }
+    {
+        AppProfile p;
+        p.name = "hmmer";
+        p.memFraction = 0.28;
+        p.writeFraction = 0.30;
+        p.workingSetBytes = 512 * KB;
+        p.hotFraction = 0.9793;
+        p.hotSetBytes = 24 * KB;
+        p.midFraction = 0.0156;
+        p.warmFraction = 0.0019;
+        p.warmSetBytes = 96 * KB;
+        p.streamFraction = 0.0025;
+        p.chainFraction = 0.10;
+        p.streamLenBlocks = 32;
+        add(p);
+    }
+    {
+        AppProfile p;
+        p.name = "apache";
+        p.memFraction = 0.25;
+        p.writeFraction = 0.35;
+        p.workingSetBytes = 8 * MB;
+        p.hotFraction = 0.8850;
+        p.hotSetBytes = 16 * KB;
+        p.midFraction = 0.0600;
+        p.warmFraction = 0.0220;
+        p.warmSetBytes = 96 * KB;
+        p.streamFraction = 0.0176;
+        p.chainFraction = 0.30;
+        p.burstEnterProb = 0.0040;
+        p.burstExitProb = 0.015;
+        p.burstIntensityScale = 2.5;
+        p.burstHotScale = 0.30;
+        p.burstWarmBias = 0.35;
+        p.burstLenOps = 50;
+        p.burstMinGapOps = 1200;
+        p.idleFraction = 0.0005;
+        p.idleGapInstrs = 6'000;
+        add(p);
+    }
+    {
+        AppProfile p;
+        p.name = "bhm";
+        p.memFraction = 0.25;
+        p.writeFraction = 0.40;
+        p.workingSetBytes = 8 * MB;
+        p.hotFraction = 0.8850;
+        p.hotSetBytes = 16 * KB;
+        p.midFraction = 0.0600;
+        p.warmFraction = 0.0220;
+        p.warmSetBytes = 96 * KB;
+        p.streamFraction = 0.0176;
+        p.chainFraction = 0.30;
+        p.burstEnterProb = 0.0040;
+        p.burstExitProb = 0.012;
+        p.burstIntensityScale = 2.5;
+        p.burstHotScale = 0.30;
+        p.burstWarmBias = 0.35;
+        p.burstLenOps = 50;
+        p.burstMinGapOps = 1200;
+        p.idleFraction = 0.0005;
+        p.idleGapInstrs = 6'000;
+        add(p);
+    }
+
+    // --- PARSEC (lower intensity overall; Fig. 17) ------------------
+    {
+        AppProfile p;
+        p.name = "x264";
+        p.memFraction = 0.25;
+        p.writeFraction = 0.30;
+        p.workingSetBytes = 2 * MB;
+        p.hotFraction = 0.9290;
+        p.hotSetBytes = 24 * KB;
+        p.midFraction = 0.0390;
+        p.warmFraction = 0.0106;
+        p.warmSetBytes = 96 * KB;
+        p.streamFraction = 0.0192;
+        p.chainFraction = 0.10;
+        p.streamLenBlocks = 32;
+        p.numThreads = 4;
+        // Frame pipeline: encode burst then wait for the next frame.
+        p.phases = {{20'000, 1.6, 1.0, 0.0},
+                    {20'000, 0.2, 1.0, 8.0}};
+        p.idleFraction = 0.002;
+        p.idleGapInstrs = 50'000;
+        add(p);
+    }
+    {
+        AppProfile p;
+        p.name = "ferret";
+        p.memFraction = 0.28;
+        p.writeFraction = 0.25;
+        p.workingSetBytes = 4 * MB;
+        p.hotFraction = 0.9221;
+        p.hotSetBytes = 24 * KB;
+        p.midFraction = 0.0455;
+        p.warmFraction = 0.0121;
+        p.warmSetBytes = 96 * KB;
+        p.streamFraction = 0.0141;
+        p.chainFraction = 0.20;
+        p.numThreads = 4;
+        // Pipeline stages with very different demand.
+        p.phases = {{15'000, 1.8, 1.0, 0.0},
+                    {15'000, 0.6, 1.0, 1.0},
+                    {15'000, 0.15, 1.0, 6.0}};
+        p.idleFraction = 0.002;
+        p.idleGapInstrs = 40'000;
+        add(p);
+    }
+    {
+        AppProfile p;
+        p.name = "blackscholes";
+        p.memFraction = 0.15;
+        p.writeFraction = 0.20;
+        p.workingSetBytes = 512 * KB;
+        p.hotFraction = 0.9887;
+        p.hotSetBytes = 24 * KB;
+        p.midFraction = 0.0100;
+        p.warmFraction = 0.0005;
+        p.warmSetBytes = 96 * KB;
+        p.streamFraction = 0.0008;
+        p.chainFraction = 0.10;
+        add(p);
+    }
+    {
+        AppProfile p;
+        p.name = "canneal";
+        p.memFraction = 0.1800;
+        p.writeFraction = 0.25;
+        p.workingSetBytes = 16 * MB;
+        p.hotFraction = 0.8335;
+        p.hotSetBytes = 8 * KB;
+        p.midFraction = 0.0675;
+        p.warmFraction = 0.0330;
+        p.warmSetBytes = 96 * KB;
+        p.streamFraction = 0.0044;
+        p.chainFraction = 0.70;
+        add(p);
+    }
+    {
+        AppProfile p;
+        p.name = "streamcluster";
+        p.memFraction = 0.1400;
+        p.writeFraction = 0.15;
+        p.workingSetBytes = 8 * MB;
+        p.hotFraction = 0.5665;
+        p.hotSetBytes = 8 * KB;
+        p.midFraction = 0.0375;
+        p.warmFraction = 0.0440;
+        p.warmSetBytes = 96 * KB;
+        p.streamFraction = 0.3300;
+        p.chainFraction = 0.05;
+        p.streamLenBlocks = 128;
+        p.streamOpsPerBlock = 2;
+        add(p);
+    }
+    {
+        AppProfile p;
+        p.name = "fluidanimate";
+        p.memFraction = 0.22;
+        p.writeFraction = 0.30;
+        p.workingSetBytes = 4 * MB;
+        p.hotFraction = 0.9506;
+        p.hotSetBytes = 24 * KB;
+        p.midFraction = 0.0390;
+        p.warmFraction = 0.0042;
+        p.warmSetBytes = 96 * KB;
+        p.streamFraction = 0.0048;
+        p.chainFraction = 0.20;
+        add(p);
+    }
+
+    // Table III abbreviation.
+    t["lib"] = t["libquantum"];
+    t["lib"].name = "lib";
+    return t;
+}
+
+const std::map<std::string, AppProfile> &
+table()
+{
+    static const std::map<std::string, AppProfile> t = buildTable();
+    return t;
+}
+
+} // namespace
+
+const AppProfile &
+appProfile(const std::string &name)
+{
+    auto it = table().find(name);
+    if (it == table().end())
+        fatal("unknown application profile '", name, "'");
+    return it->second;
+}
+
+std::vector<std::string>
+allProfileNames()
+{
+    std::vector<std::string> names;
+    for (const auto &[name, p] : table()) {
+        if (name != "lib") // alias
+            names.push_back(name);
+    }
+    return names;
+}
+
+std::vector<std::string>
+workloadApps(unsigned workload_id)
+{
+    // Paper Table III.
+    switch (workload_id) {
+      case 1:
+        return {"gcc", "libquantum", "bzip", "mcf"};
+      case 2:
+        return {"apache", "libquantum", "bhm", "hmmer"};
+      case 3:
+        return {"astar", "bhm", "libquantum", "bzip"};
+      case 4:
+        return {"gcc", "gobmk", "libquantum", "sjeng",
+                "bzip", "mcf", "omnetpp", "h264ref"};
+      case 5:
+        return {"bhm", "astar", "libquantum", "sjeng",
+                "bzip", "mcf", "omnetpp", "h264ref"};
+      case 6:
+        return {"apache", "astar", "gobmk", "sjeng",
+                "bzip", "mcf", "omnetpp", "h264ref"};
+      default:
+        fatal("workload id must be 1..6, got ", workload_id);
+    }
+}
+
+} // namespace mitts

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Parameterized application memory-behaviour profiles.
+ *
+ * The paper evaluates on SPECint 2006, PARSEC, Apache and the bhm
+ * mail server. We cannot ship those binaries or traces; instead each
+ * benchmark is described by the parameters that drive its memory
+ * request inter-arrival distribution (intensity, working set, spatial
+ * locality, burstiness, phases), calibrated to the published
+ * characterizations (see DESIGN.md for the substitution rationale).
+ */
+
+#ifndef MITTS_TRACE_APP_PROFILE_HH
+#define MITTS_TRACE_APP_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace mitts
+{
+
+/** One program phase; profiles cycle through their phases. */
+struct PhaseSpec
+{
+    /** Memory ops in this phase before moving to the next. */
+    std::uint64_t lengthOps = 0;
+    double intensityScale = 1.0; ///< multiplies memFraction
+    double streamScale = 1.0;    ///< multiplies streamFraction
+    double idleScale = 1.0;      ///< multiplies idleFraction
+};
+
+/** Statistical description of one application's memory behaviour. */
+struct AppProfile
+{
+    std::string name;
+
+    // Intensity: fraction of instructions that access memory and the
+    // fraction of those that are stores.
+    double memFraction = 0.10;
+    double writeFraction = 0.25;
+
+    // Footprint and locality. Three reuse tiers plus streaming:
+    // hot fits the L1, warm fits a ~1MB LLC but not a 64KB one, and
+    // the remainder is spread over the full working set.
+    Addr workingSetBytes = 4 * 1024 * 1024;
+    double hotFraction = 0.6;  ///< accesses hitting a small hot set
+    Addr hotSetBytes = 16 * 1024;
+    /** Accesses to an L2-resident tier: misses the 32KB L1 but hits
+     *  even a 64KB LLC. This is the traffic MITTS's hybrid placement
+     *  refunds credits for (it is not a memory request), while naive
+     *  source rate limiters throttle it like everything else. */
+    double midFraction = 0.0;
+    Addr midSetBytes = 48 * 1024;
+    double warmFraction = 0.0; ///< accesses to the LLC-sized tier
+    Addr warmSetBytes = 512 * 1024;
+    unsigned warmRunBlocks = 8; ///< sequential run length in the tier
+    double streamFraction = 0.2; ///< sequential-next-block accesses
+    unsigned streamLenBlocks = 16;
+    /** Region streams walk (0 = the whole working set). Streams over
+     *  a sub-megabyte region fit a 1MB LLC but not a 64KB one. */
+    Addr streamRegionBytes = 0;
+    /** Stream ops per 64B block: word-granularity streams touch a
+     *  block several times (L1 hits) before advancing. */
+    unsigned streamOpsPerBlock = 1;
+    /** Probability a working-set (non-hot, non-stream) access is a
+     *  pointer chase depending on the previous load. */
+    double chainFraction = 0.0;
+
+    // Burstiness: two-state Markov modulation of intensity.
+    double burstEnterProb = 0.0;  ///< per-op chance to start a burst
+    double burstExitProb = 0.2;   ///< per-op chance to end it
+    double burstIntensityScale = 4.0;
+    /** Hot-set shrink factor during bursts: bursts walk big
+     *  structures, so the miss mix rises while the burst lasts. */
+    double burstHotScale = 1.0;
+    /** Fraction of burst ops routed straight to the warm tier —
+     *  bursts walk big structures, producing the clustered memory
+     *  requests a larger LLC removes (Fig. 2) and MITTS absorbs
+     *  (Fig. 11). */
+    double burstWarmBias = 0.0;
+    /** Fixed burst length in ops (0 = geometric via burstExitProb).
+     *  Real burst sources (frames, requests) are fairly regular;
+     *  bounded bursts are also what lets a MITTS period budget
+     *  absorb them. */
+    std::uint32_t burstLenOps = 0;
+    /** Minimum calm ops after a burst before another may start. */
+    std::uint32_t burstMinGapOps = 0;
+
+    // Server-style idle gaps (Apache / bhm mail): occasional long
+    // pauses between request-service bursts.
+    double idleFraction = 0.0;    ///< per-op chance of an idle gap
+    std::uint32_t idleGapInstrs = 20'000;
+
+    // Optional phase behaviour.
+    std::vector<PhaseSpec> phases;
+
+    // Multithreaded profiles (x264, ferret).
+    unsigned numThreads = 1;
+};
+
+/**
+ * Look up a named benchmark profile ("mcf", "libquantum", "apache",
+ * "x264", ...). fatal()s on unknown names.
+ */
+const AppProfile &appProfile(const std::string &name);
+
+/** All registered profile names (for tests and tools). */
+std::vector<std::string> allProfileNames();
+
+/** The paper's Table III multi-program workloads (1-6). */
+std::vector<std::string> workloadApps(unsigned workload_id);
+
+} // namespace mitts
+
+#endif // MITTS_TRACE_APP_PROFILE_HH

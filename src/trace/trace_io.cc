@@ -1,0 +1,57 @@
+#include "trace/trace_io.hh"
+
+#include <fstream>
+
+#include "base/logging.hh"
+
+namespace mitts
+{
+
+namespace
+{
+constexpr const char *kHeader = "mitts-trace-v1";
+} // namespace
+
+void
+saveTrace(const std::string &path, TraceSource &source,
+          std::size_t num_ops)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open trace file for writing: ", path);
+    out << kHeader << "\n";
+    for (std::size_t i = 0; i < num_ops; ++i) {
+        const TraceOp op = source.next();
+        out << op.gap << " " << (op.isWrite ? 1 : 0) << " "
+            << (op.dependsOnPrev ? 1 : 0) << " " << op.addr << "\n";
+    }
+    if (!out)
+        fatal("error while writing trace file: ", path);
+}
+
+std::vector<TraceOp>
+loadTrace(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open trace file: ", path);
+    std::string header;
+    std::getline(in, header);
+    if (header != kHeader)
+        fatal("not a mitts trace file (bad header): ", path);
+
+    std::vector<TraceOp> ops;
+    TraceOp op;
+    int is_write = 0;
+    int depends = 0;
+    while (in >> op.gap >> is_write >> depends >> op.addr) {
+        op.isWrite = is_write != 0;
+        op.dependsOnPrev = depends != 0;
+        ops.push_back(op);
+    }
+    if (ops.empty())
+        fatal("trace file contains no operations: ", path);
+    return ops;
+}
+
+} // namespace mitts

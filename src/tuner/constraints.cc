@@ -1,0 +1,151 @@
+#include "tuner/constraints.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "base/logging.hh"
+
+namespace mitts
+{
+
+namespace
+{
+
+std::uint64_t
+total(const Genome &g)
+{
+    return std::accumulate(g.begin(), g.end(), std::uint64_t{0});
+}
+
+double
+weightedInterval(const Genome &g, const BinSpec &spec)
+{
+    const std::uint64_t sum = total(g);
+    if (sum == 0)
+        return 0.0;
+    double w = 0.0;
+    for (unsigned i = 0; i < spec.numBins; ++i)
+        w += static_cast<double>(g[i]) *
+             static_cast<double>(spec.binTime(i));
+    return w / static_cast<double>(sum);
+}
+
+} // namespace
+
+void
+projectToBudget(Genome &g, const BinSpec &spec,
+                std::uint64_t total_credits)
+{
+    MITTS_ASSERT(g.size() == spec.numBins, "genome size");
+    std::uint64_t cur = total(g);
+    if (cur == 0) {
+        g[spec.numBins - 1] = static_cast<std::uint32_t>(std::min<
+            std::uint64_t>(total_credits, spec.maxCredits));
+        cur = g[spec.numBins - 1];
+    }
+
+    // Proportional rescale with floor rounding...
+    Genome scaled(g.size());
+    std::uint64_t assigned = 0;
+    for (std::size_t i = 0; i < g.size(); ++i) {
+        const std::uint64_t v =
+            static_cast<std::uint64_t>(g[i]) * total_credits / cur;
+        scaled[i] = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(v, spec.maxCredits));
+        assigned += scaled[i];
+    }
+    // ...then distribute the rounding residue round-robin over bins
+    // that held credits (or all bins if the scale collapsed them).
+    std::size_t idx = 0;
+    std::size_t guard = 0;
+    while (assigned < total_credits &&
+           guard < g.size() * (total_credits + 1)) {
+        const std::size_t i = idx % g.size();
+        if ((g[i] > 0 || total(scaled) == 0) &&
+            scaled[i] < spec.maxCredits) {
+            ++scaled[i];
+            ++assigned;
+        }
+        ++idx;
+        ++guard;
+    }
+    // If register widths cap the budget, spill anywhere with room.
+    idx = 0;
+    while (assigned < total_credits && idx < g.size()) {
+        const std::uint64_t room = spec.maxCredits - scaled[idx];
+        const std::uint64_t take =
+            std::min<std::uint64_t>(room, total_credits - assigned);
+        scaled[idx] += static_cast<std::uint32_t>(take);
+        assigned += take;
+        ++idx;
+    }
+    while (assigned > total_credits) {
+        // Remove extras from the largest bins.
+        auto it = std::max_element(scaled.begin(), scaled.end());
+        MITTS_ASSERT(*it > 0, "cannot shed credits");
+        --*it;
+        --assigned;
+    }
+    g = std::move(scaled);
+}
+
+void
+projectToAvgInterval(Genome &g, const BinSpec &spec,
+                     double target_avg_interval)
+{
+    MITTS_ASSERT(g.size() == spec.numBins, "genome size");
+    const std::uint64_t sum = total(g);
+    if (sum == 0)
+        return;
+    const double tol =
+        static_cast<double>(spec.intervalLength) / 2.0 /
+        static_cast<double>(sum);
+
+    // Moving one credit from bin a to bin b changes the weighted sum
+    // by (t_b - t_a); greedily move extreme credits toward/away from
+    // the target until within tolerance of half a bin per credit.
+    for (unsigned iter = 0; iter < 4 * spec.maxCredits; ++iter) {
+        const double cur = weightedInterval(g, spec);
+        if (std::abs(cur - target_avg_interval) <=
+            std::max(tol, 0.5))
+            return;
+        if (cur < target_avg_interval) {
+            // Need slower average: move a credit up-interval.
+            int from = -1;
+            for (unsigned i = 0; i + 1 < spec.numBins; ++i) {
+                if (g[i] > 0) {
+                    from = static_cast<int>(i);
+                    break;
+                }
+            }
+            if (from < 0 || g[spec.numBins - 1] >= spec.maxCredits)
+                return; // cannot move further
+            --g[static_cast<unsigned>(from)];
+            ++g[spec.numBins - 1];
+        } else {
+            // Need faster average: move a credit down-interval.
+            int from = -1;
+            for (unsigned i = spec.numBins; i-- > 1;) {
+                if (g[i] > 0) {
+                    from = static_cast<int>(i);
+                    break;
+                }
+            }
+            if (from < 0 || g[0] >= spec.maxCredits)
+                return;
+            --g[static_cast<unsigned>(from)];
+            ++g[0];
+        }
+    }
+}
+
+void
+projectToStaticEquivalent(Genome &g, const BinSpec &spec,
+                          std::uint64_t total_credits,
+                          double target_avg_interval)
+{
+    projectToBudget(g, spec, total_credits);
+    projectToAvgInterval(g, spec, target_avg_interval);
+}
+
+} // namespace mitts

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Constraint projections for the static-comparison experiment (paper
+ * Sec. IV-C): MITTS configurations must match the static limiter's
+ * average bandwidth (total credits per period) and average
+ * inter-arrival time I_avg = sum(n_i t_i)/sum(n_i), so any gain comes
+ * purely from the *shape* of the distribution.
+ */
+
+#ifndef MITTS_TUNER_CONSTRAINTS_HH
+#define MITTS_TUNER_CONSTRAINTS_HH
+
+#include <cstdint>
+
+#include "shaper/bin_config.hh"
+#include "tuner/ga.hh"
+
+namespace mitts
+{
+
+/**
+ * Scale a genome so its total equals `total_credits` (each gene
+ * clamped to the spec's register width). Zero genomes get the budget
+ * in the last bin.
+ */
+void projectToBudget(Genome &g, const BinSpec &spec,
+                     std::uint64_t total_credits);
+
+/**
+ * After budget projection, shift credits between bins until the
+ * weighted average interval is within half a bin of
+ * `target_avg_interval` (when representable). Preserves the total.
+ */
+void projectToAvgInterval(Genome &g, const BinSpec &spec,
+                          double target_avg_interval);
+
+/** Both constraints, as used for Fig. 11. */
+void projectToStaticEquivalent(Genome &g, const BinSpec &spec,
+                               std::uint64_t total_credits,
+                               double target_avg_interval);
+
+} // namespace mitts
+
+#endif // MITTS_TUNER_CONSTRAINTS_HH

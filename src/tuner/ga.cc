@@ -1,0 +1,164 @@
+#include "tuner/ga.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace mitts
+{
+
+GeneticAlgorithm::GeneticAlgorithm(const GaConfig &cfg,
+                                   const GenomeSpec &spec)
+    : cfg_(cfg), spec_(spec), rng_(cfg.seed)
+{
+    MITTS_ASSERT(cfg.populationSize >= 2, "population too small");
+    MITTS_ASSERT(spec.length > 0, "empty genome");
+}
+
+void
+GeneticAlgorithm::seedWith(Genome g)
+{
+    MITTS_ASSERT(g.size() == spec_.length, "seed genome length");
+    seeds_.push_back(std::move(g));
+}
+
+std::uint32_t
+GeneticAlgorithm::logUniform()
+{
+    // Log-uniform over [0, maxValue]: most of the behavioural range
+    // of a credit register is at small counts (a bin with hundreds of
+    // credits is effectively unshaped), so the search concentrates
+    // there while still reaching the top of the range.
+    const double u = rng_.real();
+    const double v =
+        std::exp(u * std::log(static_cast<double>(spec_.maxValue) +
+                              1.0)) -
+        1.0;
+    return static_cast<std::uint32_t>(
+        std::min<double>(v, spec_.maxValue));
+}
+
+Genome
+GeneticAlgorithm::randomGenome()
+{
+    Genome g(spec_.length);
+    // Sample a density so the initial population spans sparse (a few
+    // loaded bins) to dense (credits everywhere) shapes.
+    const double density = 0.2 + 0.8 * rng_.real();
+    for (auto &gene : g)
+        gene = rng_.chance(density) ? logUniform() : 0;
+    return g;
+}
+
+Genome
+GeneticAlgorithm::crossover(const Genome &a, const Genome &b)
+{
+    Genome child(spec_.length);
+    for (std::size_t i = 0; i < spec_.length; ++i)
+        child[i] = rng_.chance(0.5) ? a[i] : b[i];
+    return child;
+}
+
+void
+GeneticAlgorithm::mutate(Genome &g)
+{
+    for (auto &gene : g) {
+        if (!rng_.chance(cfg_.mutationRate))
+            continue;
+        if (rng_.chance(0.5)) {
+            // Reset to a fresh log-uniform value.
+            gene = logUniform();
+        } else {
+            // Relative perturbation (+/- up to 50%, at least +/-1).
+            const auto delta = static_cast<std::int64_t>(
+                rng_.below(std::max<std::uint64_t>(2, gene / 2 + 2)));
+            const std::int64_t sign = rng_.chance(0.5) ? 1 : -1;
+            const std::int64_t v =
+                static_cast<std::int64_t>(gene) + sign * delta;
+            gene = static_cast<std::uint32_t>(std::clamp<std::int64_t>(
+                v, 0, spec_.maxValue));
+        }
+    }
+}
+
+std::size_t
+GeneticAlgorithm::tournament(const std::vector<double> &fitness)
+{
+    std::size_t best = rng_.below(fitness.size());
+    for (unsigned i = 1; i < cfg_.tournamentSize; ++i) {
+        const std::size_t cand = rng_.below(fitness.size());
+        if (fitness[cand] > fitness[best])
+            best = cand;
+    }
+    return best;
+}
+
+GeneticAlgorithm::Result
+GeneticAlgorithm::run(const BatchEvaluator &evaluate)
+{
+    std::vector<Genome> population;
+    for (const auto &s : seeds_) {
+        if (population.size() < cfg_.populationSize)
+            population.push_back(s);
+    }
+    while (population.size() < cfg_.populationSize)
+        population.push_back(randomGenome());
+    if (project_) {
+        for (auto &g : population)
+            project_(g);
+    }
+
+    Result result;
+    for (unsigned gen = 0; gen < cfg_.generations; ++gen) {
+        const std::vector<double> fitness = evaluate(population);
+        MITTS_ASSERT(fitness.size() == population.size(),
+                     "evaluator returned wrong count");
+        result.evaluations += population.size();
+
+        // Track the champion.
+        std::size_t gen_best = 0;
+        for (std::size_t i = 1; i < fitness.size(); ++i) {
+            if (fitness[i] > fitness[gen_best])
+                gen_best = i;
+        }
+        if (result.history.empty() ||
+            fitness[gen_best] > result.bestFitness) {
+            result.bestFitness = fitness[gen_best];
+            result.best = population[gen_best];
+        }
+        result.history.push_back(result.bestFitness);
+
+        if (gen + 1 == cfg_.generations)
+            break;
+
+        // Next generation: elites + tournament offspring.
+        std::vector<std::size_t> order(population.size());
+        for (std::size_t i = 0; i < order.size(); ++i)
+            order[i] = i;
+        std::sort(order.begin(), order.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      return fitness[a] > fitness[b];
+                  });
+
+        std::vector<Genome> next;
+        for (unsigned e = 0;
+             e < cfg_.eliteCount && e < population.size(); ++e)
+            next.push_back(population[order[e]]);
+
+        while (next.size() < cfg_.populationSize) {
+            const Genome &a = population[tournament(fitness)];
+            const Genome &b = population[tournament(fitness)];
+            Genome child =
+                rng_.chance(cfg_.crossoverRate) ? crossover(a, b) : a;
+            mutate(child);
+            if (project_)
+                project_(child);
+            next.push_back(std::move(child));
+        }
+        population = std::move(next);
+    }
+    return result;
+}
+
+} // namespace mitts

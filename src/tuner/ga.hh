@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Generic genetic algorithm over bounded integer genomes.
+ *
+ * Used to search MITTS bin-credit configurations (paper Sec. IV-B):
+ * the space (K_max^10 per core) is large and non-convex, so hill
+ * climbing gets stuck; a GA with tournament selection, uniform
+ * crossover and mixed mutation escapes local optima.
+ */
+
+#ifndef MITTS_TUNER_GA_HH
+#define MITTS_TUNER_GA_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "base/random.hh"
+
+namespace mitts
+{
+
+using Genome = std::vector<std::uint32_t>;
+
+struct GaConfig
+{
+    unsigned populationSize = 30; ///< children/generation (paper)
+    unsigned generations = 20;    ///< paper value
+    double crossoverRate = 0.9;
+    double mutationRate = 0.10;   ///< per-gene
+    unsigned eliteCount = 2;
+    unsigned tournamentSize = 3;
+    std::uint64_t seed = 0xC0FFEE;
+};
+
+struct GenomeSpec
+{
+    std::size_t length = 10;
+    std::uint32_t maxValue = 1024;
+};
+
+class GeneticAlgorithm
+{
+  public:
+    /** Evaluate a whole generation; returns one fitness per genome
+     *  (higher is better). Batch form enables parallel evaluation. */
+    using BatchEvaluator =
+        std::function<std::vector<double>(const std::vector<Genome> &)>;
+
+    /** Constraint projection applied to every candidate genome. */
+    using Projection = std::function<void(Genome &)>;
+
+    GeneticAlgorithm(const GaConfig &cfg, const GenomeSpec &spec);
+
+    /** Add a genome to the initial population (e.g. a known-good
+     *  heuristic seed). */
+    void seedWith(Genome g);
+
+    void setProjection(Projection p) { project_ = std::move(p); }
+
+    struct Result
+    {
+        Genome best;
+        double bestFitness = 0.0;
+        /** Best fitness after each generation (convergence curve). */
+        std::vector<double> history;
+        std::uint64_t evaluations = 0;
+    };
+
+    Result run(const BatchEvaluator &evaluate);
+
+  private:
+    std::uint32_t logUniform();
+    Genome randomGenome();
+    Genome crossover(const Genome &a, const Genome &b);
+    void mutate(Genome &g);
+    std::size_t tournament(const std::vector<double> &fitness);
+
+    GaConfig cfg_;
+    GenomeSpec spec_;
+    Random rng_;
+    Projection project_;
+    std::vector<Genome> seeds_;
+};
+
+} // namespace mitts
+
+#endif // MITTS_TUNER_GA_HH

@@ -1,0 +1,144 @@
+#include "tuner/local_search.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace mitts
+{
+
+namespace
+{
+
+std::uint32_t
+stepUp(std::uint32_t v, double frac, std::uint32_t max_value)
+{
+    const auto delta = std::max<std::uint32_t>(
+        1, static_cast<std::uint32_t>(static_cast<double>(v) * frac));
+    return std::min<std::uint64_t>(max_value,
+                                   static_cast<std::uint64_t>(v) +
+                                       delta);
+}
+
+std::uint32_t
+stepDown(std::uint32_t v, double frac)
+{
+    const auto delta = std::max<std::uint32_t>(
+        1, static_cast<std::uint32_t>(static_cast<double>(v) * frac));
+    return v > delta ? v - delta : 0;
+}
+
+} // namespace
+
+LocalSearchResult
+hillClimb(const GenomeSpec &spec, Genome start, const Evaluator &eval,
+          const LocalSearchConfig &cfg,
+          const GeneticAlgorithm::Projection &project)
+{
+    MITTS_ASSERT(start.size() == spec.length, "start genome length");
+    if (project)
+        project(start);
+
+    LocalSearchResult r;
+    r.best = start;
+    r.bestFitness = eval(start);
+    r.evaluations = 1;
+
+    bool improved = true;
+    while (improved && r.evaluations < cfg.maxEvaluations) {
+        improved = false;
+        Genome best_neighbour = r.best;
+        double best_fitness = r.bestFitness;
+
+        for (std::size_t i = 0;
+             i < spec.length && r.evaluations < cfg.maxEvaluations;
+             ++i) {
+            for (const bool up : {true, false}) {
+                Genome n = r.best;
+                n[i] = up ? stepUp(n[i], cfg.stepFraction,
+                                   spec.maxValue)
+                          : stepDown(n[i], cfg.stepFraction);
+                if (n[i] == r.best[i])
+                    continue;
+                if (project)
+                    project(n);
+                const double f = eval(n);
+                ++r.evaluations;
+                if (f > best_fitness) {
+                    best_fitness = f;
+                    best_neighbour = n;
+                    improved = true;
+                }
+                if (r.evaluations >= cfg.maxEvaluations)
+                    break;
+            }
+        }
+        if (improved) {
+            r.best = std::move(best_neighbour);
+            r.bestFitness = best_fitness;
+        }
+    }
+    return r;
+}
+
+LocalSearchResult
+simulatedAnneal(const GenomeSpec &spec, Genome start,
+                const Evaluator &eval, const LocalSearchConfig &cfg,
+                const GeneticAlgorithm::Projection &project)
+{
+    MITTS_ASSERT(start.size() == spec.length, "start genome length");
+    Random rng(cfg.seed);
+    if (project)
+        project(start);
+
+    LocalSearchResult r;
+    r.best = start;
+    r.bestFitness = eval(start);
+    r.evaluations = 1;
+
+    Genome cur = r.best;
+    double cur_fitness = r.bestFitness;
+    // Geometric cooling sized so the temperature decays to ~1% of the
+    // initial value over the evaluation budget.
+    const double cooling = std::pow(
+        0.01, 1.0 / static_cast<double>(
+                        std::max<std::uint64_t>(
+                            1, cfg.maxEvaluations)));
+    double temperature =
+        cfg.initialTemperature *
+        std::max(1.0, std::abs(r.bestFitness));
+
+    while (r.evaluations < cfg.maxEvaluations) {
+        Genome n = cur;
+        const std::size_t i = rng.below(spec.length);
+        // Alternate coarse jumps (to cross fitness valleys) with
+        // fine +-1 refinement moves.
+        const double frac =
+            rng.chance(0.5) ? cfg.stepFraction : 0.0;
+        if (rng.chance(0.5))
+            n[i] = stepUp(n[i], frac, spec.maxValue);
+        else
+            n[i] = stepDown(n[i], frac);
+        if (project)
+            project(n);
+
+        const double f = eval(n);
+        ++r.evaluations;
+        const double delta = f - cur_fitness;
+        if (delta >= 0 ||
+            rng.chance(std::exp(delta / std::max(1e-12,
+                                                 temperature)))) {
+            cur = std::move(n);
+            cur_fitness = f;
+            if (cur_fitness > r.bestFitness) {
+                r.bestFitness = cur_fitness;
+                r.best = cur;
+            }
+        }
+        temperature *= cooling;
+    }
+    return r;
+}
+
+} // namespace mitts

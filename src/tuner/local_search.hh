@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Local-search baselines for bin-configuration tuning.
+ *
+ * The paper (Sec. IV-B) argues hill climbing and gradient descent
+ * "are likely to get stuck in a local optimal solution" and picks a
+ * genetic algorithm instead. These implementations make that claim
+ * testable: an ablation bench compares the GA against hill climbing
+ * and simulated annealing on the same objective and budget.
+ */
+
+#ifndef MITTS_TUNER_LOCAL_SEARCH_HH
+#define MITTS_TUNER_LOCAL_SEARCH_HH
+
+#include <functional>
+
+#include "base/random.hh"
+#include "tuner/ga.hh"
+
+namespace mitts
+{
+
+struct LocalSearchConfig
+{
+    std::uint64_t maxEvaluations = 200; ///< evaluation budget
+    std::uint64_t seed = 0x51DE;
+    /** Step size as a fraction of the current gene value. */
+    double stepFraction = 0.5;
+    /** Simulated annealing initial temperature (relative fitness). */
+    double initialTemperature = 0.05;
+};
+
+struct LocalSearchResult
+{
+    Genome best;
+    double bestFitness = 0.0;
+    std::uint64_t evaluations = 0;
+};
+
+/** Single-candidate fitness (higher is better). */
+using Evaluator = std::function<double(const Genome &)>;
+
+/**
+ * Steepest-neighbour hill climbing: from a starting genome, tries
+ * +/- steps on each gene and keeps the best improving move; stops at
+ * a local optimum or when the budget runs out.
+ */
+LocalSearchResult
+hillClimb(const GenomeSpec &spec, Genome start, const Evaluator &eval,
+          const LocalSearchConfig &cfg,
+          const GeneticAlgorithm::Projection &project = nullptr);
+
+/**
+ * Simulated annealing with geometric cooling: random single-gene
+ * moves, always accepting improvements and accepting regressions
+ * with Boltzmann probability.
+ */
+LocalSearchResult
+simulatedAnneal(const GenomeSpec &spec, Genome start,
+                const Evaluator &eval, const LocalSearchConfig &cfg,
+                const GeneticAlgorithm::Projection &project = nullptr);
+
+} // namespace mitts
+
+#endif // MITTS_TUNER_LOCAL_SEARCH_HH

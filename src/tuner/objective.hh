@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Objective functions a MITTS tuner can optimize (paper Sec. III-F:
+ * "select the best configuration provided a user-defined objective
+ * function").
+ */
+
+#ifndef MITTS_TUNER_OBJECTIVE_HH
+#define MITTS_TUNER_OBJECTIVE_HH
+
+namespace mitts
+{
+
+enum class Objective
+{
+    Performance, ///< single program: minimize cycles
+    Throughput,  ///< multi-program: minimize S_avg
+    Fairness,    ///< multi-program: minimize S_max
+    PerfPerCost, ///< IaaS: maximize IPC / price
+};
+
+inline const char *
+objectiveName(Objective o)
+{
+    switch (o) {
+      case Objective::Performance:
+        return "performance";
+      case Objective::Throughput:
+        return "throughput";
+      case Objective::Fairness:
+        return "fairness";
+      case Objective::PerfPerCost:
+        return "perf/cost";
+    }
+    return "?";
+}
+
+} // namespace mitts
+
+#endif // MITTS_TUNER_OBJECTIVE_HH

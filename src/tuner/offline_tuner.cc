@@ -1,0 +1,235 @@
+#include "tuner/offline_tuner.hh"
+
+#include <atomic>
+#include <thread>
+
+#include "base/logging.hh"
+#include "tuner/constraints.hh"
+
+namespace mitts
+{
+
+namespace
+{
+
+/** Evaluate each genome with `fn` across a bounded thread pool. */
+std::vector<double>
+mapParallel(const std::vector<Genome> &genomes,
+            const std::function<double(const Genome &)> &fn,
+            bool parallel, unsigned max_threads)
+{
+    std::vector<double> fitness(genomes.size(), 0.0);
+    if (!parallel || genomes.size() < 2) {
+        for (std::size_t i = 0; i < genomes.size(); ++i)
+            fitness[i] = fn(genomes[i]);
+        return fitness;
+    }
+
+    unsigned workers = max_threads
+                           ? max_threads
+                           : std::thread::hardware_concurrency();
+    if (workers == 0)
+        workers = 4;
+    workers = std::min<unsigned>(
+        workers, static_cast<unsigned>(genomes.size()));
+
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+        pool.emplace_back([&] {
+            for (;;) {
+                const std::size_t i =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= genomes.size())
+                    return;
+                fitness[i] = fn(genomes[i]);
+            }
+        });
+    }
+    for (auto &t : pool)
+        t.join();
+    return fitness;
+}
+
+/** Heuristic seed genomes covering canonical shapes. */
+void
+addShapeSeeds(GeneticAlgorithm &ga, const BinSpec &spec,
+              unsigned num_cores, std::uint32_t level)
+{
+    const unsigned n = spec.numBins;
+
+    // The do-nothing configuration: saturated bins shape nothing, so
+    // the GA can never do worse than the unshaped baseline.
+    Genome unshaped(static_cast<std::size_t>(n) * num_cores,
+                    spec.maxCredits);
+    ga.seedWith(unshaped);
+
+    // Uniform throttles at several strengths: chip-wide rate limits
+    // are the coarse landmarks the fine-grained search refines.
+    for (std::uint32_t l :
+         {level, std::max<std::uint32_t>(1, level / 8),
+          std::max<std::uint32_t>(1, level / 16)}) {
+        Genome uniform(static_cast<std::size_t>(n) * num_cores, l);
+        ga.seedWith(uniform);
+    }
+
+    Genome burst(unshaped.size(), 0);
+    for (unsigned c = 0; c < num_cores; ++c) {
+        burst[c * n] = std::min(4 * level, spec.maxCredits);
+        burst[c * n + n - 1] = level;
+    }
+    ga.seedWith(burst);
+
+    Genome bulk(unshaped.size(), 0);
+    for (unsigned c = 0; c < num_cores; ++c)
+        bulk[c * n + n - 1] = std::min(4 * level, spec.maxCredits);
+    ga.seedWith(bulk);
+}
+
+} // namespace
+
+std::vector<BinConfig>
+genomeToConfigs(const Genome &g, const BinSpec &spec,
+                unsigned num_cores)
+{
+    MITTS_ASSERT(g.size() ==
+                     static_cast<std::size_t>(spec.numBins) * num_cores,
+                 "genome length mismatch");
+    std::vector<BinConfig> configs;
+    for (unsigned c = 0; c < num_cores; ++c) {
+        BinConfig cfg(spec);
+        for (unsigned i = 0; i < spec.numBins; ++i)
+            cfg.credits[i] = g[c * spec.numBins + i];
+        cfg.clamp();
+        configs.push_back(std::move(cfg));
+    }
+    return configs;
+}
+
+Genome
+configsToGenome(const std::vector<BinConfig> &configs)
+{
+    Genome g;
+    for (const auto &cfg : configs)
+        for (auto k : cfg.credits)
+            g.push_back(k);
+    return g;
+}
+
+SingleTuneResult
+tuneSingleProgram(const SystemConfig &base, Objective objective,
+                  const PricingModel *pricing,
+                  GeneticAlgorithm::Projection projection,
+                  const OfflineTunerOptions &opts)
+{
+    MITTS_ASSERT(base.apps.size() == 1, "single-program tuner");
+    MITTS_ASSERT(base.gate == GateKind::Mitts,
+                 "tuner needs a MITTS gate");
+    MITTS_ASSERT(objective == Objective::Performance ||
+                     objective == Objective::PerfPerCost,
+                 "single-program objective");
+    MITTS_ASSERT(objective != Objective::PerfPerCost || pricing,
+                 "perf/cost needs a pricing model");
+
+    const BinSpec spec = base.binSpec;
+    GeneticAlgorithm ga(opts.ga, GenomeSpec{spec.numBins,
+                                            spec.maxCredits});
+    if (projection)
+        ga.setProjection(projection);
+    for (const auto &seed : opts.seedConfigs)
+        ga.seedWith(seed.credits);
+    addShapeSeeds(ga, spec, 1,
+                  std::max<std::uint32_t>(1, spec.maxCredits / 16));
+
+    auto eval_one = [&](const Genome &g) -> double {
+        SystemConfig cfg = base;
+        cfg.mittsConfigs = genomeToConfigs(g, spec, 1);
+        const Tick cycles = runSingle(cfg, opts.run);
+        const double perf =
+            static_cast<double>(opts.run.instrTarget) /
+            static_cast<double>(cycles);
+        if (objective == Objective::Performance)
+            return perf;
+        return pricing->perfPerCost(perf, cfg.mittsConfigs[0]);
+    };
+
+    auto batch = [&](const std::vector<Genome> &gen) {
+        return mapParallel(gen, eval_one, opts.parallel,
+                           opts.maxThreads);
+    };
+
+    SingleTuneResult result;
+    result.ga = ga.run(batch);
+    result.bestFitness = result.ga.bestFitness;
+    result.best = genomeToConfigs(result.ga.best, spec, 1)[0];
+
+    SystemConfig best_cfg = base;
+    best_cfg.mittsConfigs = {result.best};
+    result.bestCycles = runSingle(best_cfg, opts.run);
+    return result;
+}
+
+MultiTuneResult
+tuneMultiProgram(const SystemConfig &base,
+                 const std::vector<Tick> &alone, Objective objective,
+                 std::uint64_t chip_budget,
+                 const OfflineTunerOptions &opts)
+{
+    MITTS_ASSERT(base.gate == GateKind::Mitts,
+                 "tuner needs a MITTS gate");
+    MITTS_ASSERT(objective == Objective::Throughput ||
+                     objective == Objective::Fairness,
+                 "multi-program objective");
+
+    // Count cores (apps may be multithreaded).
+    System probe(base);
+    const unsigned num_cores = probe.numCores();
+
+    const BinSpec spec = base.binSpec;
+    GeneticAlgorithm ga(
+        opts.ga,
+        GenomeSpec{static_cast<std::size_t>(spec.numBins) * num_cores,
+                   spec.maxCredits});
+    addShapeSeeds(ga, spec, num_cores,
+                  std::max<std::uint32_t>(1, spec.maxCredits / 16));
+
+    if (chip_budget > 0) {
+        ga.setProjection([spec, num_cores, chip_budget](Genome &g) {
+            // Project the whole chip's credits onto the budget while
+            // keeping the per-core proportions the GA chose.
+            BinSpec chip = spec;
+            chip.numBins = spec.numBins * num_cores;
+            // Reuse the single-spec projection on the flat genome by
+            // treating it as one long bin vector with the same
+            // register width.
+            projectToBudget(g, chip, chip_budget);
+        });
+    }
+
+    auto eval_one = [&](const Genome &g) -> double {
+        SystemConfig cfg = base;
+        cfg.mittsConfigs = genomeToConfigs(g, spec, num_cores);
+        const MultiOutcome out = runMulti(cfg, alone, opts.run);
+        const double metric = objective == Objective::Throughput
+                                  ? out.metrics.savg
+                                  : out.metrics.smax;
+        return 1.0 / std::max(1e-9, metric);
+    };
+
+    auto batch = [&](const std::vector<Genome> &gen) {
+        return mapParallel(gen, eval_one, opts.parallel,
+                           opts.maxThreads);
+    };
+
+    MultiTuneResult result;
+    result.ga = ga.run(batch);
+    result.best = genomeToConfigs(result.ga.best, spec, num_cores);
+
+    SystemConfig best_cfg = base;
+    best_cfg.mittsConfigs = result.best;
+    result.metrics = runMulti(best_cfg, alone, opts.run).metrics;
+    return result;
+}
+
+} // namespace mitts

@@ -1,0 +1,54 @@
+#include "tuner/phase_switcher.hh"
+
+#include "base/logging.hh"
+
+namespace mitts
+{
+
+PhaseSwitcher::PhaseSwitcher(std::string name, System &sys,
+                             std::vector<PhaseSchedule> schedules,
+                             Tick check_period)
+    : Clocked(std::move(name)), sys_(sys),
+      schedules_(std::move(schedules)),
+      applied_(schedules_.size(), ~0u), checkPeriod_(check_period)
+{
+    for (const auto &s : schedules_) {
+        MITTS_ASSERT(!s.configs.empty(), "empty phase schedule");
+        MITTS_ASSERT(s.phaseInstructions > 0, "zero phase length");
+        MITTS_ASSERT(static_cast<unsigned>(s.core) < sys_.numCores(),
+                     "schedule core out of range");
+    }
+}
+
+unsigned
+PhaseSwitcher::currentPhase(CoreId core) const
+{
+    for (std::size_t i = 0; i < schedules_.size(); ++i) {
+        if (schedules_[i].core == core)
+            return applied_[i] == ~0u ? 0 : applied_[i];
+    }
+    return 0;
+}
+
+void
+PhaseSwitcher::tick(Tick now)
+{
+    if (now < nextCheckAt_)
+        return;
+    nextCheckAt_ = now + checkPeriod_;
+
+    for (std::size_t i = 0; i < schedules_.size(); ++i) {
+        const PhaseSchedule &s = schedules_[i];
+        const std::uint64_t instr =
+            sys_.core(s.core).instructions();
+        const auto phase = static_cast<unsigned>(
+            (instr / s.phaseInstructions) % s.configs.size());
+        if (phase != applied_[i]) {
+            applied_[i] = phase;
+            sys_.setShaperConfig(s.core, s.configs[phase]);
+            ++switches_;
+        }
+    }
+}
+
+} // namespace mitts

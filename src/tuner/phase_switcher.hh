@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Phase-based configuration switching (paper Sec. IV-D: "we also
+ * evaluate phase-based online/offline MITTS by dividing an
+ * application into five phases and optimizing MITTS configuration
+ * for each phase").
+ *
+ * The offline variant: a per-phase schedule of bin configurations,
+ * applied to a core's shaper as the core crosses instruction-count
+ * phase boundaries. The schedules come from a per-phase offline GA
+ * (or any other source); this component is the runtime that swaps
+ * them in, the OS-visible half of the paper's "MITTS bin
+ * configurations are exposed in a set of configuration registers".
+ */
+
+#ifndef MITTS_TUNER_PHASE_SWITCHER_HH
+#define MITTS_TUNER_PHASE_SWITCHER_HH
+
+#include <vector>
+
+#include "sim/clocked.hh"
+#include "system/system.hh"
+
+namespace mitts
+{
+
+/** Per-core phase schedule: config[i] applies during phase i. */
+struct PhaseSchedule
+{
+    CoreId core = 0;
+    /** Retired instructions per phase (the phase length). */
+    std::uint64_t phaseInstructions = 0;
+    /** One configuration per phase; cycles back after the last. */
+    std::vector<BinConfig> configs;
+};
+
+class PhaseSwitcher : public Clocked
+{
+  public:
+    PhaseSwitcher(std::string name, System &sys,
+                  std::vector<PhaseSchedule> schedules,
+                  Tick check_period = 500);
+
+    void tick(Tick now) override;
+
+    /** Phase the core is currently in. */
+    unsigned currentPhase(CoreId core) const;
+
+    std::uint64_t switches() const { return switches_; }
+
+  private:
+    System &sys_;
+    std::vector<PhaseSchedule> schedules_;
+    std::vector<unsigned> applied_; ///< phase index currently applied
+    Tick checkPeriod_;
+    Tick nextCheckAt_ = 0;
+    std::uint64_t switches_ = 0;
+};
+
+} // namespace mitts
+
+#endif // MITTS_TUNER_PHASE_SWITCHER_HH

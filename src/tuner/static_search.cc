@@ -1,0 +1,130 @@
+#include "tuner/static_search.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace mitts
+{
+
+double
+intervalForGBps(double gbps, double cpu_ghz)
+{
+    MITTS_ASSERT(gbps > 0, "bandwidth must be positive");
+    // cycles per 64B block at the requested rate.
+    return static_cast<double>(kBlockBytes) * cpu_ghz / gbps;
+}
+
+StaticBinResult
+searchBestSingleBin(const SystemConfig &base,
+                    const PricingModel &pricing,
+                    const std::vector<std::uint32_t> &credit_grid,
+                    const RunnerOptions &opts)
+{
+    MITTS_ASSERT(base.apps.size() == 1 &&
+                     base.gate == GateKind::Mitts,
+                 "single-bin search wants one app with MITTS");
+    StaticBinResult best;
+    bool first = true;
+
+    for (unsigned bin = 0; bin < base.binSpec.numBins; ++bin) {
+        for (std::uint32_t k : credit_grid) {
+            SystemConfig cfg = base;
+            BinConfig bc =
+                BinConfig::singleBin(base.binSpec, bin, k);
+            cfg.mittsConfigs = {bc};
+            const Tick cycles = runSingle(cfg, opts);
+            const double perf =
+                static_cast<double>(opts.instrTarget) /
+                static_cast<double>(cycles);
+            const double ppc = pricing.perfPerCost(perf, bc);
+            if (first || ppc > best.perfPerCost) {
+                first = false;
+                best.best = bc;
+                best.cycles = cycles;
+                best.perf = perf;
+                best.perfPerCost = ppc;
+            }
+        }
+    }
+    return best;
+}
+
+namespace
+{
+
+StaticSplitResult
+runSplit(const SystemConfig &base, const std::vector<Tick> &alone,
+         const std::vector<double> &gbps, const RunnerOptions &opts)
+{
+    SystemConfig cfg = base;
+    cfg.gate = GateKind::Static;
+    cfg.staticIntervals.clear();
+    for (double g : gbps)
+        cfg.staticIntervals.push_back(
+            intervalForGBps(g, base.cpuGhz));
+    StaticSplitResult r;
+    r.intervals = cfg.staticIntervals;
+    r.metrics = runMulti(cfg, alone, opts).metrics;
+    return r;
+}
+
+} // namespace
+
+StaticSplitResult
+evenStaticSplit(const SystemConfig &base,
+                const std::vector<Tick> &alone, double total_gbps,
+                const RunnerOptions &opts)
+{
+    System probe(base);
+    const unsigned n = probe.numCores();
+    std::vector<double> gbps(n, total_gbps / n);
+    return runSplit(base, alone, gbps, opts);
+}
+
+StaticSplitResult
+searchHeterogeneousSplit(const SystemConfig &base,
+                         const std::vector<Tick> &alone,
+                         double total_gbps, Objective objective,
+                         unsigned iterations,
+                         const RunnerOptions &opts)
+{
+    System probe(base);
+    const unsigned n = probe.numCores();
+    std::vector<double> gbps(n, total_gbps / n);
+
+    auto metric = [&](const StaticSplitResult &r) {
+        return objective == Objective::Fairness ? r.metrics.smax
+                                                : r.metrics.savg;
+    };
+
+    StaticSplitResult best = runSplit(base, alone, gbps, opts);
+    const double min_share = total_gbps / (8.0 * n);
+
+    for (unsigned it = 0; it < iterations; ++it) {
+        bool improved = false;
+        const double step = total_gbps / n * 0.25;
+        // Try moving a slice of bandwidth from core i to core j.
+        for (unsigned i = 0; i < n && !improved; ++i) {
+            for (unsigned j = 0; j < n && !improved; ++j) {
+                if (i == j || gbps[i] - step < min_share)
+                    continue;
+                auto trial = gbps;
+                trial[i] -= step;
+                trial[j] += step;
+                StaticSplitResult r =
+                    runSplit(base, alone, trial, opts);
+                if (metric(r) < metric(best)) {
+                    best = std::move(r);
+                    gbps = std::move(trial);
+                    improved = true;
+                }
+            }
+        }
+        if (!improved)
+            break;
+    }
+    return best;
+}
+
+} // namespace mitts

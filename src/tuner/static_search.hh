@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Exhaustive/greedy searches for the static baselines MITTS is
+ * compared against:
+ *  - the optimal single-bin ("fixed request rate") configuration per
+ *    application (Fig. 18's "static best case"),
+ *  - the optimal heterogeneous static bandwidth split across co-
+ *    running applications (Fig. 16).
+ */
+
+#ifndef MITTS_TUNER_STATIC_SEARCH_HH
+#define MITTS_TUNER_STATIC_SEARCH_HH
+
+#include <vector>
+
+#include "iaas/pricing.hh"
+#include "system/runner.hh"
+#include "tuner/objective.hh"
+
+namespace mitts
+{
+
+/** Result of the single-bin search. */
+struct StaticBinResult
+{
+    BinConfig best;
+    Tick cycles = 0;
+    double perf = 0.0;      ///< IPC
+    double perfPerCost = 0.0;
+};
+
+/**
+ * Search all (bin, credits) single-bin configurations, maximizing
+ * perf/cost. `credit_grid` bounds the credit axis (log grid keeps the
+ * search tractable, like the paper's exhaustive static sweep).
+ */
+StaticBinResult
+searchBestSingleBin(const SystemConfig &base,
+                    const PricingModel &pricing,
+                    const std::vector<std::uint32_t> &credit_grid,
+                    const RunnerOptions &opts);
+
+/** Result of the heterogeneous static split search. */
+struct StaticSplitResult
+{
+    std::vector<double> intervals; ///< per-core cycles/request
+    MultiProgramMetrics metrics;
+};
+
+/**
+ * Even static split: every core gets total bandwidth / numCores.
+ */
+StaticSplitResult evenStaticSplit(const SystemConfig &base,
+                                  const std::vector<Tick> &alone,
+                                  double total_gbps,
+                                  const RunnerOptions &opts);
+
+/**
+ * Greedy coordinate descent over per-core static bandwidth shares
+ * with the total fixed, optimizing S_avg (Throughput) or S_max
+ * (Fairness).
+ */
+StaticSplitResult
+searchHeterogeneousSplit(const SystemConfig &base,
+                         const std::vector<Tick> &alone,
+                         double total_gbps, Objective objective,
+                         unsigned iterations,
+                         const RunnerOptions &opts);
+
+/** cycles/request interval for a bandwidth in GB/s. */
+double intervalForGBps(double gbps, double cpu_ghz);
+
+} // namespace mitts
+
+#endif // MITTS_TUNER_STATIC_SEARCH_HH

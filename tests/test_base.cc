@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Unit tests for src/base: RNG determinism, bit utilities, stats.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "base/bitutil.hh"
+#include "base/random.hh"
+#include "base/stats.hh"
+
+namespace mitts
+{
+namespace
+{
+
+TEST(Random, DeterministicAcrossInstances)
+{
+    Random a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Random, DifferentSeedsDiffer)
+{
+    Random a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 5);
+}
+
+TEST(Random, BelowStaysInRange)
+{
+    Random r(7);
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = r.below(13);
+        EXPECT_LT(v, 13u);
+    }
+}
+
+TEST(Random, BelowCoversRange)
+{
+    Random r(11);
+    std::vector<int> counts(8, 0);
+    for (int i = 0; i < 8000; ++i)
+        ++counts[r.below(8)];
+    for (int c : counts)
+        EXPECT_GT(c, 700); // roughly uniform
+}
+
+TEST(Random, RealInUnitInterval)
+{
+    Random r(3);
+    for (int i = 0; i < 10000; ++i) {
+        const double v = r.real();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Random, BetweenInclusive)
+{
+    Random r(5);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = r.between(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Random, ForkIsIndependent)
+{
+    Random a(9);
+    Random child = a.fork();
+    EXPECT_NE(a.next(), child.next());
+}
+
+TEST(BitUtil, PowerOfTwo)
+{
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(2));
+    EXPECT_TRUE(isPowerOf2(1024));
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_FALSE(isPowerOf2(1023));
+}
+
+TEST(BitUtil, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(64), 6u);
+    EXPECT_EQ(floorLog2(65), 6u);
+}
+
+TEST(BitUtil, Bits)
+{
+    EXPECT_EQ(bits(0xFF00, 8, 8), 0xFFu);
+    EXPECT_EQ(bits(0b101100, 2, 3), 0b011u);
+}
+
+TEST(BitUtil, DivCeil)
+{
+    EXPECT_EQ(divCeil(10, 3), 4u);
+    EXPECT_EQ(divCeil(9, 3), 3u);
+    EXPECT_EQ(divCeil(1, 3), 1u);
+}
+
+TEST(Stats, CounterBasics)
+{
+    stats::Counter c("c");
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(4);
+    EXPECT_EQ(c.value(), 5u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Stats, AverageTracksMinMaxMean)
+{
+    stats::Average a("a");
+    a.sample(2);
+    a.sample(4);
+    a.sample(6);
+    EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(a.min(), 2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 6.0);
+    EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(Stats, HistogramBinning)
+{
+    stats::Histogram h("h", 10, 10.0);
+    h.sample(0);
+    h.sample(9.99);
+    h.sample(10);
+    h.sample(95);
+    h.sample(1000); // overflow
+    EXPECT_EQ(h.bin(0), 2u);
+    EXPECT_EQ(h.bin(1), 1u);
+    EXPECT_EQ(h.bin(9), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(Stats, HistogramFractions)
+{
+    stats::Histogram h("h", 4, 1.0);
+    h.sample(0.5, 3);
+    h.sample(2.5, 1);
+    EXPECT_DOUBLE_EQ(h.fraction(0), 0.75);
+    EXPECT_DOUBLE_EQ(h.fraction(2), 0.25);
+}
+
+TEST(Stats, GroupDumpContainsNames)
+{
+    stats::Group g("grp");
+    g.addCounter("events").inc(7);
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_NE(os.str().find("grp.events = 7"), std::string::npos);
+}
+
+} // namespace
+} // namespace mitts

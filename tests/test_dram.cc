@@ -1,0 +1,332 @@
+/**
+ * @file
+ * Unit tests for the DRAM timing model: address mapping, row-buffer
+ * state machine, bus serialization, activate windows, refresh.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "base/random.hh"
+#include "dram/dram.hh"
+
+namespace mitts
+{
+namespace
+{
+
+DramConfig
+testConfig()
+{
+    DramConfig cfg = DramConfig::ddr3_1333();
+    cfg.refreshEnabled = false; // most tests want quiet banks
+    return cfg;
+}
+
+TEST(DramMap, SequentialBlocksShareRow)
+{
+    const DramConfig cfg = testConfig();
+    const DramCoord a = mapAddress(0, cfg);
+    const DramCoord b = mapAddress(64, cfg);
+    EXPECT_EQ(a.bank, b.bank);
+    EXPECT_EQ(a.row, b.row);
+    EXPECT_EQ(b.col, a.col + 1);
+}
+
+TEST(DramMap, AdjacentRowsRotateBanks)
+{
+    const DramConfig cfg = testConfig();
+    const DramCoord a = mapAddress(0, cfg);
+    const DramCoord b = mapAddress(cfg.rowBytes, cfg);
+    EXPECT_NE(a.bank, b.bank);
+}
+
+TEST(DramMap, CoversAllBanks)
+{
+    const DramConfig cfg = testConfig();
+    std::vector<bool> seen(cfg.numBanks, false);
+    for (unsigned i = 0; i < cfg.numBanks; ++i)
+        seen[mapAddress(static_cast<Addr>(i) * cfg.rowBytes, cfg)
+                 .bank] = true;
+    for (bool s : seen)
+        EXPECT_TRUE(s);
+}
+
+TEST(Dram, ClosedThenHit)
+{
+    Dram dram(testConfig());
+    EXPECT_EQ(dram.rowState(0), RowState::Closed);
+    ASSERT_TRUE(dram.canIssue(0, false, 0));
+    dram.issue(0, false, 0);
+    EXPECT_EQ(dram.rowState(0), RowState::Hit);
+    EXPECT_EQ(dram.rowState(64), RowState::Hit);
+    EXPECT_EQ(dram.rowHits(), 0u);
+    EXPECT_EQ(dram.rowMisses(), 1u);
+}
+
+TEST(Dram, RowHitFasterThanMiss)
+{
+    const DramConfig cfg = testConfig();
+    Dram dram(cfg);
+    const Tick t0 = dram.issue(0, false, 0);
+    // Next access to the open row, issued well after the first.
+    const Tick start = t0 + 100;
+    ASSERT_TRUE(dram.canIssue(64, false, start));
+    const Tick t1 = dram.issue(64, false, start);
+    EXPECT_EQ(t1 - start, cfg.tCL + cfg.tBURST);
+    EXPECT_EQ(t0, cfg.tRCD + cfg.tCL + cfg.tBURST);
+}
+
+TEST(Dram, ConflictNeedsPrechargeAndRespectsTras)
+{
+    const DramConfig cfg = testConfig();
+    Dram dram(cfg);
+    dram.issue(0, false, 0);
+    // Same bank, different row.
+    const Addr conflict = static_cast<Addr>(cfg.rowBytes) *
+                          cfg.numBanks; // same bank, next row group
+    ASSERT_EQ(mapAddress(conflict, cfg).bank,
+              mapAddress(0, cfg).bank);
+    EXPECT_EQ(dram.rowState(conflict), RowState::Conflict);
+    // Precharge cannot start before tRAS from the activate at 0.
+    EXPECT_FALSE(dram.canIssue(conflict, false, cfg.tRAS - 1));
+    ASSERT_TRUE(dram.canIssue(conflict, false, cfg.tRAS));
+    const Tick start = cfg.tRAS;
+    const Tick done = dram.issue(conflict, false, start);
+    EXPECT_EQ(done - start,
+              cfg.tRP + cfg.tRCD + cfg.tCL + cfg.tBURST);
+}
+
+TEST(Dram, BusSerializesBursts)
+{
+    const DramConfig cfg = testConfig();
+    Dram dram(cfg);
+    // Two row hits to different banks issued back to back: the data
+    // bursts may not overlap.
+    const Addr bank0 = 0;
+    const Addr bank1 = cfg.rowBytes; // different bank
+    dram.issue(bank0, false, 0);
+    // Earliest legal second activate respects tRRD.
+    const Tick start = cfg.tRRD;
+    ASSERT_TRUE(dram.canIssue(bank1, false, start));
+    const Tick done0 = cfg.tRCD + cfg.tCL + cfg.tBURST;
+    const Tick done1 = dram.issue(bank1, false, start);
+    // tRRD (15) < tBURST-free spacing, so the bus serializes: the
+    // second burst may not finish earlier than one burst after the
+    // first.
+    EXPECT_GE(done1, done0 + cfg.tBURST);
+}
+
+TEST(Dram, RrdLimitsActivateRate)
+{
+    const DramConfig cfg = testConfig();
+    Dram dram(cfg);
+    dram.issue(0, false, 0);
+    const Addr other = cfg.rowBytes; // different bank, needs ACT
+    EXPECT_FALSE(dram.canIssue(other, false, cfg.tRRD - 1));
+    EXPECT_TRUE(dram.canIssue(other, false, cfg.tRRD));
+}
+
+TEST(Dram, FawLimitsFourActivates)
+{
+    const DramConfig cfg = testConfig();
+    Dram dram(cfg);
+    Tick now = 0;
+    // Four activates to four banks, spaced at exactly tRRD.
+    for (unsigned i = 0; i < 4; ++i) {
+        const Addr addr = static_cast<Addr>(i) * cfg.rowBytes;
+        while (!dram.canIssue(addr, false, now))
+            ++now;
+        dram.issue(addr, false, now);
+    }
+    // Fifth activate must wait for the tFAW window of the first.
+    const Addr fifth = static_cast<Addr>(4) * cfg.rowBytes;
+    EXPECT_FALSE(dram.canIssue(fifth, false, now + cfg.tRRD));
+}
+
+TEST(Dram, WriteRecoveryDelaysConflict)
+{
+    const DramConfig cfg = testConfig();
+    Dram dram(cfg);
+    const Tick done = dram.issue(0, true, 0); // write
+    const Addr conflict =
+        static_cast<Addr>(cfg.rowBytes) * cfg.numBanks;
+    // Cannot precharge until write recovery completes.
+    EXPECT_FALSE(dram.canIssue(conflict, false, done));
+    EXPECT_TRUE(
+        dram.canIssue(conflict, false, done + cfg.tWR));
+}
+
+TEST(Dram, RefreshClosesRowsAndBlocks)
+{
+    DramConfig cfg = testConfig();
+    cfg.refreshEnabled = true;
+    Dram dram(cfg);
+    dram.issue(0, false, 0);
+    EXPECT_EQ(dram.rowState(0), RowState::Hit);
+    dram.tick(cfg.tREFI);
+    EXPECT_TRUE(dram.refreshing(cfg.tREFI));
+    EXPECT_EQ(dram.rowState(0), RowState::Closed);
+    EXPECT_FALSE(dram.canIssue(0, false, cfg.tREFI + 1));
+    EXPECT_FALSE(dram.refreshing(cfg.tREFI + cfg.tRFC));
+    EXPECT_TRUE(dram.canIssue(0, false, cfg.tREFI + cfg.tRFC));
+}
+
+TEST(Dram, PeakBandwidthMatchesBurst)
+{
+    const DramConfig cfg = testConfig();
+    // DDR3-1333 on an 8-byte bus: 64B burst in ~6ns at 2.4 GHz.
+    EXPECT_NEAR(cfg.peakBlocksPerCycle() * 64 * 2.4, 10.67, 0.8);
+}
+
+
+/**
+ * Protocol property: under random issue patterns, data bursts never
+ * overlap on the shared bus, per-bank activates respect tRRD, and at
+ * most four activates fall in any tFAW window.
+ */
+class DramProtocolProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(DramProtocolProperty, TimingInvariantsHold)
+{
+    Random rng(GetParam() * 101 + 17);
+    DramConfig cfg = testConfig();
+    Dram dram(cfg);
+
+    std::vector<std::pair<Tick, Tick>> bursts; // [start, end)
+    std::vector<Tick> activates;
+    Tick now = 0;
+    int issued = 0;
+    while (issued < 200 && now < 2'000'000) {
+        now += 1 + rng.below(20);
+        const Addr addr =
+            rng.below(1 << 14) * kBlockBytes; // many rows/banks
+        const bool write = rng.chance(0.25);
+        if (!dram.canIssue(addr, write, now))
+            continue;
+        const bool was_hit = dram.isRowHit(addr);
+        const Tick done = dram.issue(addr, write, now);
+        ASSERT_GT(done, now);
+        bursts.emplace_back(done - cfg.tBURST, done);
+        if (!was_hit)
+            activates.push_back(now);
+        ++issued;
+    }
+    ASSERT_GT(issued, 100);
+
+    // Bus exclusivity.
+    std::sort(bursts.begin(), bursts.end());
+    for (std::size_t i = 1; i < bursts.size(); ++i) {
+        ASSERT_GE(bursts[i].first, bursts[i - 1].second)
+            << "data bursts overlap at index " << i;
+    }
+
+    // tFAW: any 4-activate window spans at least tFAW... activates
+    // recorded at issue; precharge-then-activate paths start later,
+    // so this is conservative only for hits (excluded above).
+    std::sort(activates.begin(), activates.end());
+    for (std::size_t i = 4; i < activates.size(); ++i) {
+        ASSERT_GE(activates[i] - activates[i - 4] + cfg.tRP,
+                  cfg.tFAW)
+            << "five activates inside one tFAW window";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DramProtocolProperty,
+                         ::testing::Range(0, 8));
+
+/**
+ * Property: row-state bookkeeping is consistent — after issuing to
+ * an address, the same row is reported open (until a conflicting
+ * issue or refresh).
+ */
+class DramRowStateProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(DramRowStateProperty, OpenRowTracksLastIssue)
+{
+    Random rng(GetParam() * 7 + 3);
+    DramConfig cfg = testConfig();
+    Dram dram(cfg);
+    Tick now = 0;
+    for (int i = 0; i < 300; ++i) {
+        now += 1 + rng.below(300);
+        const Addr addr = rng.below(1 << 12) * kBlockBytes;
+        if (!dram.canIssue(addr, false, now))
+            continue;
+        dram.issue(addr, false, now);
+        EXPECT_EQ(dram.rowState(addr), RowState::Hit)
+            << "issued row must be open";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DramRowStateProperty,
+                         ::testing::Range(0, 6));
+
+
+TEST(DramMap, BlockInterleaveRotatesBanksPerBlock)
+{
+    DramConfig cfg = testConfig();
+    cfg.addressMap = AddressMap::BlockInterleaved;
+    const DramCoord a = mapAddress(0, cfg);
+    const DramCoord b = mapAddress(64, cfg);
+    EXPECT_NE(a.bank, b.bank);
+    // Bank pattern repeats every numBanks blocks, one column later.
+    const DramCoord c = mapAddress(
+        static_cast<Addr>(cfg.numBanks) * 64, cfg);
+    EXPECT_EQ(c.bank, a.bank);
+    EXPECT_EQ(c.col, a.col + 1);
+}
+
+TEST(DramMap, MappingsAreBijectiveOverAWindow)
+{
+    for (auto map : {AddressMap::RowInterleaved,
+                     AddressMap::BlockInterleaved}) {
+        DramConfig cfg = testConfig();
+        cfg.addressMap = map;
+        std::set<std::tuple<unsigned, std::uint64_t, unsigned>> seen;
+        for (Addr a = 0; a < 4096 * 64; a += 64) {
+            const DramCoord c = mapAddress(a, cfg);
+            EXPECT_TRUE(
+                seen.insert({c.bank, c.row, c.col}).second)
+                << "collision at " << a;
+        }
+    }
+}
+
+TEST(DramMap, MappingControlsBankSpreadOfAStream)
+{
+    // Eight consecutive blocks: one bank under row-interleave (row
+    // locality), all eight banks under block-interleave (bank-level
+    // parallelism).
+    auto distinct_banks = [](AddressMap map) {
+        DramConfig cfg = testConfig();
+        cfg.addressMap = map;
+        std::set<unsigned> banks;
+        for (Addr a = 0; a < 8 * 64; a += 64)
+            banks.insert(mapAddress(a, cfg).bank);
+        return banks.size();
+    };
+    EXPECT_EQ(distinct_banks(AddressMap::RowInterleaved), 1u);
+    EXPECT_EQ(distinct_banks(AddressMap::BlockInterleaved), 8u);
+}
+
+TEST(Dram, Ddr31066IsSlower)
+{
+    const DramConfig fast = DramConfig::ddr3_1333();
+    const DramConfig slow = DramConfig::ddr3_1066();
+    EXPECT_GT(slow.tCL, fast.tCL);
+    EXPECT_GT(slow.tBURST, fast.tBURST);
+    EXPECT_LT(slow.peakBlocksPerCycle(), fast.peakBlocksPerCycle());
+}
+
+} // namespace
+} // namespace mitts

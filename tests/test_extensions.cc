@@ -1,0 +1,327 @@
+/**
+ * @file
+ * Tests for the extension features: congestion feedback (paper
+ * Sec. III-C future work), rolling replenishment, local-search
+ * tuners, and the GA-vs-local-search comparison the paper's Sec. IV-B
+ * argument rests on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "shaper/congestion.hh"
+#include "shaper/mitts_shaper.hh"
+#include "system/system.hh"
+#include "tuner/local_search.hh"
+#include "tuner/phase_switcher.hh"
+
+namespace mitts
+{
+namespace
+{
+
+BinSpec
+spec10()
+{
+    BinSpec s;
+    s.replenishPeriod = 1000;
+    return s;
+}
+
+MemRequest
+req(SeqNum seq)
+{
+    MemRequest r;
+    r.seq = seq;
+    r.core = 0;
+    return r;
+}
+
+// --- congestion scaling ------------------------------------------------
+
+TEST(CongestionScale, ScalesReplenishValues)
+{
+    BinConfig cfg(spec10());
+    cfg.credits[0] = 100;
+    MittsShaper shaper("s", cfg);
+    shaper.setCongestionScale(0.5);
+    // Live counters clamp immediately.
+    EXPECT_EQ(shaper.credits(0), 50u);
+    // And replenish restores to the scaled value, not the full one.
+    auto r = req(1);
+    shaper.tryIssue(r, 1001);
+    EXPECT_LE(shaper.credits(0), 50u);
+}
+
+TEST(CongestionScale, ScaleBackUpRestores)
+{
+    BinConfig cfg(spec10());
+    cfg.credits[5] = 40;
+    MittsShaper shaper("s", cfg);
+    shaper.setCongestionScale(0.25);
+    shaper.setCongestionScale(1.0);
+    shaper.replenishIfDue(1000);
+    EXPECT_EQ(shaper.credits(5), 40u);
+}
+
+TEST(CongestionController, ScalesDownUnderPressure)
+{
+    // A chip-wide MITTS system with an oversubscribing mix and
+    // feedback enabled must reduce the scale below 1.
+    SystemConfig cfg = SystemConfig::multiProgram(
+        {"libquantum", "streamcluster", "canneal", "apache"});
+    cfg.gate = GateKind::Mitts;
+    cfg.congestionFeedback = true;
+    cfg.congestion.checkPeriod = 500;
+    cfg.congestion.highWatermark = 0.4;
+    cfg.seed = 5;
+    System sys(cfg);
+    ASSERT_NE(sys.congestionController(), nullptr);
+    sys.run(100'000);
+    EXPECT_LT(sys.congestionController()->scale(), 1.0);
+    EXPECT_GE(sys.congestionController()->scale(),
+              cfg.congestion.minScale - 1e-9);
+}
+
+TEST(CongestionController, IdleSystemStaysAtFullScale)
+{
+    SystemConfig cfg = SystemConfig::multiProgram(
+        {"sjeng", "blackscholes"});
+    cfg.gate = GateKind::Mitts;
+    cfg.congestionFeedback = true;
+    cfg.seed = 5;
+    System sys(cfg);
+    sys.run(60'000);
+    EXPECT_DOUBLE_EQ(sys.congestionController()->scale(), 1.0);
+}
+
+// --- rolling replenishment ---------------------------------------------
+
+TEST(RollingReplenish, AccruesContinuously)
+{
+    BinSpec s = spec10();
+    s.policy = ReplenishPolicy::Rolling;
+    BinConfig cfg(s);
+    cfg.credits[9] = 10; // 10 credits per 1000 cycles = 1 per 100
+    MittsShaper shaper("s", cfg);
+
+    // Drain the initial allotment.
+    Tick now = 0;
+    SeqNum seq = 1;
+    int drained = 0;
+    for (; drained < 10; ++drained) {
+        auto r = req(seq++);
+        now += 95;
+        if (!shaper.tryIssue(r, now))
+            break;
+        shaper.onLlcResponse(r, false, now + 1);
+    }
+    // Shortly after draining, a single credit accrues within ~100
+    // cycles rather than waiting for a full period boundary.
+    auto r1 = req(seq++);
+    EXPECT_FALSE(shaper.tryIssue(r1, now + 10));
+    EXPECT_TRUE(shaper.tryIssue(r1, now + 130));
+}
+
+TEST(RollingReplenish, NeverExceedsConfiguredCredits)
+{
+    BinSpec s = spec10();
+    s.policy = ReplenishPolicy::Rolling;
+    BinConfig cfg(s);
+    cfg.credits[3] = 7;
+    MittsShaper shaper("s", cfg);
+    // Idle for many periods: credits cap at K_i.
+    shaper.replenishIfDue(50'000);
+    EXPECT_EQ(shaper.credits(3), 7u);
+}
+
+// --- local search -------------------------------------------------------
+
+/** Smooth unimodal objective: peak at 50 per gene. */
+double
+unimodal(const Genome &g)
+{
+    double f = 0;
+    for (auto v : g)
+        f -= std::abs(static_cast<double>(v) - 50.0);
+    return f;
+}
+
+/**
+ * Deceptive objective: local optimum at 10, global at 100, separated
+ * by a fitness valley — hill climbing from below gets stuck.
+ */
+double
+deceptive(const Genome &g)
+{
+    double f = 0;
+    for (auto v : g) {
+        const double x = static_cast<double>(v);
+        if (x <= 20)
+            f += 10.0 - std::abs(x - 10.0); // local peak at 10
+        else if (x < 80)
+            f -= 20.0; // valley
+        else
+            f += 40.0 - std::abs(x - 100.0); // global peak at 100
+    }
+    return f;
+}
+
+TEST(LocalSearch, HillClimbFindsUnimodalOptimum)
+{
+    GenomeSpec spec{4, 200};
+    LocalSearchConfig cfg;
+    cfg.maxEvaluations = 400;
+    const auto r =
+        hillClimb(spec, Genome(4, 5), unimodal, cfg);
+    EXPECT_GT(r.bestFitness, -20.0);
+    EXPECT_LE(r.evaluations, 400u);
+}
+
+TEST(LocalSearch, HillClimbGetsStuckOnDeceptive)
+{
+    GenomeSpec spec{4, 200};
+    LocalSearchConfig cfg;
+    cfg.maxEvaluations = 400;
+    cfg.stepFraction = 0.3;
+    const auto r =
+        hillClimb(spec, Genome(4, 8), deceptive, cfg);
+    // Stuck near the local peaks at 10: fitness ~4*10, far from the
+    // global 4*40.
+    EXPECT_LT(r.bestFitness, 100.0);
+}
+
+TEST(LocalSearch, AnnealingCanEscapeDeceptive)
+{
+    // Unlike hill climbing (pinned at the local optimum, fitness 40),
+    // annealing's downhill acceptances let at least some restarts
+    // cross the valley toward the global peaks.
+    GenomeSpec spec{4, 200};
+    const auto hc_fitness = 40.0; // all genes at the local peak
+    double best = -1e9;
+    for (unsigned seed : {11u, 12u, 13u, 14u, 15u, 16u}) {
+        LocalSearchConfig cfg;
+        cfg.maxEvaluations = 4000;
+        cfg.stepFraction = 2.0;
+        cfg.initialTemperature = 1.2;
+        cfg.seed = seed;
+        best = std::max(best,
+                        simulatedAnneal(spec, Genome(4, 8),
+                                        deceptive, cfg)
+                            .bestFitness);
+    }
+    EXPECT_GT(best, hc_fitness);
+}
+
+TEST(LocalSearch, GaBeatsHillClimbOnDeceptive)
+{
+    // The paper's Sec. IV-B argument: the bin-config space is
+    // non-convex, so use a GA rather than hill climbing.
+    GenomeSpec spec{6, 200};
+    LocalSearchConfig lcfg;
+    lcfg.maxEvaluations = 600;
+    const auto hc =
+        hillClimb(spec, Genome(6, 8), deceptive, lcfg);
+
+    GaConfig gcfg;
+    gcfg.populationSize = 20;
+    gcfg.generations = 30;
+    gcfg.seed = 3;
+    GeneticAlgorithm ga(gcfg, spec);
+    auto batch = [&](const std::vector<Genome> &gen) {
+        std::vector<double> f;
+        for (const auto &g : gen)
+            f.push_back(deceptive(g));
+        return f;
+    };
+    const auto res = ga.run(batch);
+    EXPECT_GT(res.bestFitness, hc.bestFitness);
+}
+
+TEST(LocalSearch, ProjectionRespected)
+{
+    GenomeSpec spec{4, 100};
+    LocalSearchConfig cfg;
+    cfg.maxEvaluations = 100;
+    auto project = [](Genome &g) {
+        for (auto &v : g)
+            v = std::min<std::uint32_t>(v, 30);
+    };
+    const auto r = hillClimb(spec, Genome(4, 10), unimodal, cfg,
+                             project);
+    for (auto v : r.best)
+        EXPECT_LE(v, 30u);
+}
+
+
+// --- phase-based offline switching (paper Sec. IV-D) --------------------
+
+TEST(PhaseSwitcher, SwapsConfigsAtInstructionBoundaries)
+{
+    SystemConfig cfg = SystemConfig::singleProgram("gcc");
+    cfg.gate = GateKind::Mitts;
+    cfg.seed = 71;
+    System sys(cfg);
+
+    BinConfig a(cfg.binSpec), b(cfg.binSpec);
+    a.credits[0] = 11;
+    b.credits[9] = 22;
+    PhaseSchedule sched;
+    sched.core = 0;
+    sched.phaseInstructions = 5'000;
+    sched.configs = {a, b};
+    PhaseSwitcher sw("ps", sys, {sched}, 100);
+    sys.sim().add(&sw);
+
+    sys.runUntilInstructions(4'000, 10'000'000);
+    EXPECT_EQ(sw.currentPhase(0), 0u);
+    EXPECT_EQ(sys.shaper(0)->config().credits[0], 11u);
+
+    sys.runUntilInstructions(6'000, 10'000'000);
+    EXPECT_EQ(sw.currentPhase(0), 1u);
+    EXPECT_EQ(sys.shaper(0)->config().credits[9], 22u);
+    EXPECT_GE(sw.switches(), 2u);
+}
+
+TEST(PhaseSwitcher, CyclesBackToFirstPhase)
+{
+    SystemConfig cfg = SystemConfig::singleProgram("sjeng");
+    cfg.gate = GateKind::Mitts;
+    System sys(cfg);
+    BinConfig a(cfg.binSpec), b(cfg.binSpec);
+    a.credits[0] = 1;
+    b.credits[0] = 2;
+    PhaseSchedule sched;
+    sched.core = 0;
+    sched.phaseInstructions = 2'000;
+    sched.configs = {a, b};
+    PhaseSwitcher sw("ps", sys, {sched}, 50);
+    sys.sim().add(&sw);
+    sys.runUntilInstructions(9'000, 10'000'000); // phase 4 -> idx 0
+    EXPECT_EQ(sw.currentPhase(0), 0u);
+}
+
+// --- write drain ----------------------------------------------------------
+
+TEST(WriteDrain, WritebacksDoNotStarveUnderReadPressure)
+{
+    // A write-heavy streaming mix: without draining, writebacks
+    // accumulate behind prioritized reads. With the default
+    // watermarks the controller must keep the queues flowing and
+    // retire everything.
+    SystemConfig cfg =
+        SystemConfig::multiProgram({"bhm", "libquantum"});
+    cfg.seed = 21;
+    System sys(cfg);
+    auto res = sys.runUntilInstructions(40'000, 40'000'000);
+    EXPECT_TRUE(res[0].completed);
+    EXPECT_TRUE(res[1].completed);
+    // And the transaction queues drained rather than wedged.
+    sys.run(50'000);
+    EXPECT_LT(sys.memController().queueSize(), 64u);
+}
+
+} // namespace
+} // namespace mitts

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Unit tests for the IaaS pricing model (paper Sec. IV-G).
+ */
+
+#include <gtest/gtest.h>
+
+#include "iaas/pricing.hh"
+
+namespace mitts
+{
+namespace
+{
+
+BinSpec
+spec()
+{
+    BinSpec s;
+    s.numBins = 10;
+    s.intervalLength = 10;
+    s.replenishPeriod = 10'000;
+    return s;
+}
+
+TEST(Pricing, FasterBinsCostMore)
+{
+    PricingModel pm;
+    const BinSpec s = spec();
+    for (unsigned i = 0; i + 1 < s.numBins; ++i)
+        EXPECT_GT(pm.creditPrice(s, i), pm.creditPrice(s, i + 1));
+}
+
+TEST(Pricing, BurstPenaltyRange)
+{
+    PricingModel pm;
+    const BinSpec s = spec();
+    // Fastest bin: penalty approaches 2; slowest: exactly 1.
+    EXPECT_NEAR(pm.burstPenalty(s, s.numBins - 1), 1.0, 1e-12);
+    EXPECT_GT(pm.burstPenalty(s, 0), 1.8);
+    EXPECT_LE(pm.burstPenalty(s, 0), 2.0);
+}
+
+TEST(Pricing, RatePremiumWeightRaisesBurstPrices)
+{
+    // Paper Sec. III-B speculates "bins with a lower inter-arrival
+    // interval will be even more costly than their bandwidth
+    // dictates" — the ratePremiumWeight knob models that market.
+    PricingModel flat;           // Fig. 17 pricing: penalty only
+    PricingModel market = flat;
+    market.ratePremiumWeight = 1.0;
+    const BinSpec s = spec();
+    const double rate_ratio =
+        static_cast<double>(s.binTime(s.numBins - 1)) /
+        static_cast<double>(s.binTime(0));
+    const double flat_ratio =
+        flat.creditPrice(s, 0) / flat.creditPrice(s, s.numBins - 1);
+    const double market_ratio =
+        market.creditPrice(s, 0) /
+        market.creditPrice(s, s.numBins - 1);
+    EXPECT_LE(flat_ratio, 2.0 + 1e-9);  // just the burst penalty
+    EXPECT_GT(market_ratio, rate_ratio); // penalty * full rate
+}
+
+TEST(Pricing, ConfigPriceAdds)
+{
+    PricingModel pm;
+    const BinSpec s = spec();
+    BinConfig a(s), b(s);
+    a.credits[0] = 2;
+    b.credits[0] = 1;
+    EXPECT_NEAR(pm.configPrice(a), 2 * pm.configPrice(b), 1e-9);
+}
+
+TEST(Pricing, CoreEquivalence)
+{
+    PricingModel pm;
+    EXPECT_DOUBLE_EQ(pm.corePrice(), 1.6);
+    BinConfig empty(spec());
+    EXPECT_DOUBLE_EQ(pm.tenantPrice(empty, 2), 3.2);
+}
+
+TEST(Pricing, PerfPerCostOrdering)
+{
+    PricingModel pm;
+    const BinSpec s = spec();
+    BinConfig cheap = BinConfig::singleBin(s, s.numBins - 1, 10);
+    BinConfig pricey = BinConfig::singleBin(s, 0, 10);
+    // Same performance at lower price wins.
+    EXPECT_GT(pm.perfPerCost(1.0, cheap), pm.perfPerCost(1.0, pricey));
+}
+
+TEST(Pricing, SlowBulkCheaperPerAvgBandwidth)
+{
+    // Buying N slow credits (bulk) must be cheaper than N fast ones
+    // (burst capacity) even though both give the same average
+    // bandwidth per period.
+    PricingModel pm;
+    const BinSpec s = spec();
+    BinConfig bulk = BinConfig::singleBin(s, 9, 64);
+    BinConfig burst = BinConfig::singleBin(s, 0, 64);
+    EXPECT_DOUBLE_EQ(bulk.avgBandwidthBlocksPerCycle(),
+                     burst.avgBandwidthBlocksPerCycle());
+    EXPECT_LT(pm.configPrice(bulk), pm.configPrice(burst) / 1.5);
+}
+
+} // namespace
+} // namespace mitts

@@ -1,0 +1,305 @@
+/**
+ * @file
+ * Unit tests for the MITTS shaper: bin geometry, credit consumption,
+ * replenishment Algorithm 1, method 1 vs method 2 reconciliation,
+ * and the static-rate gate.
+ */
+
+#include <gtest/gtest.h>
+
+#include "shaper/bin_config.hh"
+#include "shaper/mitts_shaper.hh"
+#include "shaper/static_gate.hh"
+
+namespace mitts
+{
+namespace
+{
+
+BinSpec
+spec10()
+{
+    BinSpec s;
+    s.numBins = 10;
+    s.intervalLength = 10;
+    s.replenishPeriod = 1000;
+    s.maxCredits = 1024;
+    return s;
+}
+
+MemRequest
+req(SeqNum seq, CoreId core = 0)
+{
+    MemRequest r;
+    r.seq = seq;
+    r.core = core;
+    r.blockAddr = seq * 64;
+    return r;
+}
+
+TEST(BinSpec, BinTimeIsCentre)
+{
+    const BinSpec s = spec10();
+    EXPECT_EQ(s.binTime(0), 5u);
+    EXPECT_EQ(s.binTime(9), 95u);
+}
+
+TEST(BinSpec, BinOfClampsToLast)
+{
+    const BinSpec s = spec10();
+    EXPECT_EQ(s.binOf(0), 0u);
+    EXPECT_EQ(s.binOf(9), 0u);
+    EXPECT_EQ(s.binOf(10), 1u);
+    EXPECT_EQ(s.binOf(95), 9u);
+    EXPECT_EQ(s.binOf(100000), 9u);
+}
+
+TEST(BinSpec, PaperReplenishPeriodFormula)
+{
+    const BinSpec s = spec10();
+    // sum t_i = 5+15+...+95 = 500.
+    EXPECT_EQ(s.paperReplenishPeriod(1024), 1024u * 500u);
+}
+
+TEST(BinConfig, AverageMath)
+{
+    BinConfig c(spec10());
+    c.credits[0] = 10; // t=5
+    c.credits[9] = 10; // t=95
+    EXPECT_DOUBLE_EQ(c.avgInterval(), 50.0);
+    EXPECT_EQ(c.totalCredits(), 20u);
+    EXPECT_DOUBLE_EQ(c.avgBandwidthBlocksPerCycle(), 20.0 / 1000.0);
+    // 0.02 blocks/cycle * 64B * 2.4GHz = 3.072 GB/s
+    EXPECT_NEAR(c.avgBandwidthGBps(2.4), 3.072, 1e-9);
+}
+
+TEST(BinConfig, CreditsForBandwidthRoundTrip)
+{
+    const BinSpec s = spec10();
+    const auto credits = BinConfig::creditsForBandwidth(s, 1.0, 2.4);
+    // 1 GB/s => one block per 153.6 cycles => ~6.5 credits / 1000cyc.
+    EXPECT_GE(credits, 6u);
+    EXPECT_LE(credits, 7u);
+}
+
+TEST(BinConfig, ClampRespectsRegisterWidth)
+{
+    BinSpec s = spec10();
+    s.maxCredits = 100;
+    BinConfig c(s);
+    c.credits[3] = 5000;
+    c.clamp();
+    EXPECT_EQ(c.credits[3], 100u);
+}
+
+TEST(MittsShaper, ConsumesFromMatchingBin)
+{
+    BinConfig cfg(spec10());
+    cfg.credits[2] = 1; // t in [20,30)
+    MittsShaper shaper("s", cfg);
+
+    auto r1 = req(1);
+    // First request is treated as maximally spaced -> eligible.
+    EXPECT_TRUE(shaper.tryIssue(r1, 100));
+    EXPECT_EQ(shaper.credits(2), 0u);
+
+    auto r2 = req(2);
+    EXPECT_FALSE(shaper.tryIssue(r2, 125)); // no credits anywhere
+}
+
+TEST(MittsShaper, FastRequestNeedsLowBin)
+{
+    BinConfig cfg(spec10());
+    cfg.credits[9] = 5; // only slow credits
+    MittsShaper shaper("s", cfg);
+
+    auto r1 = req(1);
+    EXPECT_TRUE(shaper.tryIssue(r1, 0)); // first request
+    auto r2 = req(2);
+    // 10 cycles later: bin 1, but only bin 9 has credits -> stall.
+    EXPECT_FALSE(shaper.tryIssue(r2, 10));
+    // After waiting to >= 90 cycles spacing, bin 9 is eligible.
+    EXPECT_TRUE(shaper.tryIssue(r2, 95));
+}
+
+TEST(MittsShaper, ConsumesLargestEligibleBin)
+{
+    BinConfig cfg(spec10());
+    cfg.credits[0] = 1;
+    cfg.credits[3] = 1;
+    MittsShaper shaper("s", cfg);
+
+    auto r1 = req(1);
+    shaper.tryIssue(r1, 0);        // first: takes bin 3 (largest <= 9)
+    EXPECT_EQ(shaper.credits(3), 0u);
+    EXPECT_EQ(shaper.credits(0), 1u);
+
+    auto r2 = req(2);
+    EXPECT_TRUE(shaper.tryIssue(r2, 3)); // 3-cycle spacing: bin 0
+    EXPECT_EQ(shaper.credits(0), 0u);
+}
+
+TEST(MittsShaper, ReplenishRestoresCredits)
+{
+    BinConfig cfg(spec10());
+    cfg.credits[9] = 1;
+    MittsShaper shaper("s", cfg);
+
+    auto r1 = req(1);
+    EXPECT_TRUE(shaper.tryIssue(r1, 0));
+    auto r2 = req(2);
+    EXPECT_FALSE(shaper.tryIssue(r2, 500));
+    // After T_r = 1000 all bins reset to K_i.
+    EXPECT_TRUE(shaper.tryIssue(r2, 1001));
+    EXPECT_GE(shaper.issued(), 2u);
+}
+
+TEST(MittsShaper, LazyReplenishCatchesUp)
+{
+    BinConfig cfg(spec10());
+    cfg.credits[9] = 1;
+    MittsShaper shaper("s", cfg);
+    auto r = req(1);
+    // Far in the future, several periods elapsed while idle.
+    EXPECT_TRUE(shaper.tryIssue(r, 10'500));
+    auto r2 = req(2);
+    EXPECT_FALSE(shaper.tryIssue(r2, 10'600));
+    EXPECT_TRUE(shaper.tryIssue(r2, 11'001));
+}
+
+TEST(MittsShaper, Method2RefundsOnLlcHit)
+{
+    BinConfig cfg(spec10());
+    cfg.credits[9] = 1;
+    MittsShaper shaper("s", cfg, HybridMethod::ConservativeRefund);
+
+    auto r1 = req(1);
+    EXPECT_TRUE(shaper.tryIssue(r1, 0));
+    EXPECT_EQ(shaper.credits(9), 0u);
+    shaper.onLlcResponse(r1, true, 20); // LLC hit: refund
+    EXPECT_EQ(shaper.credits(9), 1u);
+    EXPECT_EQ(shaper.refunds(), 1u);
+}
+
+TEST(MittsShaper, Method2KeepsDeductionOnMiss)
+{
+    BinConfig cfg(spec10());
+    cfg.credits[9] = 1;
+    MittsShaper shaper("s", cfg, HybridMethod::ConservativeRefund);
+
+    auto r1 = req(1);
+    shaper.tryIssue(r1, 0);
+    shaper.onLlcResponse(r1, false, 20); // LLC miss
+    EXPECT_EQ(shaper.credits(9), 0u);
+    EXPECT_EQ(shaper.refunds(), 0u);
+}
+
+TEST(MittsShaper, Method1DeductsOnMissConfirmation)
+{
+    BinConfig cfg(spec10());
+    cfg.credits[9] = 2;
+    MittsShaper shaper("s", cfg, HybridMethod::SpeculativeTimestamp);
+
+    auto r1 = req(1);
+    EXPECT_TRUE(shaper.tryIssue(r1, 0));
+    EXPECT_EQ(shaper.credits(9), 2u); // not deducted yet
+    shaper.onLlcResponse(r1, false, 30);
+    EXPECT_EQ(shaper.credits(9), 1u);
+
+    auto r2 = req(2);
+    EXPECT_TRUE(shaper.tryIssue(r2, 100));
+    shaper.onLlcResponse(r2, true, 120); // hit: no deduction
+    EXPECT_EQ(shaper.credits(9), 1u);
+}
+
+TEST(MittsShaper, Method1IsAggressive)
+{
+    // With one credit and two in-flight requests, method 1 lets both
+    // through before the miss confirmations arrive.
+    BinConfig cfg(spec10());
+    cfg.credits[9] = 1;
+    MittsShaper shaper("s", cfg, HybridMethod::SpeculativeTimestamp);
+
+    auto r1 = req(1), r2 = req(2);
+    EXPECT_TRUE(shaper.tryIssue(r1, 0));
+    EXPECT_TRUE(shaper.tryIssue(r2, 100));
+    shaper.onLlcResponse(r1, false, 150);
+    shaper.onLlcResponse(r2, false, 160);
+    EXPECT_EQ(shaper.credits(9), 0u);
+    EXPECT_EQ(shaper.statsGroup().name(), "s");
+}
+
+TEST(MittsShaper, DisabledPassesEverything)
+{
+    BinConfig cfg(spec10()); // zero credits
+    MittsShaper shaper("s", cfg);
+    shaper.setEnabled(false);
+    auto r = req(1);
+    for (Tick t = 0; t < 10; ++t)
+        EXPECT_TRUE(shaper.tryIssue(r, t));
+}
+
+TEST(MittsShaper, SetConfigTakesEffect)
+{
+    BinConfig cfg(spec10());
+    MittsShaper shaper("s", cfg);
+    auto r = req(1);
+    EXPECT_FALSE(shaper.tryIssue(r, 0));
+
+    BinConfig better(spec10());
+    better.credits[9] = 4;
+    shaper.setConfig(better);
+    EXPECT_TRUE(shaper.tryIssue(r, 1));
+}
+
+TEST(MittsShaper, SharedAcrossCoresKeysDistinctly)
+{
+    BinConfig cfg(spec10());
+    cfg.credits[9] = 4;
+    MittsShaper shaper("s", cfg);
+    auto ra = req(1, 0);
+    auto rb = req(1, 1); // same seq, different core
+    EXPECT_TRUE(shaper.tryIssue(ra, 0));
+    EXPECT_TRUE(shaper.tryIssue(rb, 200));
+    EXPECT_EQ(shaper.credits(9), 2u);
+    shaper.onLlcResponse(ra, true, 210);
+    shaper.onLlcResponse(rb, true, 215);
+    EXPECT_EQ(shaper.credits(9), 4u);
+}
+
+TEST(MittsShaper, HardwareStateIsTiny)
+{
+    BinConfig cfg(spec10());
+    MittsShaper m2("m2", cfg, HybridMethod::ConservativeRefund);
+    MittsShaper m1("m1", cfg, HybridMethod::SpeculativeTimestamp);
+    EXPECT_LT(m2.hardwareStateBytes(), 128u);
+    EXPECT_LE(m2.hardwareStateBytes(), m1.hardwareStateBytes());
+}
+
+TEST(StaticGate, EnforcesRate)
+{
+    StaticRateGate gate("g", 100.0, 1.0);
+    MemRequest r = req(1);
+    EXPECT_TRUE(gate.tryIssue(r, 0));
+    EXPECT_FALSE(gate.tryIssue(r, 50));
+    EXPECT_TRUE(gate.tryIssue(r, 100));
+    EXPECT_FALSE(gate.tryIssue(r, 150));
+}
+
+TEST(StaticGate, BandwidthConversion)
+{
+    StaticRateGate gate("g", 153.6, 1.0);
+    EXPECT_NEAR(gate.bandwidthGBps(2.4), 1.0, 1e-9);
+}
+
+TEST(StaticGate, BucketDepthAllowsSmallBurst)
+{
+    StaticRateGate gate("g", 100.0, 2.0);
+    MemRequest r = req(1);
+    EXPECT_TRUE(gate.tryIssue(r, 0));
+    EXPECT_TRUE(gate.tryIssue(r, 0)); // second token from the bucket
+    EXPECT_FALSE(gate.tryIssue(r, 0));
+}
+
+} // namespace
+} // namespace mitts

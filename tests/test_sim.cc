@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Unit tests for the simulation kernel: event queue ordering and the
+ * cycle-stepped driver.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/clocked.hh"
+#include "sim/event_queue.hh"
+#include "sim/simulation.hh"
+
+namespace mitts
+{
+namespace
+{
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> fired;
+    q.schedule(10, [&] { fired.push_back(10); });
+    q.schedule(5, [&] { fired.push_back(5); });
+    q.schedule(7, [&] { fired.push_back(7); });
+    q.runDue(10);
+    ASSERT_EQ(fired.size(), 3u);
+    EXPECT_EQ(fired[0], 5);
+    EXPECT_EQ(fired[1], 7);
+    EXPECT_EQ(fired[2], 10);
+}
+
+TEST(EventQueue, SameTickFifo)
+{
+    EventQueue q;
+    std::vector<int> fired;
+    for (int i = 0; i < 5; ++i)
+        q.schedule(3, [&fired, i] { fired.push_back(i); });
+    q.runDue(3);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(fired[i], i);
+}
+
+TEST(EventQueue, DoesNotFireEarly)
+{
+    EventQueue q;
+    bool fired = false;
+    q.schedule(100, [&] { fired = true; });
+    q.runDue(99);
+    EXPECT_FALSE(fired);
+    EXPECT_EQ(q.nextEventTick(), 100u);
+    q.runDue(100);
+    EXPECT_TRUE(fired);
+}
+
+TEST(EventQueue, CallbackMaySchedule)
+{
+    EventQueue q;
+    int count = 0;
+    q.schedule(1, [&] {
+        ++count;
+        q.schedule(1, [&] { ++count; });
+    });
+    q.runDue(5);
+    EXPECT_EQ(count, 2);
+}
+
+class TickCounter : public Clocked
+{
+  public:
+    TickCounter() : Clocked("tc") {}
+    void tick(Tick now) override { ticks.push_back(now); }
+    std::vector<Tick> ticks;
+};
+
+TEST(Simulation, RunsComponentsEachCycle)
+{
+    Simulation sim;
+    TickCounter c;
+    sim.add(&c);
+    sim.run(5);
+    ASSERT_EQ(c.ticks.size(), 5u);
+    for (Tick i = 0; i < 5; ++i)
+        EXPECT_EQ(c.ticks[i], i);
+    EXPECT_EQ(sim.now(), 5u);
+}
+
+TEST(Simulation, RunUntilPredicate)
+{
+    Simulation sim;
+    TickCounter c;
+    sim.add(&c);
+    const bool hit =
+        sim.runUntil([&] { return c.ticks.size() >= 10; }, 100);
+    EXPECT_TRUE(hit);
+    EXPECT_EQ(c.ticks.size(), 10u);
+}
+
+TEST(Simulation, RunUntilRespectsCap)
+{
+    Simulation sim;
+    TickCounter c;
+    sim.add(&c);
+    const bool hit = sim.runUntil([] { return false; }, 50);
+    EXPECT_FALSE(hit);
+    EXPECT_EQ(sim.now(), 50u);
+}
+
+TEST(Simulation, EventsRunBeforeComponentsInACycle)
+{
+    Simulation sim;
+    std::vector<std::string> order;
+
+    class Obs : public Clocked
+    {
+      public:
+        explicit Obs(std::vector<std::string> &o)
+            : Clocked("obs"), order_(o)
+        {
+        }
+        void tick(Tick) override { order_.push_back("comp"); }
+
+      private:
+        std::vector<std::string> &order_;
+    };
+
+    Obs obs(order);
+    sim.add(&obs);
+    sim.events().schedule(0, [&] { order.push_back("event"); });
+    sim.step();
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0], "event");
+    EXPECT_EQ(order[1], "comp");
+}
+
+} // namespace
+} // namespace mitts

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Tests for IaaS tenant accounting and the schedule-/rule-based
+ * reconfiguration runtime (paper Sec. III-F).
+ */
+
+#include <gtest/gtest.h>
+
+#include "iaas/tenant.hh"
+
+namespace mitts
+{
+namespace
+{
+
+BinSpec
+spec()
+{
+    BinSpec s;
+    s.replenishPeriod = 1'000;
+    return s;
+}
+
+struct TenantFixture : public ::testing::Test
+{
+    TenantFixture()
+        : shaper("t", BinConfig::uniform(spec(), 8)),
+          tenant("cust-a", pricing, {&shaper})
+    {
+    }
+
+    PricingModel pricing;
+    MittsShaper shaper;
+    Tenant tenant;
+};
+
+TEST_F(TenantFixture, BillGrowsLinearlyWithTime)
+{
+    const double b1 = tenant.bill(1'000);
+    const double b2 = tenant.bill(2'000);
+    const double b4 = tenant.bill(4'000);
+    EXPECT_GT(b1, 0.0);
+    EXPECT_NEAR(b2, 2 * b1, 1e-9);
+    EXPECT_NEAR(b4, 4 * b1, 1e-9);
+}
+
+TEST_F(TenantFixture, PurchaseChangesShaperAndRate)
+{
+    const double cheap_rate = tenant.currentRate();
+
+    BinConfig pricier = BinConfig::uniform(spec(), 64);
+    tenant.purchase(pricier, 1'000);
+    EXPECT_EQ(shaper.config().credits[0], 64u);
+    EXPECT_GT(tenant.currentRate(), cheap_rate);
+}
+
+TEST_F(TenantFixture, ChargesSplitAtReconfiguration)
+{
+    // 1 period cheap + 1 period expensive == sum of the two rates.
+    const double cheap_rate = tenant.currentRate();
+    tenant.purchase(BinConfig::uniform(spec(), 64), 1'000);
+    const double total = tenant.bill(2'000);
+    EXPECT_NEAR(total, cheap_rate + tenant.currentRate(), 1e-9);
+}
+
+TEST_F(TenantFixture, CoreRentalChargedEvenWithZeroBandwidth)
+{
+    tenant.purchase(BinConfig(spec()), 0); // zero credits
+    EXPECT_NEAR(tenant.currentRate(), pricing.corePrice(), 1e-9);
+    EXPECT_GT(tenant.bill(5'000), 0.0);
+}
+
+TEST_F(TenantFixture, ScheduledReconfigAppliesAtTime)
+{
+    AutoScaler scaler("as", tenant, 100);
+    BinConfig big = BinConfig::uniform(spec(), 100);
+    scaler.schedule({5'000, big});
+
+    for (Tick t = 0; t < 5'000; ++t)
+        scaler.tick(t);
+    EXPECT_EQ(shaper.config().credits[0], 8u); // not yet
+    scaler.tick(5'000);
+    EXPECT_EQ(shaper.config().credits[0], 100u);
+    EXPECT_EQ(scaler.reconfigurations(), 1u);
+}
+
+TEST_F(TenantFixture, ScheduleEntriesApplyInOrder)
+{
+    AutoScaler scaler("as", tenant, 100);
+    scaler.schedule({2'000, BinConfig::uniform(spec(), 50)});
+    scaler.schedule({1'000, BinConfig::uniform(spec(), 20)});
+    scaler.tick(1'500);
+    EXPECT_EQ(shaper.config().credits[0], 20u);
+    scaler.tick(2'500);
+    EXPECT_EQ(shaper.config().credits[0], 50u);
+}
+
+TEST_F(TenantFixture, RuleFiresOnTriggerWithCooldown)
+{
+    AutoScaler scaler("as", tenant, 100);
+    int fired = 0;
+    bool condition = false;
+    ReconfigRule rule;
+    rule.trigger = [&](Tick) { return condition; };
+    rule.action = [&](Tick now) {
+        ++fired;
+        tenant.purchase(BinConfig::uniform(spec(), 32), now);
+    };
+    rule.cooldown = 1'000;
+    scaler.addRule(rule);
+
+    for (Tick t = 0; t < 500; t += 100)
+        scaler.tick(t);
+    EXPECT_EQ(fired, 0); // trigger false
+
+    condition = true;
+    scaler.tick(600);
+    EXPECT_EQ(fired, 1);
+    // Cooldown suppresses immediate refiring.
+    scaler.tick(700);
+    EXPECT_EQ(fired, 1);
+    scaler.tick(1'700);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(scaler.ruleFirings(), 2u);
+}
+
+TEST_F(TenantFixture, RuleWithoutCooldownFiresOnce)
+{
+    AutoScaler scaler("as", tenant, 100);
+    int fired = 0;
+    ReconfigRule rule;
+    rule.trigger = [](Tick) { return true; };
+    rule.action = [&](Tick) { ++fired; };
+    rule.cooldown = 0; // fire at most once
+    scaler.addRule(rule);
+    for (Tick t = 0; t < 1'000; t += 100)
+        scaler.tick(t);
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(TenantMultiCore, RatesScaleWithCores)
+{
+    PricingModel pricing;
+    MittsShaper a("a", BinConfig::uniform(spec(), 8));
+    MittsShaper b("b", BinConfig::uniform(spec(), 8));
+    Tenant one("one", pricing, {&a});
+    Tenant two("two", pricing, {&a, &b});
+    EXPECT_NEAR(two.currentRate(), 2 * one.currentRate(), 1e-9);
+}
+
+} // namespace
+} // namespace mitts

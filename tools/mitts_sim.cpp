@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Command-line driver: build a system from flags, run it, report.
+ *
+ *   mitts_sim --apps gcc,mcf,bzip,sjeng --sched tcm --instr 200000
+ *   mitts_sim --apps mcf --gate mitts --bins 40,0,0,0,0,0,0,0,0,25
+ *   mitts_sim --apps mcf,libquantum --gate mitts --tune fairness
+ *   mitts_sim --list-apps
+ *
+ * Run with --help for the full flag reference.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "system/runner.hh"
+#include "system/system.hh"
+#include "trace/app_profile.hh"
+#include "tuner/offline_tuner.hh"
+
+using namespace mitts;
+
+namespace
+{
+
+[[noreturn]] void
+usage(int code)
+{
+    std::printf(R"(mitts_sim - MITTS multicore memory-system simulator
+
+  --apps a,b,c       application mix (see --list-apps); required
+  --sched NAME       frfcfs|fcfs|fairqueue|atlas|parbs|stfm|tcm|fst|memguard|mise
+  --gate KIND        none|mitts|static
+  --bins k0,..,k9    MITTS credits for every core (implies --gate mitts)
+  --static-gbps G    per-core static rate limit in GB/s
+  --tune OBJ         offline GA: throughput|fairness (implies mitts)
+  --instr N          instructions per core to complete (default 200000)
+  --cycles N         run a fixed cycle count instead
+  --llc BYTES        shared LLC size (default 1MiB; k/m suffixes ok)
+  --noc WxH          enable the mesh NoC with the given dimensions
+  --seed S           simulation seed (default 12345)
+  --stats            dump full component statistics at the end
+  --list-apps        print the workload registry and exit
+  --help             this text
+)");
+    std::exit(code);
+}
+
+std::vector<std::string>
+split(const std::string &s, char sep)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(s);
+    std::string item;
+    while (std::getline(ss, item, sep)) {
+        if (!item.empty())
+            out.push_back(item);
+    }
+    return out;
+}
+
+std::size_t
+parseBytes(const std::string &s)
+{
+    char *end = nullptr;
+    const double v = std::strtod(s.c_str(), &end);
+    std::size_t mul = 1;
+    if (end && *end) {
+        switch (*end) {
+          case 'k':
+          case 'K':
+            mul = 1024;
+            break;
+          case 'm':
+          case 'M':
+            mul = 1024 * 1024;
+            break;
+          default:
+            fatal("bad size suffix in '", s, "'");
+        }
+    }
+    return static_cast<std::size_t>(v * static_cast<double>(mul));
+}
+
+SchedulerKind
+parseSched(const std::string &s)
+{
+    if (s == "frfcfs")
+        return SchedulerKind::Frfcfs;
+    if (s == "fcfs")
+        return SchedulerKind::Fcfs;
+    if (s == "fairqueue")
+        return SchedulerKind::FairQueue;
+    if (s == "atlas")
+        return SchedulerKind::Atlas;
+    if (s == "parbs")
+        return SchedulerKind::Parbs;
+    if (s == "stfm")
+        return SchedulerKind::Stfm;
+    if (s == "tcm")
+        return SchedulerKind::Tcm;
+    if (s == "fst")
+        return SchedulerKind::Fst;
+    if (s == "memguard")
+        return SchedulerKind::MemGuard;
+    if (s == "mise")
+        return SchedulerKind::Mise;
+    fatal("unknown scheduler '", s, "'");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    SystemConfig cfg;
+    std::uint64_t instr_target = 200'000;
+    Tick fixed_cycles = 0;
+    bool dump_stats = false;
+    std::string tune_objective;
+    std::vector<std::uint32_t> bin_credits;
+    double static_gbps = 0.0;
+
+    auto need = [&](int &i) -> std::string {
+        if (i + 1 >= argc)
+            fatal("flag ", argv[i], " needs a value");
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help") {
+            usage(0);
+        } else if (arg == "--list-apps") {
+            for (const auto &name : allProfileNames()) {
+                const AppProfile &p = appProfile(name);
+                std::printf("%-14s threads=%u ws=%lluKiB\n",
+                            name.c_str(), p.numThreads,
+                            static_cast<unsigned long long>(
+                                p.workingSetBytes / 1024));
+            }
+            return 0;
+        } else if (arg == "--apps") {
+            cfg.apps = split(need(i), ',');
+        } else if (arg == "--sched") {
+            cfg.sched = parseSched(need(i));
+        } else if (arg == "--gate") {
+            const std::string g = need(i);
+            cfg.gate = g == "mitts"
+                           ? GateKind::Mitts
+                           : (g == "static" ? GateKind::Static
+                                            : GateKind::None);
+        } else if (arg == "--bins") {
+            cfg.gate = GateKind::Mitts;
+            for (const auto &tok : split(need(i), ','))
+                bin_credits.push_back(static_cast<std::uint32_t>(
+                    std::strtoul(tok.c_str(), nullptr, 10)));
+        } else if (arg == "--static-gbps") {
+            cfg.gate = GateKind::Static;
+            static_gbps = std::strtod(need(i).c_str(), nullptr);
+        } else if (arg == "--tune") {
+            tune_objective = need(i);
+            cfg.gate = GateKind::Mitts;
+        } else if (arg == "--instr") {
+            instr_target = std::strtoull(need(i).c_str(), nullptr, 10);
+        } else if (arg == "--cycles") {
+            fixed_cycles = std::strtoull(need(i).c_str(), nullptr, 10);
+        } else if (arg == "--llc") {
+            cfg.llc.sizeBytes = parseBytes(need(i));
+        } else if (arg == "--noc") {
+            const auto dims = split(need(i), 'x');
+            if (dims.size() != 2)
+                fatal("--noc expects WxH");
+            cfg.noc.enabled = true;
+            cfg.noc.width = static_cast<unsigned>(
+                std::strtoul(dims[0].c_str(), nullptr, 10));
+            cfg.noc.height = static_cast<unsigned>(
+                std::strtoul(dims[1].c_str(), nullptr, 10));
+        } else if (arg == "--seed") {
+            cfg.seed = std::strtoull(need(i).c_str(), nullptr, 10);
+        } else if (arg == "--stats") {
+            dump_stats = true;
+        } else {
+            std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+            usage(2);
+        }
+    }
+    if (cfg.apps.empty()) {
+        std::fprintf(stderr, "--apps is required\n");
+        usage(2);
+    }
+
+    if (!bin_credits.empty()) {
+        if (bin_credits.size() != cfg.binSpec.numBins)
+            fatal("--bins expects ", cfg.binSpec.numBins, " values");
+        BinConfig bc(cfg.binSpec, bin_credits);
+        // The same purchased distribution on every core.
+        System probe(cfg);
+        cfg.mittsConfigs.assign(probe.numCores(), bc);
+    }
+    if (static_gbps > 0.0) {
+        System probe(cfg);
+        cfg.staticIntervals.assign(
+            probe.numCores(), 64.0 * cfg.cpuGhz / static_gbps);
+    }
+
+    RunnerOptions opts;
+    opts.instrTarget = instr_target;
+    opts.maxCycles = 400 * instr_target;
+
+    if (!tune_objective.empty()) {
+        const Objective obj = tune_objective == "fairness"
+                                  ? Objective::Fairness
+                                  : Objective::Throughput;
+        std::printf("computing alone-run baselines...\n");
+        const auto alone = aloneCyclesForAll(cfg, opts);
+        std::printf("running offline GA (%s)...\n",
+                    objectiveName(obj));
+        OfflineTunerOptions topts;
+        topts.run = opts;
+        topts.ga.populationSize = 12;
+        topts.ga.generations = 6;
+        const auto tuned =
+            tuneMultiProgram(cfg, alone, obj, 0, topts);
+        std::printf("best configs:\n");
+        for (std::size_t c = 0; c < tuned.best.size(); ++c)
+            std::printf("  core %zu: %s\n", c,
+                        tuned.best[c].toString().c_str());
+        std::printf("S_avg=%.3f S_max=%.3f\n", tuned.metrics.savg,
+                    tuned.metrics.smax);
+        return 0;
+    }
+
+    System sys(cfg);
+    if (fixed_cycles > 0) {
+        sys.run(fixed_cycles);
+        std::printf("%-14s %14s %10s\n", "app", "instructions",
+                    "IPC/core");
+        for (unsigned a = 0; a < sys.numApps(); ++a) {
+            std::uint64_t instr = 0;
+            for (CoreId c : sys.coresOfApp(a))
+                instr += sys.core(c).instructions();
+            std::printf("%-14s %14llu %10.3f\n",
+                        sys.appName(a).c_str(),
+                        static_cast<unsigned long long>(instr),
+                        static_cast<double>(instr) /
+                            static_cast<double>(fixed_cycles) /
+                            static_cast<double>(
+                                sys.coresOfApp(a).size()));
+        }
+    } else {
+        const auto results =
+            sys.runUntilInstructions(instr_target, opts.maxCycles);
+        std::printf("%-14s %12s %12s %10s\n", "app", "cycles",
+                    "mem-stalls", "IPC");
+        for (const auto &r : results) {
+            std::printf(
+                "%-14s %12llu %12llu %10.3f\n", r.name.c_str(),
+                static_cast<unsigned long long>(r.completedAt),
+                static_cast<unsigned long long>(r.memStallCycles),
+                static_cast<double>(r.instructions) /
+                    static_cast<double>(r.completedAt));
+        }
+    }
+
+    if (dump_stats) {
+        std::printf("\n---- statistics ----\n");
+        std::ostringstream os;
+        sys.dumpStats(os);
+        std::fputs(os.str().c_str(), stdout);
+    }
+    return 0;
+}
