@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_static_vs_mitts.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig11_static_vs_mitts.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig11_static_vs_mitts.dir/bench_fig11_static_vs_mitts.cpp.o"
+  "CMakeFiles/bench_fig11_static_vs_mitts.dir/bench_fig11_static_vs_mitts.cpp.o.d"
+  "bench_fig11_static_vs_mitts"
+  "bench_fig11_static_vs_mitts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_static_vs_mitts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_four_program.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig12_four_program.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig12_four_program.dir/bench_fig12_four_program.cpp.o"
+  "CMakeFiles/bench_fig12_four_program.dir/bench_fig12_four_program.cpp.o.d"
+  "bench_fig12_four_program"
+  "bench_fig12_four_program.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_four_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

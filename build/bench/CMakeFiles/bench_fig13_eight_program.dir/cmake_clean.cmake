@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_eight_program.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig13_eight_program.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig13_eight_program.dir/bench_fig13_eight_program.cpp.o"
+  "CMakeFiles/bench_fig13_eight_program.dir/bench_fig13_eight_program.cpp.o.d"
+  "bench_fig13_eight_program"
+  "bench_fig13_eight_program.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_eight_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_hybrid.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig14_hybrid.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig14_hybrid.dir/bench_fig14_hybrid.cpp.o"
+  "CMakeFiles/bench_fig14_hybrid.dir/bench_fig14_hybrid.cpp.o.d"
+  "bench_fig14_hybrid"
+  "bench_fig14_hybrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

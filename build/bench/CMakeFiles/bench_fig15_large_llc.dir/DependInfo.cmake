@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_common.cc" "bench/CMakeFiles/bench_fig15_large_llc.dir/bench_common.cc.o" "gcc" "bench/CMakeFiles/bench_fig15_large_llc.dir/bench_common.cc.o.d"
+  "/root/repo/bench/bench_fig15_large_llc.cpp" "bench/CMakeFiles/bench_fig15_large_llc.dir/bench_fig15_large_llc.cpp.o" "gcc" "bench/CMakeFiles/bench_fig15_large_llc.dir/bench_fig15_large_llc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/system/CMakeFiles/mitts_system.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuner/CMakeFiles/mitts_tuner.dir/DependInfo.cmake"
+  "/root/repo/build/src/iaas/CMakeFiles/mitts_iaas.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mitts_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mitts_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/shaper/CMakeFiles/mitts_shaper.dir/DependInfo.cmake"
+  "/root/repo/build/src/memctrl/CMakeFiles/mitts_memctrl.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/mitts_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/mitts_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/mitts_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/mitts_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/mitts_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

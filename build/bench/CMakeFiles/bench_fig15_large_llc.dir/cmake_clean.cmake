@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_large_llc.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig15_large_llc.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig15_large_llc.dir/bench_fig15_large_llc.cpp.o"
+  "CMakeFiles/bench_fig15_large_llc.dir/bench_fig15_large_llc.cpp.o.d"
+  "bench_fig15_large_llc"
+  "bench_fig15_large_llc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_large_llc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

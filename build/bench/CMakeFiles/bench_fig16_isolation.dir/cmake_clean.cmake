@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_isolation.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig16_isolation.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig16_isolation.dir/bench_fig16_isolation.cpp.o"
+  "CMakeFiles/bench_fig16_isolation.dir/bench_fig16_isolation.cpp.o.d"
+  "bench_fig16_isolation"
+  "bench_fig16_isolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_bin_configs.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig17_bin_configs.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig17_bin_configs.dir/bench_fig17_bin_configs.cpp.o"
+  "CMakeFiles/bench_fig17_bin_configs.dir/bench_fig17_bin_configs.cpp.o.d"
+  "bench_fig17_bin_configs"
+  "bench_fig17_bin_configs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_bin_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

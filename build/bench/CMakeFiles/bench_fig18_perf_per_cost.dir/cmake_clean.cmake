@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_perf_per_cost.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig18_perf_per_cost.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig18_perf_per_cost.dir/bench_fig18_perf_per_cost.cpp.o"
+  "CMakeFiles/bench_fig18_perf_per_cost.dir/bench_fig18_perf_per_cost.cpp.o.d"
+  "bench_fig18_perf_per_cost"
+  "bench_fig18_perf_per_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_perf_per_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec4h_threaded.dir/bench_common.cc.o"
+  "CMakeFiles/bench_sec4h_threaded.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_sec4h_threaded.dir/bench_sec4h_threaded.cpp.o"
+  "CMakeFiles/bench_sec4h_threaded.dir/bench_sec4h_threaded.cpp.o.d"
+  "bench_sec4h_threaded"
+  "bench_sec4h_threaded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec4h_threaded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sec4h_threaded.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec4i_bin_count.dir/bench_common.cc.o"
+  "CMakeFiles/bench_sec4i_bin_count.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_sec4i_bin_count.dir/bench_sec4i_bin_count.cpp.o"
+  "CMakeFiles/bench_sec4i_bin_count.dir/bench_sec4i_bin_count.cpp.o.d"
+  "bench_sec4i_bin_count"
+  "bench_sec4i_bin_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec4i_bin_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sec4i_bin_count.
+# This may be replaced when dependencies are built.

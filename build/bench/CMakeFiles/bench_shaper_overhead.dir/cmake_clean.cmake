@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_shaper_overhead.dir/bench_shaper_overhead.cpp.o"
+  "CMakeFiles/bench_shaper_overhead.dir/bench_shaper_overhead.cpp.o.d"
+  "bench_shaper_overhead"
+  "bench_shaper_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_shaper_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoscaling_tenants.dir/autoscaling_tenants.cpp.o"
+  "CMakeFiles/autoscaling_tenants.dir/autoscaling_tenants.cpp.o.d"
+  "autoscaling_tenants"
+  "autoscaling_tenants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoscaling_tenants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iaas_marketplace.dir/iaas_marketplace.cpp.o"
+  "CMakeFiles/iaas_marketplace.dir/iaas_marketplace.cpp.o.d"
+  "iaas_marketplace"
+  "iaas_marketplace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iaas_marketplace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_autotuner.dir/online_autotuner.cpp.o"
+  "CMakeFiles/online_autotuner.dir/online_autotuner.cpp.o.d"
+  "online_autotuner"
+  "online_autotuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_autotuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("base")
+subdirs("sim")
+subdirs("mem")
+subdirs("dram")
+subdirs("noc")
+subdirs("cache")
+subdirs("sched")
+subdirs("memctrl")
+subdirs("shaper")
+subdirs("trace")
+subdirs("core")
+subdirs("tuner")
+subdirs("iaas")
+subdirs("system")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mitts_base.dir/logging.cc.o"
+  "CMakeFiles/mitts_base.dir/logging.cc.o.d"
+  "CMakeFiles/mitts_base.dir/stats.cc.o"
+  "CMakeFiles/mitts_base.dir/stats.cc.o.d"
+  "CMakeFiles/mitts_base.dir/stats_export.cc.o"
+  "CMakeFiles/mitts_base.dir/stats_export.cc.o.d"
+  "libmitts_base.a"
+  "libmitts_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mitts_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

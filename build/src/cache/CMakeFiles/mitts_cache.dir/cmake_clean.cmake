@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mitts_cache.dir/cache_array.cc.o"
+  "CMakeFiles/mitts_cache.dir/cache_array.cc.o.d"
+  "CMakeFiles/mitts_cache.dir/l1_cache.cc.o"
+  "CMakeFiles/mitts_cache.dir/l1_cache.cc.o.d"
+  "CMakeFiles/mitts_cache.dir/shared_llc.cc.o"
+  "CMakeFiles/mitts_cache.dir/shared_llc.cc.o.d"
+  "libmitts_cache.a"
+  "libmitts_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mitts_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mitts_cpu.dir/core.cc.o"
+  "CMakeFiles/mitts_cpu.dir/core.cc.o.d"
+  "libmitts_cpu.a"
+  "libmitts_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mitts_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mitts_dram.dir/dram.cc.o"
+  "CMakeFiles/mitts_dram.dir/dram.cc.o.d"
+  "libmitts_dram.a"
+  "libmitts_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mitts_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

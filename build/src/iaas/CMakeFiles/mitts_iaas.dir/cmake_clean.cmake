@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mitts_iaas.dir/tenant.cc.o"
+  "CMakeFiles/mitts_iaas.dir/tenant.cc.o.d"
+  "libmitts_iaas.a"
+  "libmitts_iaas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mitts_iaas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

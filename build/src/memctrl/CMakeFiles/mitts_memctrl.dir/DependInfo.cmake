@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memctrl/mem_controller.cc" "src/memctrl/CMakeFiles/mitts_memctrl.dir/mem_controller.cc.o" "gcc" "src/memctrl/CMakeFiles/mitts_memctrl.dir/mem_controller.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/mitts_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/mitts_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/mitts_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/mitts_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/mitts_noc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

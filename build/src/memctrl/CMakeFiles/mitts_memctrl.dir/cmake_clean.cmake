@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mitts_memctrl.dir/mem_controller.cc.o"
+  "CMakeFiles/mitts_memctrl.dir/mem_controller.cc.o.d"
+  "libmitts_memctrl.a"
+  "libmitts_memctrl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mitts_memctrl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mitts_noc.dir/mesh.cc.o"
+  "CMakeFiles/mitts_noc.dir/mesh.cc.o.d"
+  "libmitts_noc.a"
+  "libmitts_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mitts_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

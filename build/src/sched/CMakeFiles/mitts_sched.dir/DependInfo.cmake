@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/atlas.cc" "src/sched/CMakeFiles/mitts_sched.dir/atlas.cc.o" "gcc" "src/sched/CMakeFiles/mitts_sched.dir/atlas.cc.o.d"
+  "/root/repo/src/sched/fair_queue.cc" "src/sched/CMakeFiles/mitts_sched.dir/fair_queue.cc.o" "gcc" "src/sched/CMakeFiles/mitts_sched.dir/fair_queue.cc.o.d"
+  "/root/repo/src/sched/frfcfs.cc" "src/sched/CMakeFiles/mitts_sched.dir/frfcfs.cc.o" "gcc" "src/sched/CMakeFiles/mitts_sched.dir/frfcfs.cc.o.d"
+  "/root/repo/src/sched/fst.cc" "src/sched/CMakeFiles/mitts_sched.dir/fst.cc.o" "gcc" "src/sched/CMakeFiles/mitts_sched.dir/fst.cc.o.d"
+  "/root/repo/src/sched/memguard.cc" "src/sched/CMakeFiles/mitts_sched.dir/memguard.cc.o" "gcc" "src/sched/CMakeFiles/mitts_sched.dir/memguard.cc.o.d"
+  "/root/repo/src/sched/mise.cc" "src/sched/CMakeFiles/mitts_sched.dir/mise.cc.o" "gcc" "src/sched/CMakeFiles/mitts_sched.dir/mise.cc.o.d"
+  "/root/repo/src/sched/parbs.cc" "src/sched/CMakeFiles/mitts_sched.dir/parbs.cc.o" "gcc" "src/sched/CMakeFiles/mitts_sched.dir/parbs.cc.o.d"
+  "/root/repo/src/sched/slowdown_estimator.cc" "src/sched/CMakeFiles/mitts_sched.dir/slowdown_estimator.cc.o" "gcc" "src/sched/CMakeFiles/mitts_sched.dir/slowdown_estimator.cc.o.d"
+  "/root/repo/src/sched/stfm.cc" "src/sched/CMakeFiles/mitts_sched.dir/stfm.cc.o" "gcc" "src/sched/CMakeFiles/mitts_sched.dir/stfm.cc.o.d"
+  "/root/repo/src/sched/tcm.cc" "src/sched/CMakeFiles/mitts_sched.dir/tcm.cc.o" "gcc" "src/sched/CMakeFiles/mitts_sched.dir/tcm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/mitts_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/mitts_dram.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

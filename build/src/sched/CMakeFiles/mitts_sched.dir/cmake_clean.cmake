@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mitts_sched.dir/atlas.cc.o"
+  "CMakeFiles/mitts_sched.dir/atlas.cc.o.d"
+  "CMakeFiles/mitts_sched.dir/fair_queue.cc.o"
+  "CMakeFiles/mitts_sched.dir/fair_queue.cc.o.d"
+  "CMakeFiles/mitts_sched.dir/frfcfs.cc.o"
+  "CMakeFiles/mitts_sched.dir/frfcfs.cc.o.d"
+  "CMakeFiles/mitts_sched.dir/fst.cc.o"
+  "CMakeFiles/mitts_sched.dir/fst.cc.o.d"
+  "CMakeFiles/mitts_sched.dir/memguard.cc.o"
+  "CMakeFiles/mitts_sched.dir/memguard.cc.o.d"
+  "CMakeFiles/mitts_sched.dir/mise.cc.o"
+  "CMakeFiles/mitts_sched.dir/mise.cc.o.d"
+  "CMakeFiles/mitts_sched.dir/parbs.cc.o"
+  "CMakeFiles/mitts_sched.dir/parbs.cc.o.d"
+  "CMakeFiles/mitts_sched.dir/slowdown_estimator.cc.o"
+  "CMakeFiles/mitts_sched.dir/slowdown_estimator.cc.o.d"
+  "CMakeFiles/mitts_sched.dir/stfm.cc.o"
+  "CMakeFiles/mitts_sched.dir/stfm.cc.o.d"
+  "CMakeFiles/mitts_sched.dir/tcm.cc.o"
+  "CMakeFiles/mitts_sched.dir/tcm.cc.o.d"
+  "libmitts_sched.a"
+  "libmitts_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mitts_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmitts_sched.a"
+)

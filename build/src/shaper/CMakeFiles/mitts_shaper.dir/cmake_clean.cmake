@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mitts_shaper.dir/congestion.cc.o"
+  "CMakeFiles/mitts_shaper.dir/congestion.cc.o.d"
+  "CMakeFiles/mitts_shaper.dir/mitts_shaper.cc.o"
+  "CMakeFiles/mitts_shaper.dir/mitts_shaper.cc.o.d"
+  "libmitts_shaper.a"
+  "libmitts_shaper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mitts_shaper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

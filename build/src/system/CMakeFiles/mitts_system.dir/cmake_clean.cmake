@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mitts_system.dir/metrics.cc.o"
+  "CMakeFiles/mitts_system.dir/metrics.cc.o.d"
+  "CMakeFiles/mitts_system.dir/runner.cc.o"
+  "CMakeFiles/mitts_system.dir/runner.cc.o.d"
+  "CMakeFiles/mitts_system.dir/system.cc.o"
+  "CMakeFiles/mitts_system.dir/system.cc.o.d"
+  "libmitts_system.a"
+  "libmitts_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mitts_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mitts_trace.dir/app_profile.cc.o"
+  "CMakeFiles/mitts_trace.dir/app_profile.cc.o.d"
+  "CMakeFiles/mitts_trace.dir/synth_trace.cc.o"
+  "CMakeFiles/mitts_trace.dir/synth_trace.cc.o.d"
+  "CMakeFiles/mitts_trace.dir/trace_io.cc.o"
+  "CMakeFiles/mitts_trace.dir/trace_io.cc.o.d"
+  "libmitts_trace.a"
+  "libmitts_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mitts_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mitts_tuner.dir/constraints.cc.o"
+  "CMakeFiles/mitts_tuner.dir/constraints.cc.o.d"
+  "CMakeFiles/mitts_tuner.dir/ga.cc.o"
+  "CMakeFiles/mitts_tuner.dir/ga.cc.o.d"
+  "CMakeFiles/mitts_tuner.dir/local_search.cc.o"
+  "CMakeFiles/mitts_tuner.dir/local_search.cc.o.d"
+  "CMakeFiles/mitts_tuner.dir/offline_tuner.cc.o"
+  "CMakeFiles/mitts_tuner.dir/offline_tuner.cc.o.d"
+  "CMakeFiles/mitts_tuner.dir/online_tuner.cc.o"
+  "CMakeFiles/mitts_tuner.dir/online_tuner.cc.o.d"
+  "CMakeFiles/mitts_tuner.dir/phase_switcher.cc.o"
+  "CMakeFiles/mitts_tuner.dir/phase_switcher.cc.o.d"
+  "CMakeFiles/mitts_tuner.dir/static_search.cc.o"
+  "CMakeFiles/mitts_tuner.dir/static_search.cc.o.d"
+  "libmitts_tuner.a"
+  "libmitts_tuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mitts_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

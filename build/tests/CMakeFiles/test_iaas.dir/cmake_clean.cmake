@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_iaas.dir/test_iaas.cc.o"
+  "CMakeFiles/test_iaas.dir/test_iaas.cc.o.d"
+  "test_iaas"
+  "test_iaas.pdb"
+  "test_iaas[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_iaas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

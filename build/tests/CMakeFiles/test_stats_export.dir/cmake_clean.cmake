@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_export.dir/test_stats_export.cc.o"
+  "CMakeFiles/test_stats_export.dir/test_stats_export.cc.o.d"
+  "test_stats_export"
+  "test_stats_export.pdb"
+  "test_stats_export[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mitts_sim_tool.dir/mitts_sim.cpp.o"
+  "CMakeFiles/mitts_sim_tool.dir/mitts_sim.cpp.o.d"
+  "mitts_sim"
+  "mitts_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mitts_sim_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
