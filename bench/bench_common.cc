@@ -1,15 +1,45 @@
 #include "bench_common.hh"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 
 #include "base/logging.hh"
+#include "base/thread_pool.hh"
 #include "system/metrics.hh"
 #include "trace/app_profile.hh"
 #include "tuner/online_tuner.hh"
 
 namespace mitts::bench
 {
+
+namespace
+{
+
+/** Wall-clock bookkeeping for the current section: header() closes
+ *  the previous section and the last one is closed at exit, so every
+ *  bench reports per-section times (and parallel speedups) for free. */
+std::chrono::steady_clock::time_point gSectionStart;
+std::string gSectionTitle;
+bool gSectionOpen = false;
+
+void
+closeSection()
+{
+    if (!gSectionOpen)
+        return;
+    gSectionOpen = false;
+    const double secs =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - gSectionStart)
+            .count();
+    std::printf("[wall] %s: %.2fs (MITTS_THREADS=%u)\n",
+                gSectionTitle.c_str(), secs,
+                ThreadPool::global().threads());
+    std::fflush(stdout);
+}
+
+} // namespace
 
 unsigned
 scale()
@@ -46,8 +76,17 @@ gaConfig(unsigned population, unsigned generations)
 void
 header(const std::string &title)
 {
+    closeSection();
+    static const bool registered = [] {
+        std::atexit(closeSection);
+        return true;
+    }();
+    (void)registered;
     std::printf("\n==== %s ====\n", title.c_str());
     std::fflush(stdout);
+    gSectionTitle = title;
+    gSectionStart = std::chrono::steady_clock::now();
+    gSectionOpen = true;
 }
 
 void
@@ -92,17 +131,22 @@ schedulerComparison(unsigned workload, std::size_t llc_bytes,
 
     const auto alone = aloneCyclesForAll(base, opts);
 
-    std::vector<ComparisonRow> rows;
-    for (SchedulerKind k :
-         {SchedulerKind::Frfcfs, SchedulerKind::FairQueue,
-          SchedulerKind::Atlas, SchedulerKind::Tcm,
-          SchedulerKind::Fst, SchedulerKind::MemGuard,
-          SchedulerKind::Mise}) {
-        SystemConfig cfg = base;
-        cfg.sched = k;
-        const auto m = runMulti(cfg, alone, opts).metrics;
-        rows.push_back({schedulerName(k), m.savg, m.smax});
-    }
+    // Each conventional scheduler is one independent simulation of
+    // the same mix; fan them out across the pool (rows stay in the
+    // canonical order by index).
+    const std::vector<SchedulerKind> kinds{
+        SchedulerKind::Frfcfs, SchedulerKind::FairQueue,
+        SchedulerKind::Atlas,  SchedulerKind::Tcm,
+        SchedulerKind::Fst,    SchedulerKind::MemGuard,
+        SchedulerKind::Mise};
+    std::vector<ComparisonRow> rows =
+        parallelMap(kinds.size(), [&](std::size_t i) {
+            SystemConfig cfg = base;
+            cfg.sched = kinds[i];
+            const auto m = runMulti(cfg, alone, opts).metrics;
+            return ComparisonRow{schedulerName(kinds[i]), m.savg,
+                                 m.smax};
+        });
 
     // MITTS offline, tuned separately for each objective.
     SystemConfig mitts_cfg = base;

@@ -5,7 +5,11 @@
  * Every bench prints the same rows/series the paper reports. Run
  * lengths and GA budgets are scaled down from the paper's 200M-cycle
  * runs so the whole suite finishes in minutes; set MITTS_BENCH_SCALE
- * (default 1, higher = longer runs) to increase fidelity.
+ * (default 1, higher = longer runs) to increase fidelity, and
+ * MITTS_THREADS to parallelize the independent simulations inside a
+ * section (results are bit-identical for any thread count). header()
+ * also reports the previous section's wall-clock time so parallel
+ * speedups are visible.
  */
 
 #ifndef MITTS_BENCH_BENCH_COMMON_HH

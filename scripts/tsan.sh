@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Build with ThreadSanitizer and run the parallel-engine test suites
+# (thread pool + tuners, which exercise parallel GA evaluation and the
+# global pool) under it. Usage: scripts/tsan.sh [extra ctest -R regex]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD=build-tsan
+cmake -B "$BUILD" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -g" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+cmake --build "$BUILD" -j --target test_thread_pool test_tuner
+
+# Force real parallelism so TSan sees cross-thread interleavings even
+# on small CI hosts.
+export MITTS_THREADS="${MITTS_THREADS:-4}"
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
+
+"$BUILD"/tests/test_thread_pool
+"$BUILD"/tests/test_tuner
+echo "tsan: all parallel-engine tests clean"

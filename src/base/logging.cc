@@ -1,6 +1,7 @@
 #include "base/logging.hh"
 
 #include <atomic>
+#include <mutex>
 
 namespace mitts
 {
@@ -8,6 +9,8 @@ namespace mitts
 namespace
 {
 std::atomic<bool> gQuiet{false};
+/** Serializes log lines; parallel simulations warn() concurrently. */
+std::mutex gEmitMutex;
 } // namespace
 
 void
@@ -28,6 +31,7 @@ namespace detail
 void
 emit(const char *tag, const std::string &msg)
 {
+    std::lock_guard<std::mutex> lk(gEmitMutex);
     std::fprintf(stderr, "[%s] %s\n", tag, msg.c_str());
     std::fflush(stderr);
 }

@@ -24,7 +24,7 @@ Tenant::purchase(const BinConfig &cfg, Tick now)
     accrue(now);
     current_ = cfg;
     for (auto *shaper : shapers_)
-        shaper->setConfig(cfg);
+        shaper->setConfig(cfg, now);
 }
 
 double

@@ -37,7 +37,7 @@ MittsShaper::MittsShaper(std::string name, const BinConfig &cfg,
 }
 
 void
-MittsShaper::setConfig(const BinConfig &cfg)
+MittsShaper::setConfig(const BinConfig &cfg, Tick now)
 {
     MITTS_ASSERT(cfg.credits.size() == cfg.spec.numBins,
                  "bad bin config");
@@ -52,6 +52,13 @@ MittsShaper::setConfig(const BinConfig &cfg)
         pendingBin_.clear();
         pendingStamp_.clear();
     }
+    // Credits were just reset to K_i, exactly as after a replenish,
+    // so the schedule restarts here: next replenish one full (new)
+    // period after the reconfiguration. Keeping the old deadline
+    // instead would let a shrunken T_r starve the shaper until the
+    // stale (longer) deadline passed.
+    lastReplenishAt_ = now;
+    nextReplenishAt_ = now + cfg_.spec.replenishPeriod;
 }
 
 void
@@ -210,12 +217,13 @@ MittsShaper::deductForMiss(Tick inter_arrival)
     const unsigned bin = cfg_.spec.binOf(inter_arrival);
     int take = eligibleBin(bin);
     if (take < 0) {
-        // Aggressive issue already happened; take from the cheapest
-        // non-empty bin instead, or record the loss.
-        for (int i = static_cast<int>(cfg_.spec.numBins) - 1;
-             i > static_cast<int>(bin); --i) {
-            if (credits_[static_cast<unsigned>(i)] > 0) {
-                take = i;
+        // Aggressive issue already happened; charge the nearest bin
+        // above the observed inter-arrival instead (smallest i > bin
+        // with credits) — the cheapest over-spaced credit whose
+        // interval still covers this spacing — or record the loss.
+        for (unsigned i = bin + 1; i < cfg_.spec.numBins; ++i) {
+            if (credits_[i] > 0) {
+                take = static_cast<int>(i);
                 break;
             }
         }

@@ -44,9 +44,12 @@ class MittsShaper : public SourceGate
     /**
      * Reconfigure the replenish registers (what the OS/hypervisor or
      * the genetic algorithm writes). Takes effect immediately: current
-     * credits are reset to the new K_i, as after a replenish.
+     * credits are reset to the new K_i, as after a replenish, and the
+     * replenish schedule restarts at `now` (one full new period out),
+     * so a changed T_r is observed immediately rather than after the
+     * stale deadline.
      */
-    void setConfig(const BinConfig &cfg);
+    void setConfig(const BinConfig &cfg, Tick now = 0);
     const BinConfig &config() const { return cfg_; }
 
     /** Enable/disable shaping entirely (disabled = pass-through). */

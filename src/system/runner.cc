@@ -1,6 +1,7 @@
 #include "system/runner.hh"
 
 #include "base/logging.hh"
+#include "base/thread_pool.hh"
 
 namespace mitts
 {
@@ -10,6 +11,11 @@ runAlone(const SystemConfig &base, unsigned app_idx,
          const RunnerOptions &opts)
 {
     MITTS_ASSERT(app_idx < base.apps.size(), "bad app index");
+    MITTS_ASSERT(base.customProfiles.empty() ||
+                     base.customProfiles.size() == base.apps.size(),
+                 "customProfiles must be empty or one per app (",
+                 base.customProfiles.size(), " profiles for ",
+                 base.apps.size(), " apps)");
     SystemConfig cfg = base;
     cfg.apps = {base.apps[app_idx]};
     if (!base.customProfiles.empty())
@@ -32,10 +38,12 @@ runAlone(const SystemConfig &base, unsigned app_idx,
 std::vector<Tick>
 aloneCyclesForAll(const SystemConfig &base, const RunnerOptions &opts)
 {
-    std::vector<Tick> alone;
-    for (unsigned a = 0; a < base.apps.size(); ++a)
-        alone.push_back(runAlone(base, a, opts));
-    return alone;
+    // Each alone run owns its System/RNG/stats, so the calibration
+    // sweep is embarrassingly parallel; parallelMap keeps the result
+    // ordered by app index, identical to the sequential loop.
+    return parallelMap(base.apps.size(), [&](std::size_t a) {
+        return runAlone(base, static_cast<unsigned>(a), opts);
+    });
 }
 
 MultiOutcome

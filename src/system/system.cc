@@ -284,7 +284,7 @@ void
 System::setShaperConfig(CoreId core, const BinConfig &cfg)
 {
     if (shapers_[core])
-        shapers_[core]->setConfig(cfg);
+        shapers_[core]->setConfig(cfg, sim_.now());
 }
 
 std::vector<AppResult>

@@ -1,9 +1,9 @@
 #include "tuner/offline_tuner.hh"
 
-#include <atomic>
-#include <thread>
+#include <optional>
 
 #include "base/logging.hh"
+#include "base/thread_pool.hh"
 #include "tuner/constraints.hh"
 
 namespace mitts
@@ -12,44 +12,22 @@ namespace mitts
 namespace
 {
 
-/** Evaluate each genome with `fn` across a bounded thread pool. */
-std::vector<double>
-mapParallel(const std::vector<Genome> &genomes,
-            const std::function<double(const Genome &)> &fn,
-            bool parallel, unsigned max_threads)
+/**
+ * Pool override implied by the tuner options: a private 1-thread
+ * pool when parallel evaluation is disabled, a private pool of
+ * maxThreads when capped, or null (= the process-wide pool sized by
+ * MITTS_THREADS) otherwise. The fitness values are index-ordered
+ * either way, so the GA's trajectory is identical for every choice.
+ */
+std::optional<ThreadPool>
+poolOverride(const OfflineTunerOptions &opts)
 {
-    std::vector<double> fitness(genomes.size(), 0.0);
-    if (!parallel || genomes.size() < 2) {
-        for (std::size_t i = 0; i < genomes.size(); ++i)
-            fitness[i] = fn(genomes[i]);
-        return fitness;
-    }
-
-    unsigned workers = max_threads
-                           ? max_threads
-                           : std::thread::hardware_concurrency();
-    if (workers == 0)
-        workers = 4;
-    workers = std::min<unsigned>(
-        workers, static_cast<unsigned>(genomes.size()));
-
-    std::atomic<std::size_t> next{0};
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (unsigned w = 0; w < workers; ++w) {
-        pool.emplace_back([&] {
-            for (;;) {
-                const std::size_t i =
-                    next.fetch_add(1, std::memory_order_relaxed);
-                if (i >= genomes.size())
-                    return;
-                fitness[i] = fn(genomes[i]);
-            }
-        });
-    }
-    for (auto &t : pool)
-        t.join();
-    return fitness;
+    if (!opts.parallel)
+        return std::optional<ThreadPool>(std::in_place, 1u);
+    if (opts.maxThreads)
+        return std::optional<ThreadPool>(std::in_place,
+                                         opts.maxThreads);
+    return std::nullopt;
 }
 
 /** Heuristic seed genomes covering canonical shapes. */
@@ -154,9 +132,12 @@ tuneSingleProgram(const SystemConfig &base, Objective objective,
         return pricing->perfPerCost(perf, cfg.mittsConfigs[0]);
     };
 
+    std::optional<ThreadPool> local = poolOverride(opts);
     auto batch = [&](const std::vector<Genome> &gen) {
-        return mapParallel(gen, eval_one, opts.parallel,
-                           opts.maxThreads);
+        return parallelMap(
+            gen.size(),
+            [&](std::size_t i) { return eval_one(gen[i]); },
+            local ? &*local : nullptr);
     };
 
     SingleTuneResult result;
@@ -217,9 +198,12 @@ tuneMultiProgram(const SystemConfig &base,
         return 1.0 / std::max(1e-9, metric);
     };
 
+    std::optional<ThreadPool> local = poolOverride(opts);
     auto batch = [&](const std::vector<Genome> &gen) {
-        return mapParallel(gen, eval_one, opts.parallel,
-                           opts.maxThreads);
+        return parallelMap(
+            gen.size(),
+            [&](std::size_t i) { return eval_one(gen[i]); },
+            local ? &*local : nullptr);
     };
 
     MultiTuneResult result;

@@ -23,8 +23,13 @@ struct OfflineTunerOptions
 {
     GaConfig ga;
     RunnerOptions run;
+    /** Evaluate each generation's children in parallel. Fitness
+     *  values stay index-ordered, so the GA trajectory (and winner)
+     *  is identical for any thread count. */
     bool parallel = true;
-    unsigned maxThreads = 0; ///< 0 = hardware concurrency
+    /** Cap on evaluation threads; 0 = the process-wide pool sized by
+     *  MITTS_THREADS (default: hardware concurrency). */
+    unsigned maxThreads = 0;
     /** Extra seed configurations injected into the GA population
      *  (e.g. the static-search winner, or a known-good profile). */
     std::vector<BinConfig> seedConfigs;

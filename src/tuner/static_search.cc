@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/logging.hh"
+#include "base/thread_pool.hh"
 
 namespace mitts
 {
@@ -24,27 +25,34 @@ searchBestSingleBin(const SystemConfig &base,
     MITTS_ASSERT(base.apps.size() == 1 &&
                      base.gate == GateKind::Mitts,
                  "single-bin search wants one app with MITTS");
+    // Every (bin, credits) cell is an independent simulation; run
+    // the whole grid in parallel, then reduce in index order so ties
+    // resolve exactly as the sequential scan did (first cell wins).
+    const std::size_t grid = static_cast<std::size_t>(
+                                 base.binSpec.numBins) *
+                             credit_grid.size();
+    const auto cells = parallelMap(grid, [&](std::size_t idx) {
+        const unsigned bin =
+            static_cast<unsigned>(idx / credit_grid.size());
+        const std::uint32_t k = credit_grid[idx % credit_grid.size()];
+        SystemConfig cfg = base;
+        BinConfig bc = BinConfig::singleBin(base.binSpec, bin, k);
+        cfg.mittsConfigs = {bc};
+        StaticBinResult r;
+        r.best = std::move(bc);
+        r.cycles = runSingle(cfg, opts);
+        r.perf = static_cast<double>(opts.instrTarget) /
+                 static_cast<double>(r.cycles);
+        r.perfPerCost = pricing.perfPerCost(r.perf, r.best);
+        return r;
+    });
+
     StaticBinResult best;
     bool first = true;
-
-    for (unsigned bin = 0; bin < base.binSpec.numBins; ++bin) {
-        for (std::uint32_t k : credit_grid) {
-            SystemConfig cfg = base;
-            BinConfig bc =
-                BinConfig::singleBin(base.binSpec, bin, k);
-            cfg.mittsConfigs = {bc};
-            const Tick cycles = runSingle(cfg, opts);
-            const double perf =
-                static_cast<double>(opts.instrTarget) /
-                static_cast<double>(cycles);
-            const double ppc = pricing.perfPerCost(perf, bc);
-            if (first || ppc > best.perfPerCost) {
-                first = false;
-                best.best = bc;
-                best.cycles = cycles;
-                best.perf = perf;
-                best.perfPerCost = ppc;
-            }
+    for (const auto &r : cells) {
+        if (first || r.perfPerCost > best.perfPerCost) {
+            first = false;
+            best = r;
         }
     }
     return best;
@@ -102,23 +110,36 @@ searchHeterogeneousSplit(const SystemConfig &base,
     const double min_share = total_gbps / (8.0 * n);
 
     for (unsigned it = 0; it < iterations; ++it) {
-        bool improved = false;
         const double step = total_gbps / n * 0.25;
-        // Try moving a slice of bandwidth from core i to core j.
-        for (unsigned i = 0; i < n && !improved; ++i) {
-            for (unsigned j = 0; j < n && !improved; ++j) {
+        // Candidate moves: a slice of bandwidth from core i to core
+        // j. Every trial of a sweep starts from the same split, so
+        // they are independent simulations; evaluate them all in
+        // parallel, then accept the first improving move in (i, j)
+        // order — exactly the move the sequential first-improvement
+        // scan would have taken.
+        std::vector<std::vector<double>> trials;
+        for (unsigned i = 0; i < n; ++i) {
+            for (unsigned j = 0; j < n; ++j) {
                 if (i == j || gbps[i] - step < min_share)
                     continue;
                 auto trial = gbps;
                 trial[i] -= step;
                 trial[j] += step;
-                StaticSplitResult r =
-                    runSplit(base, alone, trial, opts);
-                if (metric(r) < metric(best)) {
-                    best = std::move(r);
-                    gbps = std::move(trial);
-                    improved = true;
-                }
+                trials.push_back(std::move(trial));
+            }
+        }
+        auto results =
+            parallelMap(trials.size(), [&](std::size_t t) {
+                return runSplit(base, alone, trials[t], opts);
+            });
+
+        bool improved = false;
+        for (std::size_t t = 0; t < results.size(); ++t) {
+            if (metric(results[t]) < metric(best)) {
+                best = std::move(results[t]);
+                gbps = std::move(trials[t]);
+                improved = true;
+                break;
             }
         }
         if (!improved)

@@ -252,6 +252,65 @@ TEST(MittsShaper, SetConfigTakesEffect)
     EXPECT_TRUE(shaper.tryIssue(r, 1));
 }
 
+TEST(MittsShaper, SetConfigShrinkingTrTakesEffectImmediately)
+{
+    // Start on a long replenish period, then reconfigure mid-run to
+    // a much shorter one. The shaper must replenish on the *new*
+    // schedule right away, not starve until the stale deadline from
+    // the old period passes.
+    BinSpec slow = spec10();
+    slow.replenishPeriod = 10'000;
+    BinConfig cfg(slow);
+    cfg.credits[9] = 1;
+    MittsShaper shaper("s", cfg);
+
+    BinSpec fast = slow;
+    fast.replenishPeriod = 100;
+    BinConfig shrunk(fast);
+    shrunk.credits[9] = 1;
+    shaper.setConfig(shrunk, 500);
+
+    // Consume the single credit...
+    auto r1 = req(1);
+    EXPECT_TRUE(shaper.tryIssue(r1, 600));
+    EXPECT_EQ(shaper.credits(9), 0u);
+    // ...too soon for another one (and bin 4 is empty anyway)...
+    auto r2 = req(2);
+    EXPECT_FALSE(shaper.tryIssue(r2, 650));
+    // ...but one new-period boundary later the bin refills. Before
+    // the fix nextReplenishAt_ stayed at the stale 10'000 deadline
+    // and this issue starved.
+    auto r3 = req(3);
+    EXPECT_TRUE(shaper.tryIssue(r3, 710));
+}
+
+TEST(MittsShaper, DeductForMissFallbackTakesNearestBinAbove)
+{
+    // Method 1 deducts on confirmed LLC misses using miss-to-miss
+    // spacing. When the observed bin and everything below it are
+    // empty (the gate issued aggressively on stale counters), the
+    // deduction must charge the *nearest* non-empty bin above the
+    // spacing, not the farthest.
+    BinConfig cfg(spec10());
+    cfg.credits[2] = 1;
+    cfg.credits[5] = 3;
+    cfg.credits[9] = 3;
+    MittsShaper shaper("s", cfg, HybridMethod::SpeculativeTimestamp);
+
+    auto r1 = req(1), r2 = req(2), r3 = req(3);
+    EXPECT_TRUE(shaper.tryIssue(r1, 0));   // first: bin 9
+    EXPECT_TRUE(shaper.tryIssue(r2, 25));  // spacing 25: bin 2
+    EXPECT_TRUE(shaper.tryIssue(r3, 50));  // stale counters: bin 2
+
+    shaper.onLlcResponse(r1, false, 200); // deducts bin 9
+    shaper.onLlcResponse(r2, false, 210); // deducts bin 2 (last one)
+    // Spacing 25 again, bins 0-2 empty: nearest bin above is 5.
+    shaper.onLlcResponse(r3, false, 220);
+    EXPECT_EQ(shaper.credits(2), 0u);
+    EXPECT_EQ(shaper.credits(5), 2u); // was 3: charged here
+    EXPECT_EQ(shaper.credits(9), 2u); // only r1's deduction
+}
+
 TEST(MittsShaper, SharedAcrossCoresKeysDistinctly)
 {
     BinConfig cfg(spec10());

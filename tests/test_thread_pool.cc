@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Unit tests for the parallel experiment engine (ThreadPool,
+ * parallelFor/parallelMap) and end-to-end determinism tests asserting
+ * that tuner and static-search sweeps produce identical winners with
+ * 1 and N threads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+
+#include "base/thread_pool.hh"
+#include "iaas/pricing.hh"
+#include "tuner/offline_tuner.hh"
+#include "tuner/static_search.hh"
+
+namespace mitts
+{
+namespace
+{
+
+TEST(ThreadPool, MapPreservesIndexOrder)
+{
+    ThreadPool pool(4);
+    const auto out = parallelMap(
+        200, [](std::size_t i) { return i * i; }, &pool);
+    ASSERT_EQ(out.size(), 200u);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ThreadPool, EveryIndexRunsExactlyOnce)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(128);
+    pool.parallelFor(hits.size(),
+                     [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ExceptionPropagatesAndPoolSurvives)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(pool.parallelFor(64,
+                                  [](std::size_t i) {
+                                      if (i == 37)
+                                          throw std::runtime_error(
+                                              "boom");
+                                  }),
+                 std::runtime_error);
+    // The pool must stay usable after a failed job.
+    std::atomic<int> ran{0};
+    pool.parallelFor(16, [&](std::size_t) { ran.fetch_add(1); });
+    EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(ThreadPool, SingleThreadRunsInlineInOrder)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.threads(), 1u);
+    const auto caller = std::this_thread::get_id();
+    std::vector<std::size_t> order;
+    pool.parallelFor(8, [&](std::size_t i) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        order.push_back(i); // safe: inline serial execution
+    });
+    std::vector<std::size_t> expect(8);
+    std::iota(expect.begin(), expect.end(), 0u);
+    EXPECT_EQ(order, expect);
+}
+
+TEST(ThreadPool, NestedUseRunsInlineWithoutDeadlock)
+{
+    ThreadPool pool(4);
+    std::vector<std::vector<std::uint64_t>> inner(8);
+    pool.parallelFor(inner.size(), [&](std::size_t i) {
+        EXPECT_TRUE(ThreadPool::inWorker());
+        // Nested call from inside pool work must degrade to inline
+        // serial execution on this worker (same pool: deadlock risk;
+        // the guard applies regardless of which pool is asked).
+        inner[i] = parallelMap(
+            16, [i](std::size_t j) { return i * 100 + j; }, &pool);
+    });
+    for (std::size_t i = 0; i < inner.size(); ++i) {
+        ASSERT_EQ(inner[i].size(), 16u);
+        for (std::size_t j = 0; j < 16; ++j)
+            EXPECT_EQ(inner[i][j], i * 100 + j);
+    }
+    EXPECT_FALSE(ThreadPool::inWorker());
+}
+
+TEST(ThreadPool, DefaultThreadCountReadsEnvironment)
+{
+    ::setenv("MITTS_THREADS", "3", 1);
+    EXPECT_EQ(ThreadPool::defaultThreadCount(), 3u);
+    ::setenv("MITTS_THREADS", "0", 1); // invalid -> hardware fallback
+    const unsigned hw = std::thread::hardware_concurrency();
+    EXPECT_EQ(ThreadPool::defaultThreadCount(), hw ? hw : 1u);
+    ::unsetenv("MITTS_THREADS");
+}
+
+TEST(ThreadPool, ZeroAndOneItemJobs)
+{
+    ThreadPool pool(4);
+    int calls = 0;
+    pool.parallelFor(0, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+    pool.parallelFor(1, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls, 1);
+    EXPECT_TRUE(parallelMap(0, [](std::size_t i) { return i; }, &pool)
+                    .empty());
+}
+
+/** GA tune: the winner must not depend on the thread count. */
+TEST(ParallelDeterminism, GaTuneIdenticalAcrossThreadCounts)
+{
+    SystemConfig base = SystemConfig::singleProgram("mcf");
+    base.gate = GateKind::Mitts;
+    base.seed = 77;
+
+    OfflineTunerOptions opts;
+    opts.ga.populationSize = 5;
+    opts.ga.generations = 2;
+    opts.run.instrTarget = 4'000;
+    opts.run.maxCycles = 1'000'000;
+
+    opts.maxThreads = 1;
+    const auto serial = tuneSingleProgram(
+        base, Objective::Performance, nullptr, nullptr, opts);
+    opts.maxThreads = 4;
+    const auto parallel = tuneSingleProgram(
+        base, Objective::Performance, nullptr, nullptr, opts);
+
+    EXPECT_EQ(serial.best, parallel.best);
+    EXPECT_EQ(serial.bestCycles, parallel.bestCycles);
+    EXPECT_EQ(serial.bestFitness, parallel.bestFitness);
+    EXPECT_EQ(serial.ga.history, parallel.ga.history);
+}
+
+/** Static single-bin search through the global pool: same winner
+ *  with 1 and N threads (index-order tie-breaking). */
+TEST(ParallelDeterminism, StaticSearchIdenticalAcrossThreadCounts)
+{
+    SystemConfig base = SystemConfig::singleProgram("gcc");
+    base.gate = GateKind::Mitts;
+    base.seed = 42;
+    PricingModel pricing;
+    const std::vector<std::uint32_t> grid{1, 8, 64};
+    RunnerOptions opts;
+    opts.instrTarget = 4'000;
+    opts.maxCycles = 1'000'000;
+
+    ThreadPool::setGlobalThreads(1);
+    const auto serial =
+        searchBestSingleBin(base, pricing, grid, opts);
+    ThreadPool::setGlobalThreads(4);
+    const auto parallel =
+        searchBestSingleBin(base, pricing, grid, opts);
+    ThreadPool::setGlobalThreads(0); // restore MITTS_THREADS default
+
+    EXPECT_EQ(serial.best, parallel.best);
+    EXPECT_EQ(serial.cycles, parallel.cycles);
+    EXPECT_EQ(serial.perf, parallel.perf);
+    EXPECT_EQ(serial.perfPerCost, parallel.perfPerCost);
+}
+
+/** Heterogeneous split search: the parallel sweep must accept the
+ *  same move the sequential first-improvement scan took. */
+TEST(ParallelDeterminism, HeteroSplitIdenticalAcrossThreadCounts)
+{
+    SystemConfig base = SystemConfig::multiProgram({"mcf", "gcc"});
+    base.seed = 5;
+    RunnerOptions opts;
+    opts.instrTarget = 3'000;
+    opts.maxCycles = 1'000'000;
+    const auto alone = aloneCyclesForAll(base, opts);
+
+    ThreadPool::setGlobalThreads(1);
+    const auto serial = searchHeterogeneousSplit(
+        base, alone, 4.0, Objective::Throughput, 2, opts);
+    ThreadPool::setGlobalThreads(4);
+    const auto parallel = searchHeterogeneousSplit(
+        base, alone, 4.0, Objective::Throughput, 2, opts);
+    ThreadPool::setGlobalThreads(0);
+
+    EXPECT_EQ(serial.intervals, parallel.intervals);
+    EXPECT_EQ(serial.metrics.savg, parallel.metrics.savg);
+    EXPECT_EQ(serial.metrics.smax, parallel.metrics.smax);
+}
+
+/** Alone-run calibration through the global pool is order-stable. */
+TEST(ParallelDeterminism, AloneCyclesIdenticalAcrossThreadCounts)
+{
+    SystemConfig cfg =
+        SystemConfig::multiProgram({"mcf", "gcc", "bzip", "sjeng"});
+    cfg.seed = 9;
+    RunnerOptions opts;
+    opts.instrTarget = 4'000;
+    opts.maxCycles = 1'000'000;
+
+    ThreadPool::setGlobalThreads(1);
+    const auto serial = aloneCyclesForAll(cfg, opts);
+    ThreadPool::setGlobalThreads(4);
+    const auto parallel = aloneCyclesForAll(cfg, opts);
+    ThreadPool::setGlobalThreads(0);
+
+    EXPECT_EQ(serial, parallel);
+}
+
+TEST(Runner, RejectsMismatchedCustomProfiles)
+{
+    SystemConfig cfg = SystemConfig::multiProgram({"mcf", "gcc"});
+    cfg.customProfiles.resize(1); // fewer profiles than apps
+    RunnerOptions opts;
+    EXPECT_DEATH(runAlone(cfg, 1, opts), "customProfiles");
+}
+
+} // namespace
+} // namespace mitts
