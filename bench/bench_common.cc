@@ -1,12 +1,13 @@
 #include "bench_common.hh"
 
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 
 #include "base/logging.hh"
 #include "base/thread_pool.hh"
 #include "system/metrics.hh"
+#include "telemetry/scoped_timer.hh"
 #include "trace/app_profile.hh"
 #include "tuner/online_tuner.hh"
 
@@ -16,27 +17,24 @@ namespace mitts::bench
 namespace
 {
 
-/** Wall-clock bookkeeping for the current section: header() closes
- *  the previous section and the last one is closed at exit, so every
+/** Wall-clock timer for the current section: header() closes the
+ *  previous section and the last one is closed at exit, so every
  *  bench reports per-section times (and parallel speedups) for free. */
-std::chrono::steady_clock::time_point gSectionStart;
-std::string gSectionTitle;
-bool gSectionOpen = false;
+std::optional<telemetry::ScopedTimer> gSection;
+
+void
+printWall(const std::string &label, double secs)
+{
+    std::printf("[wall] %s: %.2fs (MITTS_THREADS=%u)\n",
+                label.c_str(), secs,
+                ThreadPool::global().threads());
+    std::fflush(stdout);
+}
 
 void
 closeSection()
 {
-    if (!gSectionOpen)
-        return;
-    gSectionOpen = false;
-    const double secs =
-        std::chrono::duration<double>(
-            std::chrono::steady_clock::now() - gSectionStart)
-            .count();
-    std::printf("[wall] %s: %.2fs (MITTS_THREADS=%u)\n",
-                gSectionTitle.c_str(), secs,
-                ThreadPool::global().threads());
-    std::fflush(stdout);
+    gSection.reset();
 }
 
 } // namespace
@@ -84,9 +82,7 @@ header(const std::string &title)
     (void)registered;
     std::printf("\n==== %s ====\n", title.c_str());
     std::fflush(stdout);
-    gSectionTitle = title;
-    gSectionStart = std::chrono::steady_clock::now();
-    gSectionOpen = true;
+    gSection.emplace(title, printWall);
 }
 
 void

@@ -91,4 +91,37 @@ BM_SimulatorThroughput(benchmark::State &state)
 }
 BENCHMARK(BM_SimulatorThroughput)->Unit(benchmark::kMillisecond);
 
+/**
+ * Telemetry overhead check: the same 4-program simulation with
+ * telemetry disabled (the default; must match BM_SimulatorThroughput
+ * — the zero-overhead-when-disabled guarantee), sampling only, and
+ * sampling + trace events. Compare sim_cycles_per_s across the three.
+ */
+void
+BM_SimulatorTelemetry(benchmark::State &state)
+{
+    SystemConfig cfg = SystemConfig::multiProgram(
+        {"gcc", "mcf", "libquantum", "sjeng"});
+    cfg.gate = GateKind::Mitts;
+    const int mode = static_cast<int>(state.range(0));
+    if (mode > 0) {
+        cfg.telemetry.enabled = true;      // in-memory CSV sink
+        cfg.telemetry.sampleInterval = 1'000;
+        cfg.telemetry.traceEvents = mode > 1;
+    }
+    System sys(cfg);
+    Tick cycles = 0;
+    for (auto _ : state) {
+        sys.run(10'000);
+        cycles += 10'000;
+    }
+    state.counters["sim_cycles_per_s"] = benchmark::Counter(
+        static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatorTelemetry)
+    ->Arg(0)  // disabled
+    ->Arg(1)  // sampler
+    ->Arg(2)  // sampler + trace events
+    ->Unit(benchmark::kMillisecond);
+
 } // namespace

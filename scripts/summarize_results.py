@@ -1,19 +1,81 @@
 #!/usr/bin/env python3
-"""Summarize a bench_output.txt run.
+"""Summarize a bench_output.txt run or a telemetry CSV.
 
-Extracts every explicit `paper check:` verdict and the quantitative
-headline of each experiment (geomeans, MITTS-vs-conventional margins,
-isolation gains) into one screenful.
+Given bench output, extracts every explicit `paper check:` verdict
+and the quantitative headline of each experiment (geomeans,
+MITTS-vs-conventional margins, isolation gains) into one screenful.
 
-Usage: scripts/summarize_results.py [bench_output.txt]
+Given a windowed telemetry CSV (`--telemetry-out` of mitts_sim; a
+.csv file or a directory containing timeseries.csv), prints per-probe
+totals and rates for counters and min/mean/max for gauges.
+
+Usage: scripts/summarize_results.py [bench_output.txt | DIR | .csv]
 """
 
+import csv
+import os
 import re
 import sys
 
 
+def summarize_telemetry(path: str) -> int:
+    """Summarize a long-format windowed telemetry CSV."""
+    counters = {}  # probe -> [sum, windows]
+    gauges = {}    # probe -> [min, max, sum, windows]
+    span = [None, 0]
+    with open(path, newline="") as f:
+        reader = csv.DictReader(f)
+        expected = {"window_start", "window_end", "probe", "kind",
+                    "value"}
+        if set(reader.fieldnames or []) != expected:
+            print(f"error: {path} is not a telemetry CSV "
+                  f"(header {reader.fieldnames})", file=sys.stderr)
+            return 1
+        for row in reader:
+            value = float(row["value"])
+            start, end = int(row["window_start"]), int(
+                row["window_end"])
+            if span[0] is None:
+                span[0] = start
+            span[1] = max(span[1], end)
+            if row["kind"] == "counter":
+                c = counters.setdefault(row["probe"], [0.0, 0])
+                c[0] += value
+                c[1] += 1
+            else:
+                g = gauges.setdefault(
+                    row["probe"], [value, value, 0.0, 0])
+                g[0] = min(g[0], value)
+                g[1] = max(g[1], value)
+                g[2] += value
+                g[3] += 1
+
+    cycles = (span[1] - (span[0] or 0)) or 1
+    print(f"== telemetry: {path} ==")
+    print(f"covered cycles: {span[0]}..{span[1]}")
+    if counters:
+        print(f"\n{'counter':<34} {'total':>14} {'per-kcycle':>12}")
+        for probe in sorted(counters):
+            total, _ = counters[probe]
+            print(f"{probe:<34} {total:>14.10g} "
+                  f"{1000.0 * total / cycles:>12.4g}")
+    if gauges:
+        print(f"\n{'gauge':<34} {'min':>10} {'mean':>10} {'max':>10}")
+        for probe in sorted(gauges):
+            lo, hi, total, n = gauges[probe]
+            print(f"{probe:<34} {lo:>10.4g} {total / n:>10.4g} "
+                  f"{hi:>10.4g}")
+    return 0
+
+
 def main() -> int:
     path = sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt"
+    if os.path.isdir(path):
+        candidate = os.path.join(path, "timeseries.csv")
+        if os.path.exists(candidate):
+            return summarize_telemetry(candidate)
+    if path.endswith(".csv"):
+        return summarize_telemetry(path)
     try:
         text = open(path).read()
     except OSError as e:
@@ -58,4 +120,9 @@ def main() -> int:
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Downstream consumer (e.g. `| head`) closed the pipe.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(0)

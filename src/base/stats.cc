@@ -24,6 +24,29 @@ Histogram::print(std::ostream &os, unsigned max_width) const
         os << "  overflow: " << overflow_ << "\n";
 }
 
+double
+Histogram::percentile(double p) const
+{
+    if (total_ == 0)
+        return 0.0;
+    p = std::clamp(p, 0.0, 1.0);
+    const double target = p * static_cast<double>(total_);
+    // Underflow samples (v < 0) sit below every bin; treat them as 0.
+    double cum = static_cast<double>(underflow_);
+    if (target <= cum)
+        return 0.0;
+    for (std::size_t i = 0; i < bins_.size(); ++i) {
+        const double in_bin = static_cast<double>(bins_[i]);
+        if (cum + in_bin >= target && in_bin > 0) {
+            const double frac = (target - cum) / in_bin;
+            return (static_cast<double>(i) + frac) * width_;
+        }
+        cum += in_bin;
+    }
+    // Landed in the overflow bucket: clamp to the top edge.
+    return static_cast<double>(bins_.size()) * width_;
+}
+
 Counter &
 Group::addCounter(const std::string &name)
 {

@@ -139,6 +139,15 @@ class Histogram
         return total_ ? static_cast<double>(bins_.at(i)) / total_ : 0.0;
     }
 
+    /**
+     * Value below which fraction `p` (in [0, 1]) of the samples fall,
+     * linearly interpolated within the containing bin. Underflow
+     * samples count as 0; percentiles landing in the overflow bucket
+     * clamp to the top edge `numBins * binWidth` (the histogram does
+     * not know how far beyond it they went). 0 when empty.
+     */
+    double percentile(double p) const;
+
     /** Render a one-line-per-bin ASCII bar chart. */
     void print(std::ostream &os, unsigned max_width = 50) const;
 

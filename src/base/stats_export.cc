@@ -51,6 +51,9 @@ exportJson(std::ostream &os, const std::vector<const Group *> &groups)
             os << (first ? "" : ",") << "\n    \""
                << jsonEscape(h->name()) << "\": {\"total\": "
                << h->total() << ", \"mean\": " << h->mean()
+               << ", \"p50\": " << h->percentile(0.50)
+               << ", \"p95\": " << h->percentile(0.95)
+               << ", \"p99\": " << h->percentile(0.99)
                << ", \"bin_width\": " << h->binWidth()
                << ", \"bins\": [";
             for (std::size_t i = 0; i < h->numBins(); ++i)

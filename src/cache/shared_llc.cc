@@ -1,6 +1,7 @@
 #include "cache/shared_llc.hh"
 
 #include "base/logging.hh"
+#include "telemetry/telemetry.hh"
 
 namespace mitts
 {
@@ -27,6 +28,40 @@ SharedLlc::SharedLlc(std::string name, const LlcConfig &cfg,
             cfg.histBins, static_cast<double>(cfg.histBinWidth)));
     }
     lastMissAt_.assign(num_cores, kTickNever);
+}
+
+void
+SharedLlc::registerTelemetry(telemetry::Telemetry &t)
+{
+    probes_.release();
+    probes_.attach(&t.probes());
+    const std::string prefix = stats_.name() + ".";
+    using telemetry::ProbeKind;
+    probes_.add(prefix + "hits", ProbeKind::Counter, [this](Tick) {
+        return static_cast<double>(hits_.value());
+    });
+    probes_.add(prefix + "misses", ProbeKind::Counter, [this](Tick) {
+        return static_cast<double>(misses_.value());
+    });
+    probes_.add(prefix + "writebacks", ProbeKind::Counter,
+                [this](Tick) {
+                    return static_cast<double>(writebacks_.value());
+                });
+    probes_.add(prefix + "mshr_occupancy", ProbeKind::Gauge,
+                [this](Tick) {
+                    return static_cast<double>(missMap_.size());
+                });
+    probes_.add(prefix + "bank_queue_occupancy", ProbeKind::Gauge,
+                [this](Tick) {
+                    std::size_t total = 0;
+                    for (const auto &b : banks_)
+                        total += b.queue.size();
+                    return static_cast<double>(total);
+                });
+    probes_.add(prefix + "wb_backlog", ProbeKind::Gauge,
+                [this](Tick) {
+                    return static_cast<double>(wbQueue_.size());
+                });
 }
 
 unsigned

@@ -23,9 +23,15 @@
 #include "noc/mesh.hh"
 #include "sim/clocked.hh"
 #include "sim/event_queue.hh"
+#include "telemetry/probe.hh"
 
 namespace mitts
 {
+
+namespace telemetry
+{
+class Telemetry;
+} // namespace telemetry
 
 /** LLC geometry (paper Table II: 1 MB shared 8-way, 64KB single). */
 struct LlcConfig
@@ -69,6 +75,11 @@ class SharedLlc : public Clocked, public MemSink
     void tick(Tick now) override;
 
     stats::Group &statsGroup() { return stats_; }
+
+    /** Register time-series probes: hit/miss counters, outstanding
+     *  miss (MSHR) occupancy, bank-queue and writeback backlog. */
+    void registerTelemetry(telemetry::Telemetry &t);
+
     std::uint64_t hits() const { return hits_.value(); }
     std::uint64_t misses() const { return misses_.value(); }
     std::uint64_t coreHits(CoreId c) const
@@ -123,6 +134,8 @@ class SharedLlc : public Clocked, public MemSink
     /** LLC dirty evictions awaiting memory-controller space. */
     std::deque<ReqPtr> wbQueue_;
     SeqNum nextWbSeq_ = 1ULL << 61;
+
+    telemetry::ProbeOwner probes_;
 
     stats::Group stats_;
     stats::Counter &hits_;

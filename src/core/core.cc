@@ -1,6 +1,7 @@
 #include "core/core.hh"
 
 #include "base/logging.hh"
+#include "telemetry/telemetry.hh"
 
 namespace mitts
 {
@@ -40,9 +41,49 @@ Core::retire(Tick now)
         instructions_.inc();
         ++retired;
     }
-    (void)now;
-    if (retired == 0 && !window_.empty() && window_.front().isMem)
+    const bool mem_stalled =
+        retired == 0 && !window_.empty() && window_.front().isMem;
+    if (mem_stalled)
         memStalls_.inc();
+    if (traceWriter_) {
+        if (mem_stalled) {
+            if (robStallStart_ == kTickNever)
+                robStallStart_ = now;
+        } else if (robStallStart_ != kTickNever) {
+            traceWriter_->duration(traceTrack_, "core", "mem_stall",
+                                   robStallStart_, now);
+            robStallStart_ = kTickNever;
+        }
+    }
+}
+
+void
+Core::registerTelemetry(telemetry::Telemetry &t)
+{
+    probes_.release();
+    probes_.attach(&t.probes());
+    const std::string prefix = stats_.name() + ".";
+    using telemetry::ProbeKind;
+    probes_.add(prefix + "instructions", ProbeKind::Counter,
+                [this](Tick) {
+                    return static_cast<double>(
+                        instructions_.value());
+                });
+    probes_.add(prefix + "mem_stall_cycles", ProbeKind::Counter,
+                [this](Tick) {
+                    return static_cast<double>(memStalls_.value());
+                });
+    probes_.add(prefix + "loads", ProbeKind::Counter, [this](Tick) {
+        return static_cast<double>(loads_.value());
+    });
+    probes_.add(prefix + "window_occupancy", ProbeKind::Gauge,
+                [this](Tick) {
+                    return static_cast<double>(window_.size());
+                });
+    if (t.trace()) {
+        traceWriter_ = t.trace();
+        traceTrack_ = traceWriter_->track(stats_.name());
+    }
 }
 
 void

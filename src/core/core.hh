@@ -20,10 +20,17 @@
 #include "cache/interfaces.hh"
 #include "cache/l1_cache.hh"
 #include "sim/clocked.hh"
+#include "telemetry/probe.hh"
 #include "trace/trace_source.hh"
 
 namespace mitts
 {
+
+namespace telemetry
+{
+class Telemetry;
+class TraceEventWriter;
+} // namespace telemetry
 
 struct CoreConfig
 {
@@ -65,6 +72,14 @@ class Core : public Clocked, public L1Client
 
     stats::Group &statsGroup() { return stats_; }
 
+    /**
+     * Register time-series probes (instruction / stall counters,
+     * window occupancy) and, when tracing, a track emitting one
+     * duration event per contiguous memory-stall episode of the ROB
+     * head.
+     */
+    void registerTelemetry(telemetry::Telemetry &t);
+
   private:
     struct WindowEntry
     {
@@ -95,6 +110,12 @@ class Core : public Clocked, public L1Client
     std::uint32_t gapLeft_ = 0;
 
     Tick stallUntil_ = 0;
+
+    // Telemetry (null/empty unless registerTelemetry was called).
+    telemetry::ProbeOwner probes_;
+    telemetry::TraceEventWriter *traceWriter_ = nullptr;
+    int traceTrack_ = 0;
+    Tick robStallStart_ = kTickNever; ///< open mem-stall episode
 
     stats::Group stats_;
     stats::Counter &instructions_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/logging.hh"
+#include "telemetry/telemetry.hh"
 
 namespace mitts
 {
@@ -18,6 +19,42 @@ Dram::Dram(const DramConfig &cfg)
       refreshes_(stats_.addCounter("refreshes"))
 {
     MITTS_ASSERT(isPowerOf2(cfg.numBanks), "banks must be a power of 2");
+}
+
+void
+Dram::registerTelemetry(telemetry::Telemetry &t,
+                        const std::string &prefix)
+{
+    probes_.release();
+    probes_.attach(&t.probes());
+    using telemetry::ProbeKind;
+    probes_.add(prefix + ".row_hits", ProbeKind::Counter,
+                [this](Tick) {
+                    return static_cast<double>(rowHits_.value());
+                });
+    probes_.add(prefix + ".row_misses", ProbeKind::Counter,
+                [this](Tick) {
+                    return static_cast<double>(rowMisses_.value());
+                });
+    probes_.add(prefix + ".row_conflicts", ProbeKind::Counter,
+                [this](Tick) {
+                    return static_cast<double>(rowConflicts_.value());
+                });
+    probes_.add(prefix + ".refreshes", ProbeKind::Counter,
+                [this](Tick) {
+                    return static_cast<double>(refreshes_.value());
+                });
+    probes_.add(prefix + ".banks_busy", ProbeKind::Gauge,
+                [this](Tick now) {
+                    unsigned busy = 0;
+                    for (const auto &b : banks_)
+                        busy += now < b.busyUntil ? 1 : 0;
+                    return static_cast<double>(busy);
+                });
+    if (t.trace()) {
+        trace_ = t.trace();
+        traceTrack_ = trace_->track(prefix);
+    }
 }
 
 RowState
@@ -107,6 +144,8 @@ Dram::issue(Addr block_addr, bool is_write, Tick now)
         break;
       case RowState::Conflict: {
         rowConflicts_.inc();
+        if (trace_)
+            trace_->instant(traceTrack_, "dram", "row_conflict", now);
         const Tick act = now + cfg_.tRP;
         recordActivate(act);
         b.activateAt = act;
@@ -140,6 +179,9 @@ Dram::tick(Tick now)
     }
     nextRefreshAt_ += cfg_.tREFI;
     refreshes_.inc();
+    if (trace_)
+        trace_->duration(traceTrack_, "dram", "refresh", now,
+                         refBlockUntil_);
 }
 
 } // namespace mitts

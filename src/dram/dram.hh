@@ -17,9 +17,16 @@
 #include "base/stats.hh"
 #include "base/types.hh"
 #include "dram/dram_config.hh"
+#include "telemetry/probe.hh"
 
 namespace mitts
 {
+
+namespace telemetry
+{
+class Telemetry;
+class TraceEventWriter;
+} // namespace telemetry
 
 /** Row-buffer outcome of a would-be access. */
 enum class RowState
@@ -68,6 +75,14 @@ class Dram
 
     stats::Group &statsGroup() { return stats_; }
 
+    /**
+     * Register time-series probes (row hit/miss/conflict counters,
+     * busy-bank gauge) under `prefix` and, when tracing, a track
+     * emitting row-conflict and refresh instants.
+     */
+    void registerTelemetry(telemetry::Telemetry &t,
+                           const std::string &prefix);
+
     std::uint64_t rowHits() const { return rowHits_.value(); }
     std::uint64_t rowMisses() const { return rowMisses_.value(); }
     std::uint64_t rowConflicts() const { return rowConflicts_.value(); }
@@ -95,6 +110,11 @@ class Dram
     bool anyActivate_ = false;
     Tick nextRefreshAt_;
     Tick refBlockUntil_ = 0;
+
+    // Telemetry (null/empty unless registerTelemetry was called).
+    telemetry::ProbeOwner probes_;
+    telemetry::TraceEventWriter *trace_ = nullptr;
+    int traceTrack_ = 0;
 
     stats::Group stats_;
     stats::Counter &rowHits_;

@@ -2,6 +2,7 @@
 
 #include "base/logging.hh"
 #include "cache/shared_llc.hh"
+#include "telemetry/telemetry.hh"
 
 namespace mitts
 {
@@ -31,6 +32,39 @@ MemController::initPerCore(unsigned num_cores)
     for (unsigned c = 0; c < num_cores; ++c) {
         completedPerCore_.push_back(&stats_.addCounter(
             "core" + std::to_string(c) + "_completed"));
+    }
+}
+
+void
+MemController::registerTelemetry(telemetry::Telemetry &t)
+{
+    probes_.release();
+    probes_.attach(&t.probes());
+    const std::string prefix = stats_.name() + ".";
+    using telemetry::ProbeKind;
+    probes_.add(prefix + "reads", ProbeKind::Counter, [this](Tick) {
+        return static_cast<double>(reads_.value());
+    });
+    probes_.add(prefix + "writes", ProbeKind::Counter, [this](Tick) {
+        return static_cast<double>(writes_.value());
+    });
+    probes_.add(prefix + "completed_reads", ProbeKind::Counter,
+                [this](Tick) {
+                    return static_cast<double>(completed_.value());
+                });
+    probes_.add(prefix + "queue_occupancy", ProbeKind::Gauge,
+                [this](Tick) {
+                    return static_cast<double>(queueSize());
+                });
+    probes_.add(prefix + "smoothing_fifo_occupancy", ProbeKind::Gauge,
+                [this](Tick) {
+                    return static_cast<double>(smoothingFifo_.size());
+                });
+    for (unsigned c = 0; c < cfg_.numChannels; ++c) {
+        drams_[c]->registerTelemetry(
+            t, cfg_.numChannels == 1
+                   ? std::string("dram")
+                   : "dram.ch" + std::to_string(c));
     }
 }
 

@@ -18,11 +18,17 @@
 #include "sched/mem_scheduler.hh"
 #include "sim/clocked.hh"
 #include "sim/event_queue.hh"
+#include "telemetry/probe.hh"
 
 namespace mitts
 {
 
 class SharedLlc;
+
+namespace telemetry
+{
+class Telemetry;
+} // namespace telemetry
 
 /** Controller parameters (paper Table II: 32-entry queue). */
 struct McConfig
@@ -108,6 +114,13 @@ class MemController : public Clocked, public MemSink
     /** Number of cores tracked in per-core stats. */
     void initPerCore(unsigned num_cores);
 
+    /**
+     * Register time-series probes (queue depth, smoothing-FIFO
+     * occupancy, read/write/completion counters) and delegate to
+     * every DRAM channel.
+     */
+    void registerTelemetry(telemetry::Telemetry &t);
+
   private:
     void scheduleChannel(unsigned channel, Tick now);
     int pickOldestWrite(const std::vector<ReqPtr> &queue,
@@ -123,6 +136,8 @@ class MemController : public Clocked, public MemSink
     std::vector<std::vector<ReqPtr>> queues_;
     std::vector<bool> draining_; ///< per-channel write-drain mode
     std::deque<ReqPtr> smoothingFifo_;///< optional global MITTS FIFO
+
+    telemetry::ProbeOwner probes_;
 
     stats::Group stats_;
     stats::Counter &reads_;

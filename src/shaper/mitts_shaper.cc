@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "telemetry/telemetry.hh"
+
 namespace mitts
 {
 
@@ -59,6 +61,54 @@ MittsShaper::setConfig(const BinConfig &cfg, Tick now)
     // stale (longer) deadline passed.
     lastReplenishAt_ = now;
     nextReplenishAt_ = now + cfg_.spec.replenishPeriod;
+    if (trace_)
+        trace_->instant(traceTrack_, "shaper", "reconfig", now);
+}
+
+void
+MittsShaper::registerTelemetry(telemetry::Telemetry &t)
+{
+    probes_.release();
+    probes_.attach(&t.probes());
+    const std::string prefix = stats_.name() + ".";
+    using telemetry::ProbeKind;
+    probes_.add(prefix + "issued", ProbeKind::Counter,
+                [this](Tick) {
+                    return static_cast<double>(issued_.value());
+                });
+    probes_.add(prefix + "stall_cycles", ProbeKind::Counter,
+                [this](Tick) {
+                    return static_cast<double>(stalls_.value());
+                });
+    probes_.add(prefix + "deductions", ProbeKind::Counter,
+                [this](Tick) {
+                    return static_cast<double>(deductions_.value());
+                });
+    probes_.add(prefix + "replenishes", ProbeKind::Counter,
+                [this](Tick) {
+                    return static_cast<double>(replenishes_.value());
+                });
+    for (unsigned i = 0; i < cfg_.spec.numBins; ++i) {
+        probes_.add(prefix + "bin" + std::to_string(i) + "_credits",
+                    ProbeKind::Gauge, [this, i](Tick) {
+                        return i < credits_.size()
+                                   ? static_cast<double>(credits_[i])
+                                   : 0.0;
+                    });
+    }
+    for (const auto &[tag, p] :
+         {std::pair<const char *, double>{"p50", 0.50},
+          {"p95", 0.95},
+          {"p99", 0.99}}) {
+        probes_.add(prefix + "shaped_inter_arrival_" + tag,
+                    ProbeKind::Gauge, [this, p = p](Tick) {
+                        return shapedHist_.percentile(p);
+                    });
+    }
+    if (t.trace()) {
+        trace_ = t.trace();
+        traceTrack_ = trace_->track(stats_.name());
+    }
 }
 
 void
@@ -121,6 +171,8 @@ MittsShaper::replenishIfDue(Tick now)
     nextReplenishAt_ += periods_behind * period;
     credits_ = effCredits_;
     replenishes_.inc(periods_behind);
+    if (trace_)
+        trace_->instant(traceTrack_, "shaper", "replenish", now);
 }
 
 int
@@ -150,7 +202,14 @@ MittsShaper::tryIssue(MemRequest &req, Tick now)
 
     if (take < 0) {
         stalls_.inc();
+        if (trace_ && throttleStart_ == kTickNever)
+            throttleStart_ = now;
         return false;
+    }
+    if (trace_ && throttleStart_ != kTickNever) {
+        trace_->duration(traceTrack_, "shaper", "throttled",
+                         throttleStart_, now);
+        throttleStart_ = kTickNever;
     }
 
     if (method_ == HybridMethod::ConservativeRefund) {

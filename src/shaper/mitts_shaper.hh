@@ -24,9 +24,16 @@
 #include "base/stats.hh"
 #include "cache/interfaces.hh"
 #include "shaper/bin_config.hh"
+#include "telemetry/probe.hh"
 
 namespace mitts
 {
+
+namespace telemetry
+{
+class Telemetry;
+class TraceEventWriter;
+} // namespace telemetry
 
 /** Credit reconciliation scheme for the hybrid placement (Fig. 7). */
 enum class HybridMethod
@@ -89,6 +96,14 @@ class MittsShaper : public SourceGate
     }
 
     /**
+     * Register time-series probes (per-bin credit levels, issue /
+     * stall / deduction counters, shaped inter-arrival percentiles)
+     * and, when trace events are enabled, a viewer track emitting
+     * throttle-interval durations plus replenish/reconfig instants.
+     */
+    void registerTelemetry(telemetry::Telemetry &t);
+
+    /**
      * Bytes of architectural state this configuration implies
      * (credit + replenish registers, counters, pending table); the
      * C++ analogue of the paper's 0.0035 mm^2 area discussion.
@@ -134,6 +149,12 @@ class MittsShaper : public SourceGate
     /** Method 1: request -> issue timestamp (tag-indexed table). */
     std::unordered_map<std::uint64_t, Tick> pendingStamp_;
     Tick lastLlcMissStamp_ = kTickNever;
+
+    // Telemetry (null/empty unless registerTelemetry was called).
+    telemetry::ProbeOwner probes_;
+    telemetry::TraceEventWriter *trace_ = nullptr;
+    int traceTrack_ = 0;
+    Tick throttleStart_ = kTickNever; ///< open dry-stall episode
 
     stats::Group stats_;
     stats::Counter &issued_;

@@ -27,6 +27,7 @@
 #include "shaper/bin_config.hh"
 #include "shaper/congestion.hh"
 #include "shaper/mitts_shaper.hh"
+#include "telemetry/telemetry.hh"
 
 namespace mitts
 {
@@ -103,6 +104,10 @@ struct SystemConfig
 
     std::uint64_t seed = 12345;
     double cpuGhz = 2.4;
+
+    /** Time-series / trace-event telemetry (off by default; when off
+     *  no sampler is ticked and no probes are registered). */
+    telemetry::TelemetryOptions telemetry;
 
     /** Single-program preset: one app, 64KB private-style LLC. */
     static SystemConfig

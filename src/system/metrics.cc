@@ -25,6 +25,7 @@ computeMetrics(const std::vector<AppResult> &shared,
         m.weightedSpeedup += 1.0 / s;
     }
     m.savg /= static_cast<double>(shared.size());
+    m.harmonicSpeedup = 1.0 / m.savg;
     return m;
 }
 

@@ -23,6 +23,10 @@ struct MultiProgramMetrics
     double savg = 0.0;             ///< mean slowdown (throughput)
     double smax = 0.0;             ///< max slowdown (fairness)
     double weightedSpeedup = 0.0;  ///< sum of 1/slowdown
+    /** Harmonic mean of the per-app speedups (1/slowdown):
+     *  N / sum(slowdowns) — the normalized counterpart of
+     *  weightedSpeedup, always in (0, 1] relative to alone runs. */
+    double harmonicSpeedup = 0.0;
 };
 
 /** Combine shared-run completions with alone-run cycle counts. */

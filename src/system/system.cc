@@ -1,5 +1,7 @@
 #include "system/system.hh"
 
+#include <algorithm>
+
 #include "base/logging.hh"
 #include "base/random.hh"
 #include "sched/fair_queue.hh"
@@ -57,6 +59,10 @@ System::System(const SystemConfig &cfg) : cfg_(cfg)
             ++numCores_;
         }
     }
+
+    if (cfg_.telemetry.enabled)
+        telemetry_ = std::make_unique<telemetry::Telemetry>(
+            cfg_.telemetry, cfg_.cpuGhz);
 
     // Memory controller (DRAM lives inside it).
     McConfig mc_cfg = cfg_.mc;
@@ -177,7 +183,11 @@ System::System(const SystemConfig &cfg) : cfg_(cfg)
             "congestion", cfg_.congestion, *mc_, shapers_);
     }
 
-    // Tick order: cores -> L1s -> LLC -> controllers -> MC.
+    // Tick order: sampler -> cores -> L1s -> LLC -> controllers ->
+    // MC. The sampler ticks first so a window closing at cycle N sees
+    // the state the components left at the end of cycle N-1.
+    if (telemetry_)
+        sim_.add(&telemetry_->sampler());
     for (auto &core : cores_)
         sim_.add(core.get());
     for (auto &l1 : l1s_)
@@ -208,9 +218,36 @@ System::System(const SystemConfig &cfg) : cfg_(cfg)
         sim_.addStats(&app_shared_shaper->statsGroup());
     if (congestionCtrl_)
         sim_.addStats(&congestionCtrl_->statsGroup());
+
+    // Probe / trace-track registration.
+    if (telemetry_) {
+        for (auto &core : cores_)
+            core->registerTelemetry(*telemetry_);
+        llc_->registerTelemetry(*telemetry_);
+        mc_->registerTelemetry(*telemetry_);
+        std::vector<MittsShaper *> seen;
+        for (auto *shaper : shapers_) {
+            if (!shaper || std::find(seen.begin(), seen.end(),
+                                     shaper) != seen.end())
+                continue;
+            seen.push_back(shaper);
+            shaper->registerTelemetry(*telemetry_);
+        }
+    }
 }
 
-System::~System() = default;
+System::~System()
+{
+    // Flush telemetry while the probed components are still alive.
+    finalizeTelemetry();
+}
+
+void
+System::finalizeTelemetry()
+{
+    if (telemetry_)
+        telemetry_->finalize(sim_.now());
+}
 
 void
 System::buildScheduler()

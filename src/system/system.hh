@@ -83,6 +83,13 @@ class System : public AppMonitor
     /** Reconfigure one core's shaper (no-op without a shaper). */
     void setShaperConfig(CoreId core, const BinConfig &cfg);
 
+    /** Telemetry hub (nullptr unless cfg.telemetry.enabled). */
+    telemetry::Telemetry *telemetry() { return telemetry_.get(); }
+
+    /** Flush the partial last telemetry window and write the trace
+     *  file. Idempotent; also runs from the destructor. */
+    void finalizeTelemetry();
+
     /** Run for a fixed number of cycles. */
     void run(Tick cycles) { sim_.run(cycles); }
 
@@ -104,6 +111,10 @@ class System : public AppMonitor
     SystemConfig cfg_;
     unsigned numCores_ = 0;
     Simulation sim_;
+
+    /** Declared before the components so the probe registry outlives
+     *  the ProbeOwners that unregister from it on destruction. */
+    std::unique_ptr<telemetry::Telemetry> telemetry_;
 
     std::vector<unsigned> appOfCore_;
     std::vector<std::vector<CoreId>> coresOfApp_;

@@ -1,0 +1,47 @@
+#include "telemetry/probe.hh"
+
+#include <algorithm>
+
+namespace mitts::telemetry
+{
+
+ProbeId
+ProbeRegistry::add(std::string name, ProbeKind kind,
+                   std::function<double(Tick)> read)
+{
+    std::lock_guard lock(mutex_);
+    const ProbeId id = nextId_++;
+    probes_.push_back(Probe{id, std::move(name), kind,
+                            std::move(read)});
+    version_.fetch_add(1, std::memory_order_release);
+    return id;
+}
+
+void
+ProbeRegistry::remove(ProbeId id)
+{
+    std::lock_guard lock(mutex_);
+    const auto it = std::find_if(
+        probes_.begin(), probes_.end(),
+        [id](const Probe &p) { return p.id == id; });
+    if (it == probes_.end())
+        return;
+    probes_.erase(it);
+    version_.fetch_add(1, std::memory_order_release);
+}
+
+std::vector<Probe>
+ProbeRegistry::snapshot() const
+{
+    std::lock_guard lock(mutex_);
+    return probes_;
+}
+
+std::size_t
+ProbeRegistry::size() const
+{
+    std::lock_guard lock(mutex_);
+    return probes_.size();
+}
+
+} // namespace mitts::telemetry

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Named time-series probes and their registry.
+ *
+ * A probe is a named read-only view of one scalar owned by a
+ * component: either a monotonically increasing event count (Counter)
+ * or an instantaneous level (Gauge). Components register probes at
+ * construction and the TimeSeriesSampler reads them at window
+ * boundaries; the component keeps updating its own state with plain
+ * writes, so the hot path pays nothing for being observable.
+ *
+ * The registry is lock-free in the common case: registration and
+ * removal (rare, construction/destruction time) take a mutex and bump
+ * an atomic version counter; readers keep a cached snapshot and only
+ * touch the mutex when the version has moved.
+ */
+
+#ifndef MITTS_TELEMETRY_PROBE_HH
+#define MITTS_TELEMETRY_PROBE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace mitts::telemetry
+{
+
+using ProbeId = std::uint64_t;
+
+enum class ProbeKind
+{
+    Counter, ///< monotone count; sampler reports per-window deltas
+    Gauge,   ///< instantaneous level; sampler reports the value
+};
+
+/** One registered probe. `read` is invoked at window boundaries with
+ *  the window-end tick (so gauges can derive "busy right now"). */
+struct Probe
+{
+    ProbeId id = 0;
+    std::string name;
+    ProbeKind kind = ProbeKind::Counter;
+    std::function<double(Tick)> read;
+};
+
+class ProbeRegistry
+{
+  public:
+    ProbeRegistry() = default;
+    ProbeRegistry(const ProbeRegistry &) = delete;
+    ProbeRegistry &operator=(const ProbeRegistry &) = delete;
+
+    /** Register a probe; the returned id is never reused. */
+    ProbeId add(std::string name, ProbeKind kind,
+                std::function<double(Tick)> read);
+
+    /** Remove a probe (no-op for unknown ids). */
+    void remove(ProbeId id);
+
+    /** Monotone counter bumped on every add/remove. */
+    std::uint64_t
+    version() const
+    {
+        return version_.load(std::memory_order_acquire);
+    }
+
+    /** Copy of the current probe set (registration order). */
+    std::vector<Probe> snapshot() const;
+
+    std::size_t size() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::atomic<std::uint64_t> version_{0};
+    ProbeId nextId_ = 1;
+    std::vector<Probe> probes_;
+};
+
+/**
+ * RAII bundle of probe registrations held by one component. The owner
+ * must not outlive the registry (System keeps the Telemetry hub alive
+ * longer than every instrumented component).
+ */
+class ProbeOwner
+{
+  public:
+    ProbeOwner() = default;
+    ~ProbeOwner() { release(); }
+
+    ProbeOwner(const ProbeOwner &) = delete;
+    ProbeOwner &operator=(const ProbeOwner &) = delete;
+
+    void attach(ProbeRegistry *registry) { registry_ = registry; }
+    bool attached() const { return registry_ != nullptr; }
+
+    /** Register through the attached registry (no-op when detached). */
+    void
+    add(std::string name, ProbeKind kind,
+        std::function<double(Tick)> read)
+    {
+        if (!registry_)
+            return;
+        ids_.push_back(registry_->add(std::move(name), kind,
+                                      std::move(read)));
+    }
+
+    /** Unregister everything added so far. */
+    void
+    release()
+    {
+        if (registry_) {
+            for (ProbeId id : ids_)
+                registry_->remove(id);
+        }
+        ids_.clear();
+    }
+
+  private:
+    ProbeRegistry *registry_ = nullptr;
+    std::vector<ProbeId> ids_;
+};
+
+} // namespace mitts::telemetry
+
+#endif // MITTS_TELEMETRY_PROBE_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Wall-clock section timer (host time, not simulated time).
+ *
+ * The one implementation of "[wall]" reporting shared by the bench
+ * harnesses and any tool that wants per-section timings: start at
+ * construction, read with seconds(), and optionally invoke a
+ * completion callback exactly once at stop()/destruction.
+ */
+
+#ifndef MITTS_TELEMETRY_SCOPED_TIMER_HH
+#define MITTS_TELEMETRY_SCOPED_TIMER_HH
+
+#include <chrono>
+#include <functional>
+#include <string>
+#include <utility>
+
+namespace mitts::telemetry
+{
+
+class ScopedTimer
+{
+  public:
+    /** @param on_stop invoked once with (label, elapsed seconds). */
+    explicit ScopedTimer(
+        std::string label = {},
+        std::function<void(const std::string &, double)> on_stop = {})
+        : label_(std::move(label)), onStop_(std::move(on_stop)),
+          start_(std::chrono::steady_clock::now())
+    {
+    }
+
+    ~ScopedTimer() { stop(); }
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+    /** Elapsed wall-clock seconds since construction. */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start_)
+            .count();
+    }
+
+    const std::string &label() const { return label_; }
+
+    /** Fire the callback (first call only). */
+    void
+    stop()
+    {
+        if (stopped_)
+            return;
+        stopped_ = true;
+        if (onStop_)
+            onStop_(label_, seconds());
+    }
+
+  private:
+    std::string label_;
+    std::function<void(const std::string &, double)> onStop_;
+    std::chrono::steady_clock::time_point start_;
+    bool stopped_ = false;
+};
+
+} // namespace mitts::telemetry
+
+#endif // MITTS_TELEMETRY_SCOPED_TIMER_HH

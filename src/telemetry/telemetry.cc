@@ -1,0 +1,66 @@
+#include "telemetry/telemetry.hh"
+
+#include <filesystem>
+
+#include "base/logging.hh"
+
+namespace mitts::telemetry
+{
+
+Telemetry::Telemetry(const TelemetryOptions &opts, double cpu_ghz)
+    : opts_(opts)
+{
+    std::ostream *csv = &memCsv_;
+    if (!opts_.outDir.empty()) {
+        std::filesystem::create_directories(opts_.outDir);
+        csvPath_ = (std::filesystem::path(opts_.outDir) /
+                    "timeseries.csv")
+                       .string();
+        csvFile_.open(csvPath_, std::ios::trunc);
+        if (!csvFile_)
+            fatal("telemetry: cannot open ", csvPath_);
+        csv = &csvFile_;
+        tracePath_ = (std::filesystem::path(opts_.outDir) /
+                      "trace.json")
+                         .string();
+    }
+
+    SamplerOptions sopts;
+    sopts.interval = opts_.sampleInterval;
+    sopts.ringWindows = opts_.ringWindows;
+    sampler_ =
+        std::make_unique<TimeSeriesSampler>(registry_, sopts, csv);
+
+    if (opts_.traceEvents) {
+        TraceEventWriter::Options topts;
+        topts.cpuGhz = cpu_ghz;
+        topts.maxEvents = opts_.maxTraceEvents;
+        trace_ = std::make_unique<TraceEventWriter>(topts);
+    }
+}
+
+Telemetry::~Telemetry()
+{
+    // Safety net for callers that never reached finalize(); uses the
+    // last known boundary so buffered windows are not lost.
+    if (!finalized_)
+        finalize(finalizedAt_);
+}
+
+void
+Telemetry::finalize(Tick now)
+{
+    if (finalized_ && now <= finalizedAt_)
+        return;
+    finalized_ = true;
+    finalizedAt_ = now;
+    sampler_->finalize(now);
+    if (trace_ && !tracePath_.empty()) {
+        std::ofstream os(tracePath_, std::ios::trunc);
+        if (!os)
+            fatal("telemetry: cannot open ", tracePath_);
+        trace_->write(os);
+    }
+}
+
+} // namespace mitts::telemetry

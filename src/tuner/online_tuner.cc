@@ -4,6 +4,7 @@
 
 #include "base/logging.hh"
 #include "sched/frfcfs.hh"
+#include "telemetry/telemetry.hh"
 #include "tuner/offline_tuner.hh"
 
 namespace mitts
@@ -24,13 +25,42 @@ OnlineTuner::OnlineTuner(System &sys, const OnlineTunerOptions &opts)
         warn("online tuner: scheduler has no priority boost; "
              "alone-rate measurement degrades to stall fractions");
     }
+    if (sys_.telemetry())
+        registerTelemetry(*sys_.telemetry());
     startConfigPhase(0);
+}
+
+void
+OnlineTuner::registerTelemetry(telemetry::Telemetry &t)
+{
+    probes_.release();
+    probes_.attach(&t.probes());
+    using telemetry::ProbeKind;
+    probes_.add("tuner.config_switches", ProbeKind::Counter,
+                [this](Tick) {
+                    return static_cast<double>(configSwitches_);
+                });
+    probes_.add("tuner.generation", ProbeKind::Gauge, [this](Tick) {
+        return static_cast<double>(generation_);
+    });
+    probes_.add("tuner.best_fitness", ProbeKind::Gauge, [this](Tick) {
+        return bestFitness_;
+    });
+    probes_.add("tuner.epoch_avg_slowdown", ProbeKind::Gauge,
+                [this](Tick) { return lastAvgSlowdown_; });
+    probes_.add("tuner.epoch_max_slowdown", ProbeKind::Gauge,
+                [this](Tick) { return lastMaxSlowdown_; });
+    if (t.trace()) {
+        trace_ = t.trace();
+        traceTrack_ = trace_->track("online_tuner");
+    }
 }
 
 void
 OnlineTuner::startConfigPhase(Tick now)
 {
     ++configPhases_;
+    configPhaseStart_ = now;
     state_ = State::Measure;
     measureEpochsLeft_ = numCores_;
     boostedCore_ = 0;
@@ -100,6 +130,9 @@ OnlineTuner::applyConfigs(const Genome &g, Tick now)
         sys_.core(c).stallFor(opts_.softwareOverhead, now);
     }
     overheadApplied_ += opts_.softwareOverhead;
+    ++configSwitches_;
+    if (trace_)
+        trace_->instant(traceTrack_, "tuner", "config_switch", now);
 }
 
 double
@@ -127,6 +160,9 @@ OnlineTuner::measureFitness() const
         max_slowdown = std::max(max_slowdown, slowdown);
         instr += sys_.core(c).instructions() - epochStartInstr_[c];
     }
+    lastAvgSlowdown_ =
+        sum_slowdown / std::max(1u, numCores_);
+    lastMaxSlowdown_ = max_slowdown;
 
     switch (opts_.objective) {
       case Objective::Performance:
@@ -254,6 +290,12 @@ OnlineTuner::closeEpoch(Tick now)
                                         numCores_);
                 applyConfigs(bestGenome_, now);
                 state_ = State::Run;
+                if (trace_ && configPhaseStart_ != kTickNever) {
+                    trace_->duration(traceTrack_, "tuner",
+                                     "config_phase",
+                                     configPhaseStart_, now);
+                    configPhaseStart_ = kTickNever;
+                }
                 nextPhaseAt_ = opts_.phaseLength
                                    ? now + opts_.phaseLength
                                    : kTickNever;

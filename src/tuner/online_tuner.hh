@@ -21,11 +21,18 @@
 
 #include "sim/clocked.hh"
 #include "system/system.hh"
+#include "telemetry/probe.hh"
 #include "tuner/ga.hh"
 #include "tuner/objective.hh"
 
 namespace mitts
 {
+
+namespace telemetry
+{
+class Telemetry;
+class TraceEventWriter;
+} // namespace telemetry
 
 struct OnlineTunerOptions
 {
@@ -62,6 +69,15 @@ class OnlineTuner : public Clocked
 
     /** Total modelled software overhead applied so far. */
     Tick overheadApplied() const { return overheadApplied_; }
+
+    /**
+     * Register time-series probes (config switches, generation,
+     * champion fitness, last-epoch slowdowns) and trace events
+     * (CONFIG_PHASE/RUN_PHASE durations, per-switch instants). Called
+     * automatically from the constructor when the system has a
+     * telemetry hub.
+     */
+    void registerTelemetry(telemetry::Telemetry &t);
 
   private:
     enum class State
@@ -108,6 +124,15 @@ class OnlineTuner : public Clocked
     std::vector<BinConfig> best_;
 
     Tick overheadApplied_ = 0;
+
+    // Telemetry (null/empty unless a hub was attached).
+    telemetry::ProbeOwner probes_;
+    telemetry::TraceEventWriter *trace_ = nullptr;
+    int traceTrack_ = 0;
+    Tick configPhaseStart_ = kTickNever; ///< open CONFIG_PHASE
+    std::uint64_t configSwitches_ = 0;
+    mutable double lastAvgSlowdown_ = 1.0; ///< last measured epoch
+    mutable double lastMaxSlowdown_ = 1.0;
 };
 
 } // namespace mitts

@@ -162,6 +162,42 @@ TEST(Stats, HistogramFractions)
     EXPECT_DOUBLE_EQ(h.fraction(2), 0.25);
 }
 
+TEST(Stats, HistogramPercentileInterpolates)
+{
+    stats::Histogram h("h", 10, 10.0);
+    for (int v = 0; v < 100; ++v)
+        h.sample(v);
+    // Uniform mass: percentiles interpolate linearly across bins.
+    EXPECT_DOUBLE_EQ(h.percentile(0.50), 50.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.95), 95.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 100.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);
+}
+
+TEST(Stats, HistogramPercentileSingleBin)
+{
+    stats::Histogram h("h", 4, 1.0);
+    h.sample(0.5, 10); // all mass in bin 0
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.5);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 1.0);
+}
+
+TEST(Stats, HistogramPercentileClampsAtOverflow)
+{
+    stats::Histogram h("h", 4, 1.0);
+    h.sample(100.0, 3); // everything overflows
+    EXPECT_DOUBLE_EQ(h.percentile(0.99), 4.0);
+    h.sample(0.25); // 25% of the mass in bin 0, 75% overflow
+    EXPECT_DOUBLE_EQ(h.percentile(0.10), 0.4); // 0.4 of bin 0's mass
+    EXPECT_DOUBLE_EQ(h.percentile(0.99), 4.0);
+}
+
+TEST(Stats, HistogramPercentileEmpty)
+{
+    stats::Histogram h("h", 4, 1.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+}
+
 TEST(Stats, GroupDumpContainsNames)
 {
     stats::Group g("grp");

@@ -183,6 +183,23 @@ TEST(Metrics, SlowdownsAndAggregates)
     EXPECT_DOUBLE_EQ(m.savg, 2.5);
     EXPECT_DOUBLE_EQ(m.smax, 3.0);
     EXPECT_NEAR(m.weightedSpeedup, 1.0 / 2 + 1.0 / 3, 1e-12);
+    // Harmonic mean of the speedups {1/2, 1/3}: 2 / (2 + 3).
+    EXPECT_NEAR(m.harmonicSpeedup, 2.0 / 5.0, 1e-12);
+}
+
+TEST(Metrics, HarmonicSpeedupIsNormalized)
+{
+    // N identical apps at slowdown s: harmonic speedup must be 1/s
+    // regardless of N (the old weightedSpeedup grows with N).
+    for (unsigned n : {1u, 3u, 8u}) {
+        std::vector<AppResult> shared(n);
+        for (auto &r : shared)
+            r.completedAt = 400;
+        const std::vector<Tick> alone(n, 100);
+        const auto m = computeMetrics(shared, alone);
+        EXPECT_NEAR(m.harmonicSpeedup, 0.25, 1e-12);
+        EXPECT_NEAR(m.weightedSpeedup, 0.25 * n, 1e-12);
+    }
 }
 
 TEST(Metrics, Geomean)

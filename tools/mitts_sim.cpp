@@ -45,6 +45,9 @@ usage(int code)
   --noc WxH          enable the mesh NoC with the given dimensions
   --seed S           simulation seed (default 12345)
   --stats            dump full component statistics at the end
+  --telemetry-out D  write windowed time-series CSV (and trace) to D
+  --sample-interval N  telemetry window length in cycles (default 10000)
+  --trace-events     also emit Chrome trace-event JSON (chrome://tracing)
   --list-apps        print the workload registry and exit
   --help             this text
 )");
@@ -185,6 +188,16 @@ main(int argc, char **argv)
             cfg.seed = std::strtoull(need(i).c_str(), nullptr, 10);
         } else if (arg == "--stats") {
             dump_stats = true;
+        } else if (arg == "--telemetry-out") {
+            cfg.telemetry.enabled = true;
+            cfg.telemetry.outDir = need(i);
+        } else if (arg == "--sample-interval") {
+            cfg.telemetry.enabled = true;
+            cfg.telemetry.sampleInterval =
+                std::strtoull(need(i).c_str(), nullptr, 10);
+        } else if (arg == "--trace-events") {
+            cfg.telemetry.enabled = true;
+            cfg.telemetry.traceEvents = true;
         } else {
             std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
             usage(2);
@@ -194,17 +207,24 @@ main(int argc, char **argv)
         std::fprintf(stderr, "--apps is required\n");
         usage(2);
     }
+    if (cfg.telemetry.enabled && cfg.telemetry.outDir.empty())
+        cfg.telemetry.outDir = "telemetry_out";
+
+    // Core-count probes only inspect the topology; keep them from
+    // touching the telemetry output directory.
+    SystemConfig probe_cfg = cfg;
+    probe_cfg.telemetry = telemetry::TelemetryOptions{};
 
     if (!bin_credits.empty()) {
         if (bin_credits.size() != cfg.binSpec.numBins)
             fatal("--bins expects ", cfg.binSpec.numBins, " values");
         BinConfig bc(cfg.binSpec, bin_credits);
         // The same purchased distribution on every core.
-        System probe(cfg);
+        System probe(probe_cfg);
         cfg.mittsConfigs.assign(probe.numCores(), bc);
     }
     if (static_gbps > 0.0) {
-        System probe(cfg);
+        System probe(probe_cfg);
         cfg.staticIntervals.assign(
             probe.numCores(), 64.0 * cfg.cpuGhz / static_gbps);
     }
@@ -214,6 +234,12 @@ main(int argc, char **argv)
     opts.maxCycles = 400 * instr_target;
 
     if (!tune_objective.empty()) {
+        if (cfg.telemetry.enabled) {
+            std::fprintf(stderr,
+                         "note: telemetry flags are ignored with "
+                         "--tune (the GA runs many systems)\n");
+            cfg.telemetry = telemetry::TelemetryOptions{};
+        }
         const Objective obj = tune_objective == "fairness"
                                   ? Objective::Fairness
                                   : Objective::Throughput;
@@ -273,6 +299,16 @@ main(int argc, char **argv)
         std::ostringstream os;
         sys.dumpStats(os);
         std::fputs(os.str().c_str(), stdout);
+    }
+
+    if (sys.telemetry()) {
+        sys.finalizeTelemetry();
+        std::printf("telemetry: %s\n",
+                    sys.telemetry()->csvPath().c_str());
+        if (!sys.telemetry()->tracePath().empty())
+            std::printf("trace:     %s  (open in chrome://tracing "
+                        "or ui.perfetto.dev)\n",
+                        sys.telemetry()->tracePath().c_str());
     }
     return 0;
 }
