@@ -50,6 +50,34 @@ class SourceGate
         (void)hit;
         (void)now;
     }
+
+    /**
+     * Earliest future tick at which a currently refused tryIssue()
+     * could succeed, assuming no other simulation activity (the
+     * answer is recomputed after every executed cycle). `now` is the
+     * cycle just executed. The default — always next cycle — keeps
+     * any gate correct at the cost of forgoing skip-ahead while it
+     * blocks; gates whose refusals mutate call-pattern-sensitive
+     * state (lazy floating-point token refill) must keep it.
+     */
+    virtual Tick
+    nextIssueTick(Tick now) const
+    {
+        return now + 1;
+    }
+
+    /**
+     * The gated L1 slept through `cycles` refused tryIssue() calls
+     * (the simulation fast-forwarded a gate-blocked gap). Account
+     * exactly the per-call state the refusals would have produced
+     * (stall counters). Shared gates are notified once per blocked
+     * L1, matching one refused call per L1 per cycle.
+     */
+    virtual void
+    onSkippedStalls(Tick cycles)
+    {
+        (void)cycles;
+    }
 };
 
 /** Gate that never blocks (no shaping). */

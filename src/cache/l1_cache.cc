@@ -100,6 +100,41 @@ L1Cache::tick(Tick now)
     sendQueue_.pop_front();
 }
 
+Tick
+L1Cache::nextWakeTick(Tick now) const
+{
+    // A pending writeback drains (or retries a full downstream) every
+    // cycle; stay awake.
+    if (!writebackQueue_.empty())
+        return now + 1;
+    // Nothing to send: ticks are pure no-ops until the core enqueues
+    // a miss (during an executed core tick) or a fill arrives (event).
+    if (sendQueue_.empty() || !downstream_)
+        return kTickNever;
+    // Downstream full: the LLC is active draining its banks, so the
+    // global wake is next cycle anyway; just retry.
+    if (!downstream_->canAccept(*sendQueue_.front()))
+        return now + 1;
+    // Head is gate-blocked: sleep until the gate could let it pass.
+    if (gate_)
+        return std::max(gate_->nextIssueTick(now), now + 1);
+    return now + 1;
+}
+
+void
+L1Cache::onFastForward(Tick from, Tick to)
+{
+    // The only skippable L1 state with per-cycle effects is a
+    // gate-blocked head: each skipped cycle would have retried
+    // tryIssue() and counted one stall here and one in the gate.
+    if (writebackQueue_.empty() && !sendQueue_.empty() && gate_ &&
+        downstream_ && downstream_->canAccept(*sendQueue_.front())) {
+        const Tick cycles = to - from;
+        shaperStalls_.inc(cycles);
+        gate_->onSkippedStalls(cycles);
+    }
+}
+
 void
 L1Cache::fill(const ReqPtr &req, Tick now)
 {

@@ -63,8 +63,18 @@ class L1Cache : public Clocked
     /** Fill response from the LLC for a previously sent miss. */
     void fill(const ReqPtr &req, Tick now);
 
+    /** Replicate `cycles` skipped access() retries the saturated MSHR
+     *  file would have rejected (one mshr_blocks count each). Called
+     *  by the core's onFastForward while it sleeps in L1Blocked. */
+    void onSkippedBlockedAccesses(Tick cycles)
+    {
+        mshrBlocks_.inc(cycles);
+    }
+
     /** Drain one shaper-gated miss / writeback per cycle. */
     void tick(Tick now) override;
+    Tick nextWakeTick(Tick now) const override;
+    void onFastForward(Tick from, Tick to) override;
 
     stats::Group &statsGroup() { return stats_; }
     std::uint64_t hits() const { return hits_.value(); }

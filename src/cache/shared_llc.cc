@@ -108,6 +108,29 @@ SharedLlc::tick(Tick now)
         processBank(bank, now);
 }
 
+Tick
+SharedLlc::nextWakeTick(Tick now) const
+{
+    // Writebacks drain (or retry) every cycle.
+    if (!wbQueue_.empty())
+        return now + 1;
+    Tick wake = kTickNever;
+    for (const auto &bank : banks_) {
+        if (bank.queue.empty())
+            continue;
+        const Tick ready = bank.queue.front().readyAt;
+        // A ready head either processed this cycle (more may follow)
+        // or is blocked on the miss map / memory controller, which
+        // counts a bank stall per cycle — stay awake either way.
+        if (ready <= now)
+            return now + 1;
+        wake = std::min(wake, ready);
+    }
+    // All banks idle until their NoC-delayed heads arrive; fills from
+    // memory re-awaken the system through scheduled events.
+    return wake;
+}
+
 void
 SharedLlc::processBank(Bank &bank, Tick now)
 {

@@ -73,6 +73,7 @@ class SharedLlc : public Clocked, public MemSink
     void fillFromMem(const ReqPtr &req, Tick now);
 
     void tick(Tick now) override;
+    Tick nextWakeTick(Tick now) const override;
 
     stats::Group &statsGroup() { return stats_; }
 

@@ -27,11 +27,75 @@ Core::tick(Tick now)
         return;
     nonMemBudget_ = std::min(nonMemBudget_ + cfg_.nonMemIpc,
                              2.0 * cfg_.nonMemIpc);
-    retire(now);
-    dispatch(now);
+    const unsigned retired = retire(now);
+    bool chase_wait = false;
+    bool l1_blocked = false;
+    const unsigned dispatched = dispatch(now, chase_wait, l1_blocked);
+
+    // Quiescence classification. Sleepable states make progress only
+    // through the L1 — a loadComplete() or an MSHR-freeing fill() —
+    // and both always arrive via a scheduled event: a full window
+    // whose head is a pending memory op, a dispatch stalled on its
+    // chase-chain producer, or a mem op the saturated L1 rejected.
+    // Anything else (budget regrowth, actual progress) re-ticks next
+    // cycle.
+    idle_ = IdleState::Active;
+    if (retired == 0 && dispatched == 0) {
+        if (chase_wait)
+            idle_ = IdleState::ChaseStall;
+        else if (l1_blocked)
+            idle_ = IdleState::L1Blocked;
+        else if (window_.size() >= cfg_.windowSize)
+            idle_ = IdleState::RobStall;
+    }
+}
+
+Tick
+Core::nextWakeTick(Tick now) const
+{
+    // A software stall is fully silent (tick returns before any
+    // accounting), so sleep to its end; this also covers the cycle
+    // where stallUntil_ == now + 1 (the next tick is a full one).
+    if (now < stallUntil_)
+        return stallUntil_;
+    return idle_ == IdleState::Active ? now + 1 : kTickNever;
 }
 
 void
+Core::onFastForward(Tick from, Tick to)
+{
+    // A software stall is silent; otherwise idle_ is fresh (a skip
+    // can only start after a full tick classified the core).
+    if (from < stallUntil_ || idle_ == IdleState::Active)
+        return;
+    const Tick cycles = to - from;
+    // Each skipped cycle would have: accrued (capped) compute budget,
+    // retired nothing, counted a memory stall while the window head
+    // is a pending load, and re-run the blocking dispatch step (chase
+    // producer check, or a rejected L1 access and its two counters).
+    for (Tick i = 0; i < cycles; ++i) {
+        const double next = std::min(nonMemBudget_ + cfg_.nonMemIpc,
+                                     2.0 * cfg_.nonMemIpc);
+        if (next == nonMemBudget_)
+            break; // capped: further cycles are fixed points
+        nonMemBudget_ = next;
+    }
+    // In every sleepable state a non-empty window has a not-done
+    // memory head (non-mem entries dispatch done; a done head would
+    // have retired), which is exactly retire()'s stall condition. The
+    // window is only empty when the L1 blocks the first outstanding
+    // miss (stores complete at dispatch and can saturate MSHRs alone).
+    if (!window_.empty())
+        memStalls_.inc(cycles);
+    if (idle_ == IdleState::ChaseStall)
+        memDepStalls_ += cycles;
+    if (idle_ == IdleState::L1Blocked) {
+        l1Blocked_.inc(cycles);
+        l1_->onSkippedBlockedAccesses(cycles);
+    }
+}
+
+unsigned
 Core::retire(Tick now)
 {
     unsigned retired = 0;
@@ -55,6 +119,7 @@ Core::retire(Tick now)
             robStallStart_ = kTickNever;
         }
     }
+    return retired;
 }
 
 void
@@ -86,8 +151,8 @@ Core::registerTelemetry(telemetry::Telemetry &t)
     }
 }
 
-void
-Core::dispatch(Tick now)
+unsigned
+Core::dispatch(Tick now, bool &chase_wait, bool &l1_blocked)
 {
     unsigned dispatched = 0;
     while (dispatched < cfg_.width &&
@@ -114,6 +179,7 @@ Core::dispatch(Tick now)
         // the producing load returns.
         if (pendingOp_.dependsOnPrev && !prevLoadDone()) {
             ++memDepStalls_;
+            chase_wait = true;
             break;
         }
 
@@ -123,6 +189,7 @@ Core::dispatch(Tick now)
             l1_->access(pendingOp_.addr, pendingOp_.isWrite, seq, now);
         if (res == L1Result::Blocked) {
             l1Blocked_.inc();
+            l1_blocked = true;
             break; // retry same op next cycle; seq not consumed
         }
         ++nextSeq_;
@@ -142,6 +209,7 @@ Core::dispatch(Tick now)
         havePendingOp_ = false;
         ++dispatched;
     }
+    return dispatched;
 }
 
 bool

@@ -52,6 +52,8 @@ class Core : public Clocked, public L1Client
          TraceSource *trace, L1Cache *l1);
 
     void tick(Tick now) override;
+    Tick nextWakeTick(Tick now) const override;
+    void onFastForward(Tick from, Tick to) override;
 
     // L1Client
     void loadComplete(SeqNum seq, Tick now) override;
@@ -88,8 +90,25 @@ class Core : public Clocked, public L1Client
         bool isMem;
     };
 
-    void retire(Tick now);
-    void dispatch(Tick now);
+    /**
+     * Why the last executed tick made no forward progress. Event-woken
+     * states (ROB head / chase producer waiting on a load completion)
+     * let the core sleep; their per-cycle stall accounting is
+     * replicated by onFastForward.
+     */
+    enum class IdleState
+    {
+        Active,     ///< progressed, or blocked on per-cycle state
+        RobStall,   ///< window full, head is a pending memory op
+        ChaseStall, ///< dispatch waits on the chase-chain producer
+        L1Blocked,  ///< dispatch retries a mem op the L1 rejected
+    };
+
+    unsigned retire(Tick now);
+    /** @return dispatched count; sets chase_wait when it broke on an
+     *  unresolved pointer-chase dependency, l1_blocked when the L1
+     *  rejected the pending memory op (MSHRs saturated). */
+    unsigned dispatch(Tick now, bool &chase_wait, bool &l1_blocked);
     bool prevLoadDone() const;
 
     CoreConfig cfg_;
@@ -110,6 +129,7 @@ class Core : public Clocked, public L1Client
     std::uint32_t gapLeft_ = 0;
 
     Tick stallUntil_ = 0;
+    IdleState idle_ = IdleState::Active; ///< as of the last full tick
 
     // Telemetry (null/empty unless registerTelemetry was called).
     telemetry::ProbeOwner probes_;

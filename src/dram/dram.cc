@@ -92,6 +92,47 @@ Dram::recordActivate(Tick at)
     ++numActivates_;
 }
 
+Tick
+Dram::earliestActivate(Tick from, Tick precharge) const
+{
+    // Earliest issue tick t >= from whose activate (at t + precharge)
+    // clears the tRRD and tFAW windows.
+    if (!anyActivate_)
+        return from;
+    Tick min_act = lastActivate_ + cfg_.tRRD;
+    if (numActivates_ >= recentActivates_.size())
+        min_act = std::max(min_act,
+                           recentActivates_[actHead_] + cfg_.tFAW);
+    if (min_act > from + precharge)
+        return min_act - precharge;
+    return from;
+}
+
+Tick
+Dram::earliestIssueTick(Addr block_addr, bool is_write, Tick now) const
+{
+    (void)is_write;
+    Tick t = std::max(now + 1, refBlockUntil_);
+    const DramCoord c = mapAddress(block_addr, cfg_);
+    const Bank &b = banks_[c.bank];
+    t = std::max(t, b.busyUntil);
+    switch (rowState(block_addr)) {
+      case RowState::Hit:
+        if (busFreeAt_ > cfg_.tCL)
+            t = std::max(t, busFreeAt_ - cfg_.tCL);
+        break;
+      case RowState::Closed:
+        t = earliestActivate(t, 0);
+        break;
+      case RowState::Conflict:
+        t = std::max(t, b.activateAt + cfg_.tRAS);
+        t = std::max(t, b.writeRecoverUntil);
+        t = earliestActivate(t, cfg_.tRP);
+        break;
+    }
+    return t;
+}
+
 bool
 Dram::canIssue(Addr block_addr, bool is_write, Tick now) const
 {

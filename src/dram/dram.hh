@@ -73,6 +73,20 @@ class Dram
     /** True iff the channel is refresh-blocked at `now`. */
     bool refreshing(Tick now) const { return now < refBlockUntil_; }
 
+    /** Next tick at which tick() does anything: the refresh deadline
+     *  (kTickNever when refresh is disabled). */
+    Tick nextRefreshTick() const { return nextRefreshAt_; }
+
+    /**
+     * Earliest tick > `now` at which canIssue() for this transaction
+     * can become true, assuming no intervening issues or refreshes
+     * (both happen on executed cycles and trigger recomputation).
+     * Exact: every canIssue constraint is a monotone lower bound on
+     * the issue tick.
+     */
+    Tick earliestIssueTick(Addr block_addr, bool is_write,
+                           Tick now) const;
+
     stats::Group &statsGroup() { return stats_; }
 
     /**
@@ -99,6 +113,7 @@ class Dram
 
     bool activateAllowed(Tick at) const;
     void recordActivate(Tick at);
+    Tick earliestActivate(Tick from, Tick precharge) const;
 
     DramConfig cfg_;
     std::vector<Bank> banks_;

@@ -1,5 +1,7 @@
 #include "memctrl/mem_controller.hh"
 
+#include <algorithm>
+
 #include "base/logging.hh"
 #include "cache/shared_llc.hh"
 #include "telemetry/telemetry.hh"
@@ -132,6 +134,47 @@ MemController::tick(Tick now)
 
     for (unsigned c = 0; c < cfg_.numChannels; ++c)
         scheduleChannel(c, now);
+}
+
+Tick
+MemController::nextWakeTick(Tick now) const
+{
+    // The smoothing FIFO drains (or retries) every cycle.
+    if (!smoothingFifo_.empty())
+        return now + 1;
+    Tick wake = kTickNever;
+    for (unsigned c = 0; c < cfg_.numChannels; ++c) {
+        wake = std::min(wake, drams_[c]->nextRefreshTick());
+        // Ticking a channel with queued work re-evaluates the
+        // write-drain hysteresis even when nothing can issue, so the
+        // controller is only quiescent once the latch sits at its
+        // fixed point for the current queue mix. (The mix last
+        // changed after the latch was evaluated — an issue follows
+        // the update inside the same tick.)
+        if (!queues_[c].empty() && cfg_.writeDrainHigh > 0) {
+            unsigned wr = 0;
+            for (const auto &r : queues_[c])
+                wr += r->isDemand() ? 0 : 1;
+            bool next = draining_[c];
+            if (wr >= cfg_.writeDrainHigh)
+                next = true;
+            else if (wr <= cfg_.writeDrainLow)
+                next = false;
+            if (next != draining_[c])
+                return now + 1;
+        }
+        // No queued transaction can issue before its DRAM timing
+        // constraints clear; all of them are exact lower bounds, and
+        // in-flight bursts complete through scheduled events.
+        for (const auto &r : queues_[c]) {
+            wake = std::min(wake,
+                            drams_[c]->earliestIssueTick(
+                                r->blockAddr, !r->isRead(), now));
+        }
+    }
+    if (sched_)
+        wake = std::min(wake, sched_->nextWakeTick(now));
+    return std::max(wake, now + 1);
 }
 
 int

@@ -73,6 +73,7 @@ class MemController : public Clocked, public MemSink
     void push(ReqPtr req, Tick now) override;
 
     void tick(Tick now) override;
+    Tick nextWakeTick(Tick now) const override;
 
     Dram &dram(unsigned channel = 0) { return *drams_[channel]; }
     const Dram &dram(unsigned channel = 0) const

@@ -31,6 +31,14 @@ class FairQueueScheduler : public MemScheduler
 
     std::string name() const override { return "fair-queue"; }
 
+    /** Virtual-time bookkeeping happens inside pick(); tick no-op. */
+    Tick
+    nextWakeTick(Tick now) const override
+    {
+        (void)now;
+        return kTickNever;
+    }
+
     int pick(const std::vector<ReqPtr> &queue, const Dram &dram,
              Tick now) override;
 

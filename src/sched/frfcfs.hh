@@ -55,6 +55,14 @@ class FrfcfsScheduler : public RankedFrfcfs
 {
   public:
     std::string name() const override { return "fr-fcfs"; }
+
+    /** Stateless across cycles (tick is a no-op): never needs one. */
+    Tick
+    nextWakeTick(Tick now) const override
+    {
+        (void)now;
+        return kTickNever;
+    }
 };
 
 /** Strict first-come first-served (no row-hit reordering). */
@@ -62,6 +70,14 @@ class FcfsScheduler : public MemScheduler
 {
   public:
     std::string name() const override { return "fcfs"; }
+
+    /** Stateless across cycles (tick is a no-op): never needs one. */
+    Tick
+    nextWakeTick(Tick now) const override
+    {
+        (void)now;
+        return kTickNever;
+    }
 
     int
     pick(const std::vector<ReqPtr> &queue, const Dram &dram,

@@ -72,6 +72,19 @@ class MemScheduler
     /** Per-cycle bookkeeping (epochs, quanta). */
     virtual void tick(Tick now) { (void)now; }
 
+    /**
+     * Earliest future tick at which tick() does observable work (the
+     * skip-ahead quiescence contract; `now` is the cycle just
+     * executed). The conservative default keeps the memory controller
+     * awake every cycle; policies whose tick() is a no-op should
+     * return kTickNever, periodic ones their next deadline.
+     */
+    virtual Tick
+    nextWakeTick(Tick now) const
+    {
+        return now + 1;
+    }
+
     /** Supply application state for application-aware policies. */
     virtual void setMonitor(const AppMonitor *mon) { monitor_ = mon; }
 

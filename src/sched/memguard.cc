@@ -16,6 +16,20 @@ MemGuardGate::tryIssue(MemRequest &req, Tick now)
     return ctrl_.request(core_, now);
 }
 
+Tick
+MemGuardGate::nextIssueTick(Tick now) const
+{
+    // If any admission path (own budget, reclaim, best-effort on an
+    // idle MC) is open right now, the gate can pass next cycle.
+    // Otherwise the only spontaneous unblock is the periodic budget
+    // reset: used counters never decrease within a period and the MC
+    // queue can only drain to empty on an executed cycle, after which
+    // the global wake is recomputed anyway.
+    if (ctrl_.canIssueNow(core_))
+        return now + 1;
+    return std::max(ctrl_.nextResetTick(), now + 1);
+}
+
 MemGuardController::MemGuardController(std::string name,
                                        unsigned num_cores,
                                        const MemGuardConfig &cfg)
@@ -62,6 +76,16 @@ MemGuardController::request(CoreId core, Tick now)
         return true;
     }
     return false;
+}
+
+bool
+MemGuardController::canIssueNow(CoreId core) const
+{
+    if (used_[core] < budget_[core])
+        return true;
+    if (globalUsed_ < globalBudget_)
+        return true;
+    return mc_ && mc_->queueSize() == 0;
 }
 
 void

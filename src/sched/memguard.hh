@@ -13,6 +13,7 @@
 #ifndef MITTS_SCHED_MEMGUARD_HH
 #define MITTS_SCHED_MEMGUARD_HH
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -50,6 +51,7 @@ class MemGuardGate : public SourceGate
     }
 
     bool tryIssue(MemRequest &req, Tick now) override;
+    Tick nextIssueTick(Tick now) const override;
 
   private:
     MemGuardController &ctrl_;
@@ -70,7 +72,20 @@ class MemGuardController : public Clocked
     /** Called by gates; consumes budget on success. */
     bool request(CoreId core, Tick now);
 
+    /** Would request() succeed right now? Side-effect free. */
+    bool canIssueNow(CoreId core) const;
+
     void tick(Tick now) override;
+
+    /** Budgets only change at the periodic reset. */
+    Tick
+    nextWakeTick(Tick now) const override
+    {
+        return std::max(nextResetAt_, now + 1);
+    }
+
+    /** Next budget-reset deadline (gate wake computation). */
+    Tick nextResetTick() const { return nextResetAt_; }
 
     std::uint64_t budget(CoreId core) const { return budget_[core]; }
     std::uint64_t used(CoreId core) const { return used_[core]; }

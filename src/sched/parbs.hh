@@ -39,6 +39,14 @@ class ParbsScheduler : public MemScheduler
     int pick(const std::vector<ReqPtr> &queue, const Dram &dram,
              Tick now) override;
 
+    /** Batching happens inside pick(); tick is a no-op. */
+    Tick
+    nextWakeTick(Tick now) const override
+    {
+        (void)now;
+        return kTickNever;
+    }
+
     /** Requests still marked in the current batch (testing). */
     std::size_t batchRemaining() const { return marked_.size(); }
 

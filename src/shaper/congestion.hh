@@ -14,6 +14,7 @@
 #ifndef MITTS_SHAPER_CONGESTION_HH
 #define MITTS_SHAPER_CONGESTION_HH
 
+#include <algorithm>
 #include <vector>
 
 #include "base/stats.hh"
@@ -41,6 +42,13 @@ class CongestionController : public Clocked
                          std::vector<MittsShaper *> shapers);
 
     void tick(Tick now) override;
+
+    /** Occupancy is only sampled at the periodic check. */
+    Tick
+    nextWakeTick(Tick now) const override
+    {
+        return std::max(nextCheckAt_, now + 1);
+    }
 
     double scale() const { return scale_; }
     stats::Group &statsGroup() { return stats_; }

@@ -185,6 +185,43 @@ MittsShaper::eligibleBin(unsigned bin) const
     return -1;
 }
 
+Tick
+MittsShaper::nextIssueTick(Tick now) const
+{
+    if (!enabled_)
+        return now + 1;
+    // Rolling replenish accrues fractional credits per call with
+    // floating-point arithmetic; the per-cycle call pattern of the
+    // reference kernel cannot be reproduced by a gap-sized catch-up
+    // bit-for-bit, so a blocked L1 stays awake under that policy.
+    if (cfg_.spec.policy == ReplenishPolicy::Rolling)
+        return now + 1;
+
+    // Reset policy: while blocked, credits only change at the next
+    // replenish deadline (which must be an executed cycle so the lazy
+    // catch-up, the replenish counter and the trace instant land
+    // exactly where the per-cycle kernel puts them), and eligibility
+    // only changes as the growing inter-arrival time reaches the
+    // nearest credited bin: a credit in bin j admits the head once
+    // now' - lastIssueAt_ >= j * L. Refunds and congestion rescaling
+    // happen on executed cycles and trigger recomputation.
+    Tick wake = std::max(nextReplenishAt_, now + 1);
+    for (unsigned j = 0; j < cfg_.spec.numBins; ++j) {
+        if (credits_[j] == 0)
+            continue;
+        Tick at = now + 1;
+        if (lastIssueAt_ != kTickNever) {
+            at = std::max(lastIssueAt_ +
+                              static_cast<Tick>(j) *
+                                  cfg_.spec.intervalLength,
+                          now + 1);
+        }
+        wake = std::min(wake, at);
+        break; // smallest credited bin index wakes earliest
+    }
+    return wake;
+}
+
 bool
 MittsShaper::tryIssue(MemRequest &req, Tick now)
 {

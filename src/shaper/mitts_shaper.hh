@@ -67,6 +67,11 @@ class MittsShaper : public SourceGate
     bool tryIssue(MemRequest &req, Tick now) override;
     void onLlcResponse(const MemRequest &req, bool hit,
                        Tick now) override;
+    Tick nextIssueTick(Tick now) const override;
+    void onSkippedStalls(Tick cycles) override
+    {
+        stalls_.inc(cycles);
+    }
 
     /** Current credits in bin i (testing / introspection). */
     std::uint32_t credits(unsigned i) const { return credits_[i]; }

@@ -7,6 +7,7 @@
 #ifndef MITTS_SIM_EVENT_QUEUE_HH
 #define MITTS_SIM_EVENT_QUEUE_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <queue>
@@ -21,6 +22,18 @@ namespace mitts
 /**
  * Min-heap of (tick, sequence, callback). Events scheduled for the same
  * tick fire in scheduling order, keeping the simulation deterministic.
+ *
+ * Scheduling into the past — `when` strictly below the tick of the
+ * most recent runDue() — is a modelling bug: the event's cycle has
+ * already been executed (and possibly skipped over). Debug builds
+ * assert; release builds clamp the event to the current drain horizon
+ * so it fires at the next opportunity instead of being lost below an
+ * already-drained tick.
+ *
+ * Scheduling an event for the current tick from inside a callback
+ * running under runDue(now) is well-defined: the new event fires in
+ * the same drain, after all previously scheduled due events
+ * (scheduling order is preserved by the sequence number).
  */
 class EventQueue
 {
@@ -31,6 +44,13 @@ class EventQueue
     void
     schedule(Tick when, Callback cb)
     {
+        if (when < horizon_) {
+#ifndef NDEBUG
+            panic("event scheduled in the past: when=", when,
+                  " < horizon=", horizon_);
+#endif
+            when = horizon_;
+        }
         heap_.push(Event{when, nextSeq_++, std::move(cb)});
     }
 
@@ -38,6 +58,7 @@ class EventQueue
     void
     runDue(Tick now)
     {
+        horizon_ = std::max(horizon_, now);
         while (!heap_.empty() && heap_.top().when <= now) {
             // Copy out before pop so the callback can schedule events.
             Callback cb = std::move(
@@ -73,6 +94,8 @@ class EventQueue
 
     std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
     std::uint64_t nextSeq_ = 0;
+    /** Tick of the most recent runDue(); past-schedule clamp floor. */
+    Tick horizon_ = 0;
 };
 
 } // namespace mitts

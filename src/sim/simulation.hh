@@ -1,15 +1,27 @@
 /**
  * @file
- * Cycle-stepped simulation driver.
+ * Quiescence-aware simulation driver.
+ *
+ * The kernel executes cycles (event drain + all component ticks) and,
+ * between executed cycles, fast-forwards across globally idle gaps in
+ * O(1): the next cycle to execute is the minimum of the earliest
+ * pending event and every component's self-reported nextWakeTick().
+ * Skipped regions are provably no-op-or-linear: components whose idle
+ * cycles accrue per-cycle counters replicate them via onFastForward(),
+ * so skip-ahead on vs off is bit-identical (stats dumps, telemetry
+ * CSVs, trace-event JSON). See DESIGN.md "Simulation kernel".
  */
 
 #ifndef MITTS_SIM_SIMULATION_HH
 #define MITTS_SIM_SIMULATION_HH
 
+#include <algorithm>
+#include <cstdlib>
 #include <functional>
 #include <ostream>
 #include <vector>
 
+#include "base/logging.hh"
 #include "base/stats.hh"
 #include "base/types.hh"
 #include "sim/clocked.hh"
@@ -18,15 +30,38 @@
 namespace mitts
 {
 
+/** Kernel knobs (SystemConfig::sim; mitts_sim --no-skip). */
+struct SimulationConfig
+{
+    /** Fast-forward across globally quiescent gaps. Off = execute
+     *  every cycle (the A/B reference mode). Also forced off by the
+     *  MITTS_SIM_NO_SKIP environment variable. */
+    bool skipAhead = true;
+    /** Paranoia mode: instead of skipping, execute claimed-quiescent
+     *  regions cycle by cycle while asserting every component's wake
+     *  claim still holds. Also enabled by MITTS_SIM_VERIFY_SKIP=1. */
+    bool verifySkip = false;
+};
+
 /**
  * Owns simulated time. Components are registered (not owned) in tick
  * order; stats groups are registered for dumping. The driver alternates
- * event-queue drain and component ticks each cycle.
+ * event-queue drain and component ticks each executed cycle and skips
+ * whole cycles only — an executed cycle always ticks every component,
+ * so cross-component interaction ordering is identical in both modes.
  */
 class Simulation
 {
   public:
-    Simulation() = default;
+    Simulation() : Simulation(SimulationConfig{}) {}
+
+    explicit Simulation(const SimulationConfig &cfg) : cfg_(cfg)
+    {
+        if (envFlag("MITTS_SIM_NO_SKIP"))
+            cfg_.skipAhead = false;
+        if (envFlag("MITTS_SIM_VERIFY_SKIP"))
+            cfg_.verifySkip = true;
+    }
 
     /** Register a component; ticked in registration order. */
     void add(Clocked *c) { components_.push_back(c); }
@@ -40,17 +75,32 @@ class Simulation
     /** Delayed-callback queue shared by all components. */
     EventQueue &events() { return events_; }
 
+    bool skipAhead() const { return cfg_.skipAhead; }
+    void setSkipAhead(bool on) { cfg_.skipAhead = on; }
+
+    /** Whole-cycle gaps fast-forwarded so far (introspection). */
+    std::uint64_t cyclesSkipped() const { return cyclesSkipped_; }
+
     /** Run for `cycles` more cycles. */
     void
     run(Tick cycles)
     {
         const Tick end = now_ + cycles;
         while (now_ < end)
-            step();
+            stepAndSkip(end);
     }
 
     /**
      * Run until `done()` returns true or `maxCycles` elapse.
+     *
+     * Due events are drained before each predicate evaluation, so a
+     * predicate reading event-updated state (e.g. load completions
+     * landed on a freshly fast-forwarded cycle) never observes a stale
+     * pre-drain snapshot. Predicates must be functions of simulation
+     * state (counters, component phases) — state is frozen across
+     * skipped cycles, so a predicate comparing `now()` against a raw
+     * tick threshold may be first observed past that threshold.
+     *
      * @return true when the predicate fired (not the cycle limit).
      */
     bool
@@ -58,14 +108,15 @@ class Simulation
     {
         const Tick end = now_ + max_cycles;
         while (now_ < end) {
+            events_.runDue(now_);
             if (done())
                 return true;
-            step();
+            stepAndSkip(end);
         }
         return done();
     }
 
-    /** Execute exactly one cycle. */
+    /** Execute exactly one cycle (never skips). */
     void
     step()
     {
@@ -73,6 +124,24 @@ class Simulation
         for (auto *c : components_)
             c->tick(now_);
         ++now_;
+    }
+
+    /**
+     * Global next-wake for the current state: the earliest cycle
+     * >= now() that cannot be skipped — min of the earliest pending
+     * event and every component's nextWakeTick(), clamped to now().
+     * Meaningful once at least one cycle has executed.
+     */
+    Tick
+    globalNextWake() const
+    {
+        MITTS_ASSERT(now_ > 0,
+                     "globalNextWake needs an executed cycle");
+        const Tick executed = now_ - 1;
+        Tick wake = events_.nextEventTick();
+        for (const auto *c : components_)
+            wake = std::min(wake, c->nextWakeTick(executed));
+        return std::max(wake, now_);
     }
 
     void
@@ -90,7 +159,67 @@ class Simulation
     }
 
   private:
+    static bool
+    envFlag(const char *name)
+    {
+        const char *v = std::getenv(name);
+        return v && *v && !(v[0] == '0' && v[1] == '\0');
+    }
+
+    /**
+     * Execute one cycle, then — bounded by `limit` — fast-forward to
+     * the global next wake if it lies beyond the next cycle.
+     */
+    void
+    stepAndSkip(Tick limit)
+    {
+        step();
+        if (!cfg_.skipAhead || now_ >= limit)
+            return;
+        Tick wake = globalNextWake();
+        if (wake <= now_)
+            return;
+        wake = std::min(wake, limit);
+        if (cfg_.verifySkip) {
+            verifyQuiescent(wake);
+            return;
+        }
+        for (auto *c : components_)
+            c->onFastForward(now_, wake);
+        cyclesSkipped_ += wake - now_;
+        now_ = wake;
+    }
+
+    /**
+     * MITTS_SIM_VERIFY_SKIP: execute the claimed-quiescent region
+     * [now_, wake) cycle by cycle, re-asserting before every cycle
+     * that no component or event claims work inside it. Per-cycle
+     * counters accrue naturally (onFastForward is not applied), so
+     * outputs match the no-skip kernel while wake-claim honesty —
+     * the "never under-report" rule — is checked exhaustively.
+     */
+    void
+    verifyQuiescent(Tick wake)
+    {
+        while (now_ < wake) {
+            MITTS_ASSERT(events_.nextEventTick() >= wake,
+                         "event due inside skipped region [", now_,
+                         ", ", wake, ")");
+            for (const auto *c : components_) {
+                MITTS_ASSERT(c->nextWakeTick(now_ - 1) >= wake,
+                             "component '", c->name(),
+                             "' under-reported its wake: claims ",
+                             c->nextWakeTick(now_ - 1),
+                             " inside skipped region [", now_, ", ",
+                             wake, ")");
+            }
+            step();
+        }
+    }
+
+    SimulationConfig cfg_;
     Tick now_ = 0;
+    std::uint64_t cyclesSkipped_ = 0;
     std::vector<Clocked *> components_;
     std::vector<stats::Group *> statGroups_;
     EventQueue events_;

@@ -27,6 +27,7 @@
 #include "shaper/bin_config.hh"
 #include "shaper/congestion.hh"
 #include "shaper/mitts_shaper.hh"
+#include "sim/simulation.hh"
 #include "telemetry/telemetry.hh"
 
 namespace mitts
@@ -104,6 +105,9 @@ struct SystemConfig
 
     std::uint64_t seed = 12345;
     double cpuGhz = 2.4;
+
+    /** Simulation-kernel knobs (skip-ahead, A/B verification). */
+    SimulationConfig sim;
 
     /** Time-series / trace-event telemetry (off by default; when off
      *  no sampler is ticked and no probes are registered). */

@@ -39,7 +39,7 @@ schedulerName(SchedulerKind k)
     return "?";
 }
 
-System::System(const SystemConfig &cfg) : cfg_(cfg)
+System::System(const SystemConfig &cfg) : cfg_(cfg), sim_(cfg_.sim)
 {
     MITTS_ASSERT(!cfg_.apps.empty(), "system needs at least one app");
 
@@ -335,9 +335,11 @@ System::runUntilInstructions(std::uint64_t instr_target,
     const Tick end = sim_.now() + max_cycles;
     unsigned remaining = numApps();
     while (remaining > 0 && sim_.now() < end) {
-        // Step a small batch between completion checks.
-        for (int i = 0; i < 32 && sim_.now() < end; ++i)
-            sim_.step();
+        // Run a small batch between completion checks; run() rather
+        // than step() so globally idle stretches inside the batch are
+        // skipped while completedAt still lands on the same 32-cycle
+        // check boundaries in both modes.
+        sim_.run(std::min<Tick>(32, end - sim_.now()));
         for (unsigned a = 0; a < numApps(); ++a) {
             if (results[a].completed)
                 continue;

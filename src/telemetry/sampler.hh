@@ -17,6 +17,7 @@
 #ifndef MITTS_TELEMETRY_SAMPLER_HH
 #define MITTS_TELEMETRY_SAMPLER_HH
 
+#include <algorithm>
 #include <ostream>
 #include <vector>
 
@@ -44,6 +45,13 @@ class TimeSeriesSampler : public Clocked
                       const SamplerOptions &opts, std::ostream *out);
 
     void tick(Tick now) override;
+
+    /** Windows only close at interval boundaries. */
+    Tick
+    nextWakeTick(Tick now) const override
+    {
+        return std::max(nextBoundary_, now + 1);
+    }
 
     /**
      * Close the partial window [lastBoundary, now) — if any cycles

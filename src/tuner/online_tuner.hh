@@ -16,6 +16,7 @@
 #ifndef MITTS_TUNER_ONLINE_TUNER_HH
 #define MITTS_TUNER_ONLINE_TUNER_HH
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -60,6 +61,19 @@ class OnlineTuner : public Clocked
     OnlineTuner(System &sys, const OnlineTunerOptions &opts);
 
     void tick(Tick now) override;
+
+    /**
+     * RUN_PHASE sleeps until the next phase boundary (forever when
+     * phase-based re-tuning is off); CONFIG_PHASE acts only at epoch
+     * ends. Both deadlines move exclusively inside tick().
+     */
+    Tick
+    nextWakeTick(Tick now) const override
+    {
+        if (state_ == State::Run)
+            return std::max(nextPhaseAt_, now + 1);
+        return std::max(epochEndsAt_, now + 1);
+    }
 
     /** Winner of the most recent CONFIG_PHASE (empty before that). */
     const std::vector<BinConfig> &bestConfigs() const { return best_; }

@@ -16,6 +16,7 @@
 #ifndef MITTS_TUNER_PHASE_SWITCHER_HH
 #define MITTS_TUNER_PHASE_SWITCHER_HH
 
+#include <algorithm>
 #include <vector>
 
 #include "sim/clocked.hh"
@@ -42,6 +43,13 @@ class PhaseSwitcher : public Clocked
                   Tick check_period = 500);
 
     void tick(Tick now) override;
+
+    /** Instruction counts are only polled at the periodic check. */
+    Tick
+    nextWakeTick(Tick now) const override
+    {
+        return std::max(nextCheckAt_, now + 1);
+    }
 
     /** Phase the core is currently in. */
     unsigned currentPhase(CoreId core) const;

@@ -1,16 +1,20 @@
 /**
  * @file
- * Unit tests for the simulation kernel: event queue ordering and the
- * cycle-stepped driver.
+ * Unit tests for the simulation kernel: event queue ordering, the
+ * cycle-stepped driver, and quiescence-aware skip-ahead.
  */
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <utility>
 #include <vector>
 
 #include "sim/clocked.hh"
 #include "sim/event_queue.hh"
 #include "sim/simulation.hh"
+#include "system/system.hh"
+#include "telemetry/sampler.hh"
 
 namespace mitts
 {
@@ -132,6 +136,301 @@ TEST(Simulation, EventsRunBeforeComponentsInACycle)
     ASSERT_EQ(order.size(), 2u);
     EXPECT_EQ(order[0], "event");
     EXPECT_EQ(order[1], "comp");
+}
+
+// ---- EventQueue scheduling semantics ------------------------------
+
+TEST(EventQueue, SameTickScheduleInsideDrainFiresInSameDrain)
+{
+    EventQueue q;
+    std::vector<int> fired;
+    q.schedule(3, [&] {
+        fired.push_back(1);
+        q.schedule(3, [&] { fired.push_back(2); });
+    });
+    q.runDue(3);
+    ASSERT_EQ(fired.size(), 2u);
+    EXPECT_EQ(fired[0], 1);
+    EXPECT_EQ(fired[1], 2);
+}
+
+#ifdef NDEBUG
+TEST(EventQueue, PastScheduleClampsToDrainHorizon)
+{
+    EventQueue q;
+    q.runDue(10);
+    bool fired = false;
+    q.schedule(5, [&] { fired = true; });
+    // Clamped up to the horizon instead of being lost below it.
+    EXPECT_EQ(q.nextEventTick(), 10u);
+    q.runDue(10);
+    EXPECT_TRUE(fired);
+}
+#else
+TEST(EventQueueDeathTest, PastSchedulePanicsInDebug)
+{
+    EXPECT_DEATH(
+        {
+            EventQueue q;
+            q.runDue(10);
+            q.schedule(5, [] {});
+        },
+        "scheduled in the past");
+}
+#endif
+
+// ---- Quiescence-aware skip-ahead ----------------------------------
+
+TEST(Clocked, DefaultNextWakeTickIsNextCycle)
+{
+    TickCounter c;
+    EXPECT_EQ(c.nextWakeTick(0), 1u);
+    EXPECT_EQ(c.nextWakeTick(41), 42u);
+}
+
+/** Sleeps until a fixed tick, then runs every cycle; records both the
+ *  cycles it executed and the fast-forwards applied to it. */
+class Sleeper : public Clocked
+{
+  public:
+    explicit Sleeper(Tick wake) : Clocked("sleeper"), wake_(wake) {}
+    void tick(Tick now) override { ticks.push_back(now); }
+    Tick
+    nextWakeTick(Tick now) const override
+    {
+        return wake_ > now ? wake_ : now + 1;
+    }
+    void
+    onFastForward(Tick from, Tick to) override
+    {
+        skips.emplace_back(from, to);
+    }
+
+    Tick wake_;
+    std::vector<Tick> ticks;
+    std::vector<std::pair<Tick, Tick>> skips;
+};
+
+TEST(SkipAhead, FastForwardsToComponentWake)
+{
+    Simulation sim;
+    Sleeper s(100);
+    sim.add(&s);
+    sim.run(150);
+    EXPECT_EQ(sim.now(), 150u);
+    EXPECT_EQ(sim.cyclesSkipped(), 99u);
+    // Cycle 0 executes (classification), then 100..149.
+    ASSERT_EQ(s.ticks.size(), 51u);
+    EXPECT_EQ(s.ticks[0], 0u);
+    EXPECT_EQ(s.ticks[1], 100u);
+    EXPECT_EQ(s.ticks.back(), 149u);
+    ASSERT_EQ(s.skips.size(), 1u);
+    EXPECT_EQ(s.skips[0], std::make_pair(Tick{1}, Tick{100}));
+}
+
+TEST(SkipAhead, GlobalWakeIsMinOverComponents)
+{
+    Simulation sim;
+    Sleeper late(300), early(40);
+    sim.add(&late);
+    sim.add(&early);
+    sim.run(50);
+    // The earlier sleeper bounds the whole system.
+    ASSERT_GE(early.ticks.size(), 2u);
+    EXPECT_EQ(early.ticks[1], 40u);
+    EXPECT_EQ(late.ticks[1], 40u); // executed cycles tick everyone
+    EXPECT_EQ(sim.cyclesSkipped(), 39u);
+}
+
+TEST(SkipAhead, LandsExactlyOnPendingEvent)
+{
+    Simulation sim;
+    Sleeper s(1000);
+    sim.add(&s);
+    bool fired = false;
+    sim.events().schedule(40, [&] { fired = true; });
+    sim.run(60);
+    EXPECT_TRUE(fired);
+    // Executed: cycle 0, the event cycle 40, nothing else.
+    ASSERT_EQ(s.ticks.size(), 2u);
+    EXPECT_EQ(s.ticks[1], 40u);
+    EXPECT_EQ(sim.now(), 60u);
+    EXPECT_EQ(sim.cyclesSkipped(), 58u);
+}
+
+TEST(SkipAhead, StopsAtRunBoundary)
+{
+    Simulation sim;
+    Sleeper s(1000);
+    sim.add(&s);
+    sim.run(50);
+    EXPECT_EQ(sim.now(), 50u);
+    ASSERT_EQ(s.skips.size(), 1u);
+    EXPECT_EQ(s.skips[0], std::make_pair(Tick{1}, Tick{50}));
+    // A later run() resumes cleanly from the boundary.
+    sim.run(10);
+    EXPECT_EQ(sim.now(), 60u);
+    ASSERT_EQ(s.ticks.size(), 2u);
+    EXPECT_EQ(s.ticks[1], 50u);
+}
+
+TEST(SkipAhead, LandsOnTelemetryWindowBoundary)
+{
+    telemetry::ProbeRegistry reg;
+    telemetry::SamplerOptions opts;
+    opts.interval = 100;
+    telemetry::TimeSeriesSampler sampler(reg, opts, nullptr);
+
+    Simulation sim;
+    Sleeper s(1000);
+    sim.add(&sampler);
+    sim.add(&s);
+    sim.run(350);
+    // Boundaries 100, 200, 300 all executed despite the idle system.
+    EXPECT_EQ(sampler.windowsClosed(), 3u);
+    EXPECT_GT(sim.cyclesSkipped(), 0u);
+}
+
+TEST(SkipAhead, DisabledExecutesEveryCycle)
+{
+    SimulationConfig cfg;
+    cfg.skipAhead = false;
+    Simulation sim(cfg);
+    Sleeper s(100);
+    sim.add(&s);
+    sim.run(150);
+    EXPECT_EQ(s.ticks.size(), 150u);
+    EXPECT_EQ(sim.cyclesSkipped(), 0u);
+    EXPECT_TRUE(s.skips.empty());
+}
+
+TEST(SkipAhead, RunUntilDrainsDueEventsBeforePredicate)
+{
+    Simulation sim;
+    Sleeper s(1000);
+    sim.add(&s);
+    bool flag = false;
+    sim.events().schedule(50, [&] { flag = true; });
+    const bool hit = sim.runUntil([&] { return flag; }, 200);
+    EXPECT_TRUE(hit);
+    // The predicate observes the event on the cycle it lands on.
+    EXPECT_EQ(sim.now(), 50u);
+}
+
+TEST(SkipAhead, RunUntilSeesEveryExecutedCycle)
+{
+    Simulation sim;
+    TickCounter c; // active every cycle: nothing may be skipped
+    sim.add(&c);
+    const bool hit =
+        sim.runUntil([&] { return c.ticks.size() >= 7; }, 100);
+    EXPECT_TRUE(hit);
+    EXPECT_EQ(sim.now(), 7u);
+    EXPECT_EQ(sim.cyclesSkipped(), 0u);
+}
+
+TEST(VerifySkip, ExecutesClaimedQuiescentRegions)
+{
+    SimulationConfig cfg;
+    cfg.verifySkip = true;
+    Simulation sim(cfg);
+    Sleeper s(100);
+    sim.add(&s);
+    sim.run(150);
+    // Every cycle executes (counters accrue naturally, no bulk
+    // replication), while the wake claims are checked per cycle.
+    EXPECT_EQ(s.ticks.size(), 150u);
+    EXPECT_TRUE(s.skips.empty());
+    EXPECT_EQ(sim.cyclesSkipped(), 0u);
+}
+
+/** Claims a distant wake once, then reneges: an under-report. */
+class Liar : public Clocked
+{
+  public:
+    Liar() : Clocked("liar") {}
+    void tick(Tick) override {}
+    Tick
+    nextWakeTick(Tick now) const override
+    {
+        return ++calls_ == 1 ? now + 100 : now + 5;
+    }
+
+  private:
+    mutable unsigned calls_ = 0;
+};
+
+TEST(VerifySkipDeathTest, CatchesUnderReportedWake)
+{
+    EXPECT_DEATH(
+        {
+            SimulationConfig cfg;
+            cfg.verifySkip = true;
+            Simulation sim(cfg);
+            Liar liar;
+            sim.add(&liar);
+            sim.run(150);
+        },
+        "under-reported");
+}
+
+// ---- Whole-system determinism (skip on vs off) --------------------
+
+namespace
+{
+
+SystemConfig
+throttledMix()
+{
+    SystemConfig cfg =
+        SystemConfig::multiProgram({"gcc", "mcf", "libquantum"});
+    cfg.gate = GateKind::Mitts;
+    // Bottom-bin-only credits: long shaper blocks, so the run is
+    // dominated by skippable globally-idle gaps.
+    std::vector<std::uint32_t> credits(cfg.binSpec.numBins, 0);
+    credits[cfg.binSpec.numBins - 1] = 2;
+    cfg.mittsConfigs.assign(8, BinConfig(cfg.binSpec, credits));
+    return cfg;
+}
+
+} // namespace
+
+TEST(SkipAhead, FullSystemStatsAreBitIdentical)
+{
+    SystemConfig on = throttledMix();
+    SystemConfig off = throttledMix();
+    off.sim.skipAhead = false;
+
+    System sys_on(on), sys_off(off);
+    sys_on.run(60'000);
+    sys_off.run(60'000);
+
+    EXPECT_GT(sys_on.sim().cyclesSkipped(), 0u);
+    EXPECT_EQ(sys_off.sim().cyclesSkipped(), 0u);
+
+    std::ostringstream a, b;
+    sys_on.dumpStats(a);
+    sys_off.dumpStats(b);
+    EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(SkipAhead, FullSystemRunUntilInstructionsMatches)
+{
+    SystemConfig on = throttledMix();
+    SystemConfig off = throttledMix();
+    off.sim.skipAhead = false;
+
+    System sys_on(on), sys_off(off);
+    const auto ra = sys_on.runUntilInstructions(3'000, 400'000);
+    const auto rb = sys_off.runUntilInstructions(3'000, 400'000);
+
+    ASSERT_EQ(ra.size(), rb.size());
+    for (std::size_t i = 0; i < ra.size(); ++i) {
+        EXPECT_EQ(ra[i].completed, rb[i].completed) << i;
+        EXPECT_EQ(ra[i].completedAt, rb[i].completedAt) << i;
+        EXPECT_EQ(ra[i].instructions, rb[i].instructions) << i;
+        EXPECT_EQ(ra[i].memStallCycles, rb[i].memStallCycles) << i;
+    }
 }
 
 } // namespace

@@ -45,6 +45,7 @@ usage(int code)
   --noc WxH          enable the mesh NoC with the given dimensions
   --seed S           simulation seed (default 12345)
   --stats            dump full component statistics at the end
+  --no-skip          execute every cycle (disable quiescence skip-ahead)
   --telemetry-out D  write windowed time-series CSV (and trace) to D
   --sample-interval N  telemetry window length in cycles (default 10000)
   --trace-events     also emit Chrome trace-event JSON (chrome://tracing)
@@ -188,6 +189,8 @@ main(int argc, char **argv)
             cfg.seed = std::strtoull(need(i).c_str(), nullptr, 10);
         } else if (arg == "--stats") {
             dump_stats = true;
+        } else if (arg == "--no-skip") {
+            cfg.sim.skipAhead = false;
         } else if (arg == "--telemetry-out") {
             cfg.telemetry.enabled = true;
             cfg.telemetry.outDir = need(i);
