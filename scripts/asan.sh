@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Build with AddressSanitizer + UndefinedBehaviorSanitizer and run the
+# checkpoint/restore suites under them: serialization walks raw bytes
+# and rebuilds object graphs (shared requests, event callbacks), which
+# is exactly where lifetime and aliasing bugs would hide.
+# Usage: scripts/asan.sh [extra test binaries...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD=build-asan
+SAN="-fsanitize=address,undefined -fno-sanitize-recover=all"
+cmake -B "$BUILD" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="$SAN -g" \
+    -DCMAKE_EXE_LINKER_FLAGS="$SAN"
+cmake --build "$BUILD" -j \
+    --target test_ckpt test_sim test_base mitts_sim_tool
+
+export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
+
+"$BUILD"/tests/test_ckpt
+"$BUILD"/tests/test_sim
+"$BUILD"/tests/test_base
+bash tests/cli_ckpt_test.sh "$BUILD"/tools/mitts_sim
+
+for extra in "$@"; do
+    cmake --build "$BUILD" -j --target "$extra"
+    "$BUILD"/tests/"$extra"
+done
+
+echo "asan: checkpoint/restore suites clean"

@@ -10,6 +10,7 @@
 #ifndef MITTS_BASE_RANDOM_HH
 #define MITTS_BASE_RANDOM_HH
 
+#include <array>
 #include <cstdint>
 
 #include "base/logging.hh"
@@ -102,6 +103,23 @@ class Random
     fork()
     {
         return Random(next() ^ 0xD1B54A32D192ED03ULL);
+    }
+
+    /** Full 256-bit generator state (checkpointing). */
+    using State = std::array<std::uint64_t, 4>;
+
+    State
+    state() const
+    {
+        return {state_[0], state_[1], state_[2], state_[3]};
+    }
+
+    /** Overwrite the state; the stream continues exactly from it. */
+    void
+    setState(const State &s)
+    {
+        for (int i = 0; i < 4; ++i)
+            state_[i] = s[static_cast<std::size_t>(i)];
     }
 
   private:

@@ -31,6 +31,8 @@ class Counter
 
     void inc(std::uint64_t n = 1) { value_ += n; }
     void reset() { value_ = 0; }
+    /** Overwrite the value (checkpoint restore). */
+    void restore(std::uint64_t v) { value_ = v; }
     std::uint64_t value() const { return value_; }
     const std::string &name() const { return name_; }
 
@@ -64,6 +66,16 @@ class Average
         count_ = 0;
         min_ = 0;
         max_ = 0;
+    }
+
+    /** Overwrite the accumulators (checkpoint restore). */
+    void
+    restore(double sum, std::uint64_t count, double min, double max)
+    {
+        sum_ = sum;
+        count_ = count;
+        min_ = min;
+        max_ = max;
     }
 
     double mean() const { return count_ ? sum_ / count_ : 0.0; }
@@ -123,7 +135,23 @@ class Histogram
         sum_ = 0;
     }
 
+    /** Overwrite bins and accumulators (checkpoint restore); the
+     *  geometry (bin count, width) is construction-time fixed. */
+    void
+    restore(std::vector<std::uint64_t> bins, std::uint64_t underflow,
+            std::uint64_t overflow, std::uint64_t total, double sum)
+    {
+        MITTS_ASSERT(bins.size() == bins_.size(),
+                     "Histogram::restore: bin count mismatch");
+        bins_ = std::move(bins);
+        underflow_ = underflow;
+        overflow_ = overflow;
+        total_ = total;
+        sum_ = sum;
+    }
+
     std::uint64_t bin(std::size_t i) const { return bins_.at(i); }
+    double sum() const { return sum_; }
     std::size_t numBins() const { return bins_.size(); }
     double binWidth() const { return width_; }
     std::uint64_t underflow() const { return underflow_; }

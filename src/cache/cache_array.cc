@@ -120,4 +120,36 @@ CacheArray::invalidate(Addr block_addr)
         line->valid = false;
 }
 
+void
+CacheArray::saveState(ckpt::Writer &w) const
+{
+    w.u64(sets_.size());
+    w.u64(assoc_);
+    for (const auto &set : sets_) {
+        for (const auto &line : set) {
+            w.b(line.valid);
+            w.b(line.dirty);
+            w.u64(line.tag);
+            w.u64(line.lastUse);
+        }
+    }
+    w.u64(useClock_);
+}
+
+void
+CacheArray::loadState(ckpt::Reader &r)
+{
+    if (r.u64() != sets_.size() || r.u64() != assoc_)
+        throw ckpt::Error("cache array geometry mismatch");
+    for (auto &set : sets_) {
+        for (auto &line : set) {
+            line.valid = r.b();
+            line.dirty = r.b();
+            line.tag = r.u64();
+            line.lastUse = r.u64();
+        }
+    }
+    useClock_ = r.u64();
+}
+
 } // namespace mitts

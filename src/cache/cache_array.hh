@@ -12,6 +12,7 @@
 #include "base/bitutil.hh"
 #include "base/logging.hh"
 #include "base/types.hh"
+#include "ckpt/serialize.hh"
 
 namespace mitts
 {
@@ -60,6 +61,10 @@ class CacheArray
     {
         return sets_.size() * assoc_ * kBlockBytes;
     }
+
+    /** Checkpoint every tag/LRU bit (geometry is construction-time). */
+    void saveState(ckpt::Writer &w) const;
+    void loadState(ckpt::Reader &r);
 
   private:
     struct Line

@@ -34,7 +34,8 @@ L1Cache::access(Addr addr, bool is_write, SeqNum seq, Tick now)
             events_.schedule(now + cfg_.hitLatency,
                              [client, seq, t = now + cfg_.hitLatency] {
                                  client->loadComplete(seq, t);
-                             });
+                             },
+                             EventDesc::loadComplete(core_, seq));
         }
         return L1Result::Hit;
     }
@@ -154,6 +155,38 @@ L1Cache::fill(const ReqPtr &req, Tick now)
             client_->loadComplete(seq, now);
     }
     mshrs_.release(*m);
+}
+
+void
+L1Cache::saveState(ckpt::Writer &w) const
+{
+    array_.saveState(w);
+    mshrs_.saveState(w);
+    w.u64(sendQueue_.size());
+    for (const auto &r : sendQueue_)
+        w.request(r);
+    w.u64(writebackQueue_.size());
+    for (const auto &r : writebackQueue_)
+        w.request(r);
+    w.u64(nextWbSeq_);
+    ckpt::saveGroup(w, stats_);
+}
+
+void
+L1Cache::loadState(ckpt::Reader &r)
+{
+    array_.loadState(r);
+    mshrs_.loadState(r);
+    sendQueue_.clear();
+    const std::uint64_t ns = r.u64();
+    for (std::uint64_t i = 0; i < ns; ++i)
+        sendQueue_.push_back(r.request());
+    writebackQueue_.clear();
+    const std::uint64_t nw = r.u64();
+    for (std::uint64_t i = 0; i < nw; ++i)
+        writebackQueue_.push_back(r.request());
+    nextWbSeq_ = r.u64();
+    ckpt::loadGroup(r, stats_);
 }
 
 void

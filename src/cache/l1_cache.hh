@@ -39,7 +39,7 @@ enum class L1Result
     Blocked,    ///< MSHRs exhausted; core must retry
 };
 
-class L1Cache : public Clocked
+class L1Cache : public Clocked, public ckpt::Serializable
 {
   public:
     L1Cache(std::string name, const L1Config &cfg, CoreId core,
@@ -87,6 +87,10 @@ class L1Cache : public Clocked
 
     /** Demand misses waiting for the gate (head blocks the rest). */
     std::size_t pendingSends() const { return sendQueue_.size(); }
+
+    /** Checkpoint tags, MSHRs, send/writeback queues and stats. */
+    void saveState(ckpt::Writer &w) const override;
+    void loadState(ckpt::Reader &r) override;
 
   private:
     void sendWriteback(Addr block_addr, Tick now);

@@ -10,6 +10,7 @@
 
 #include "base/logging.hh"
 #include "base/types.hh"
+#include "ckpt/serialize.hh"
 
 namespace mitts
 {
@@ -99,6 +100,33 @@ class MshrFile
     unsigned size() const
     {
         return static_cast<unsigned>(entries_.size());
+    }
+
+    void
+    saveState(ckpt::Writer &w) const
+    {
+        w.u64(entries_.size());
+        for (const auto &m : entries_) {
+            w.b(m.valid);
+            w.u64(m.blockAddr);
+            w.b(m.storeSeen);
+            w.u64(m.allocatedAt);
+            w.vecU64(m.waitingLoads);
+        }
+    }
+
+    void
+    loadState(ckpt::Reader &r)
+    {
+        if (r.u64() != entries_.size())
+            throw ckpt::Error("MSHR entry count mismatch");
+        for (auto &m : entries_) {
+            m.valid = r.b();
+            m.blockAddr = r.u64();
+            m.storeSeen = r.b();
+            m.allocatedAt = r.u64();
+            m.waitingLoads = r.vecU64();
+        }
     }
 
   private:

@@ -1,5 +1,7 @@
 #include "cache/shared_llc.hh"
 
+#include <algorithm>
+
 #include "base/logging.hh"
 #include "telemetry/telemetry.hh"
 
@@ -237,9 +239,80 @@ SharedLlc::respondToL1(const ReqPtr &req, Tick delay, Tick now)
             now + delay);
     }
     const Tick when = now + delay;
-    events_.schedule(when, [l1, req, when] { l1->fill(req, when); });
+    events_.schedule(when, [l1, req, when] { l1->fill(req, when); },
+                     EventDesc::llcFill(req));
 }
 
+
+void
+SharedLlc::saveState(ckpt::Writer &w) const
+{
+    array_.saveState(w);
+    w.u64(banks_.size());
+    for (const auto &bank : banks_) {
+        w.u64(bank.queue.size());
+        for (const auto &e : bank.queue) {
+            w.request(e.req);
+            w.u64(e.readyAt);
+        }
+    }
+    // unordered_map iteration order is not deterministic; serialize
+    // sorted by block address.
+    std::vector<Addr> blocks;
+    blocks.reserve(missMap_.size());
+    for (const auto &[block, waiters] : missMap_)
+        blocks.push_back(block);
+    std::sort(blocks.begin(), blocks.end());
+    w.u64(blocks.size());
+    for (Addr block : blocks) {
+        w.u64(block);
+        const auto &waiters = missMap_.at(block);
+        w.u64(waiters.size());
+        for (const auto &r : waiters)
+            w.request(r);
+    }
+    w.u64(wbQueue_.size());
+    for (const auto &r : wbQueue_)
+        w.request(r);
+    w.u64(nextWbSeq_);
+    w.vecU64(lastMissAt_);
+    ckpt::saveGroup(w, stats_);
+}
+
+void
+SharedLlc::loadState(ckpt::Reader &r)
+{
+    array_.loadState(r);
+    if (r.u64() != banks_.size())
+        throw ckpt::Error("LLC bank count mismatch");
+    for (auto &bank : banks_) {
+        bank.queue.clear();
+        const std::uint64_t n = r.u64();
+        for (std::uint64_t i = 0; i < n; ++i) {
+            ReqPtr req = r.request();
+            const Tick ready = r.u64();
+            bank.queue.push_back(BankEntry{std::move(req), ready});
+        }
+    }
+    missMap_.clear();
+    const std::uint64_t nm = r.u64();
+    for (std::uint64_t i = 0; i < nm; ++i) {
+        const Addr block = r.u64();
+        auto &waiters = missMap_[block];
+        const std::uint64_t nw = r.u64();
+        for (std::uint64_t j = 0; j < nw; ++j)
+            waiters.push_back(r.request());
+    }
+    wbQueue_.clear();
+    const std::uint64_t nb = r.u64();
+    for (std::uint64_t i = 0; i < nb; ++i)
+        wbQueue_.push_back(r.request());
+    nextWbSeq_ = r.u64();
+    lastMissAt_ = r.vecU64();
+    if (lastMissAt_.size() != l1s_.size())
+        throw ckpt::Error("LLC core count mismatch");
+    ckpt::loadGroup(r, stats_);
+}
 
 void
 SharedLlc::sampleMissInterArrival(CoreId core, Tick now)

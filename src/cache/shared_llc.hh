@@ -50,7 +50,8 @@ struct LlcConfig
     Tick histBinWidth = 25;
 };
 
-class SharedLlc : public Clocked, public MemSink
+class SharedLlc : public Clocked, public MemSink,
+                  public ckpt::Serializable
 {
   public:
     SharedLlc(std::string name, const LlcConfig &cfg, unsigned num_cores,
@@ -101,6 +102,10 @@ class SharedLlc : public Clocked, public MemSink
     }
 
     /** Back-invalidate nothing — the hierarchy is non-inclusive. */
+
+    /** Checkpoint tags, bank queues, miss map, writebacks, stats. */
+    void saveState(ckpt::Writer &w) const override;
+    void loadState(ckpt::Reader &r) override;
 
   private:
     struct BankEntry

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Canonical hash of a SystemConfig, embedded in checkpoint headers.
+ *
+ * A checkpoint only restores into a System built from an equivalent
+ * configuration (same topology, timing, policies, seed); the hash
+ * rejects anything else up front. Two knobs are deliberately excluded:
+ * the simulation-kernel mode (`sim`) — skip-ahead on/off/verify is
+ * bit-identical by the PR 3 invariant, so a no-skip run may resume a
+ * skip-mode checkpoint — and the telemetry output directory, which is
+ * a path, not behaviour.
+ */
+
+#ifndef MITTS_CKPT_CONFIG_HASH_HH
+#define MITTS_CKPT_CONFIG_HASH_HH
+
+#include <cstdint>
+
+namespace mitts
+{
+struct SystemConfig;
+
+namespace ckpt
+{
+
+/** FNV-1a over the canonical field serialization of `cfg`. */
+std::uint64_t configHash(const SystemConfig &cfg);
+
+} // namespace ckpt
+} // namespace mitts
+
+#endif // MITTS_CKPT_CONFIG_HASH_HH

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Versioned binary checkpoint format.
+ *
+ * A checkpoint file is a header (magic, format version, config hash)
+ * followed by named TLV sections, each protected by its own CRC32, and
+ * a whole-file CRC32 trailer:
+ *
+ *     "MITTSCKP"  u32 version  u64 configHash  u32 sectionCount
+ *     sectionCount x [ u32 nameLen, name, u64 payloadLen, payload,
+ *                      u32 payloadCrc ]
+ *     u32 fileCrc            (over every preceding byte)
+ *
+ * All integers are little-endian fixed width; doubles are written as
+ * their IEEE-754 bit pattern, so a round trip is bit-exact. Components
+ * implement Serializable and read back exactly the bytes they wrote —
+ * the Reader fails loudly (ckpt::Error) on any mismatch: truncation,
+ * bad magic, unknown version, config-hash mismatch, CRC mismatch,
+ * section-name mismatch, or a section that is under- or over-consumed.
+ *
+ * MemRequest objects are shared (one shared_ptr may sit in an LLC miss
+ * list, a controller queue, and a pending completion event at once);
+ * Writer::request / Reader::request intern them so aliasing survives
+ * the round trip. Interning is positional — both sides must visit
+ * requests in the same order, which the fixed section order guarantees.
+ */
+
+#ifndef MITTS_CKPT_SERIALIZE_HH
+#define MITTS_CKPT_SERIALIZE_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/types.hh"
+#include "mem/request.hh"
+
+namespace mitts::stats
+{
+class Group;
+} // namespace mitts::stats
+
+namespace mitts::ckpt
+{
+
+/** Checkpoint format revision; bump on any layout change. */
+constexpr std::uint32_t kFormatVersion = 1;
+
+/** File magic ("MITTSCKP", 8 bytes, no terminator). */
+extern const char kMagic[8];
+
+/** Any malformed, mismatched or unwritable checkpoint. */
+class Error : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** CRC-32 (IEEE 802.3 polynomial, the zlib convention). */
+std::uint32_t crc32(const void *data, std::size_t len,
+                    std::uint32_t crc = 0);
+
+class Writer;
+class Reader;
+
+/** Implemented by every stateful component. */
+class Serializable
+{
+  public:
+    virtual ~Serializable() = default;
+    virtual void saveState(Writer &w) const = 0;
+    virtual void loadState(Reader &r) = 0;
+};
+
+/** Serializer: accumulates sections in memory, then finalizes. */
+class Writer
+{
+  public:
+    /** Open a new section; sections cannot nest. */
+    void beginSection(const std::string &name);
+    void endSection();
+
+    void u8(std::uint8_t v) { raw(&v, 1); }
+    void u32(std::uint32_t v);
+    void u64(std::uint64_t v);
+    void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+    void f64(double v);
+    void b(bool v) { u8(v ? 1 : 0); }
+    void str(const std::string &s);
+
+    void vecU32(const std::vector<std::uint32_t> &v);
+    void vecU64(const std::vector<std::uint64_t> &v);
+    void vecF64(const std::vector<double> &v);
+    void vecBool(const std::vector<bool> &v);
+
+    /**
+     * Write a (possibly shared, possibly null) request. The first
+     * occurrence assigns the next id and inlines the payload; later
+     * occurrences write only the id, preserving aliasing.
+     */
+    void request(const ReqPtr &req);
+
+    /** Assemble the final byte stream (header + sections + CRC). */
+    std::string finish(std::uint64_t config_hash) const;
+
+    /** finish() to `path` via write-to-temp + atomic rename. */
+    void writeFile(const std::string &path,
+                   std::uint64_t config_hash) const;
+
+  private:
+    void raw(const void *data, std::size_t len);
+
+    std::vector<std::pair<std::string, std::string>> sections_;
+    bool open_ = false;
+    std::unordered_map<const MemRequest *, std::uint64_t> reqIds_;
+};
+
+/** Deserializer over a fully validated checkpoint image. */
+class Reader
+{
+  public:
+    /** Parse and validate an in-memory image (header, CRCs, hash). */
+    Reader(std::string data, std::uint64_t expected_config_hash);
+
+    /** Read `path` and validate. Throws Error on any problem. */
+    static Reader fromFile(const std::string &path,
+                           std::uint64_t expected_config_hash);
+
+    /** Enter the next section, which must be named `name`. */
+    void beginSection(const std::string &name);
+    /** Leave the current section; throws if bytes remain unread. */
+    void endSection();
+    /** Sections not yet consumed (0 when fully read). */
+    std::size_t remainingSections() const
+    {
+        return sections_.size() - sectionIdx_;
+    }
+
+    std::uint8_t u8();
+    std::uint32_t u32();
+    std::uint64_t u64();
+    std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+    double f64();
+    bool b() { return u8() != 0; }
+    std::string str();
+
+    std::vector<std::uint32_t> vecU32();
+    std::vector<std::uint64_t> vecU64();
+    std::vector<double> vecF64();
+    std::vector<bool> vecBool();
+
+    /** Mirror of Writer::request. */
+    ReqPtr request();
+
+  private:
+    const char *need(std::size_t n);
+
+    std::string data_;
+    struct Section
+    {
+        std::string name;
+        std::size_t offset;
+        std::size_t length;
+    };
+    std::vector<Section> sections_;
+    std::size_t sectionIdx_ = 0;
+    std::size_t pos_ = 0;   ///< cursor within the open section
+    std::size_t end_ = 0;   ///< one past the open section's payload
+    bool open_ = false;
+    std::vector<ReqPtr> reqs_;
+};
+
+/**
+ * Save / restore a stats::Group (counters, averages, histograms, by
+ * registration order; names are checked on load).
+ */
+void saveGroup(Writer &w, const stats::Group &g);
+void loadGroup(Reader &r, stats::Group &g);
+
+} // namespace mitts::ckpt
+
+#endif // MITTS_CKPT_SERIALIZE_HH

@@ -212,6 +212,61 @@ Core::dispatch(Tick now, bool &chase_wait, bool &l1_blocked)
     return dispatched;
 }
 
+void
+Core::saveState(ckpt::Writer &w) const
+{
+    w.u64(window_.size());
+    for (const auto &e : window_) {
+        w.u64(e.seq);
+        w.b(e.done);
+        w.b(e.isMem);
+    }
+    w.u64(nextSeq_);
+    w.f64(nonMemBudget_);
+    w.u64(lastLoadSeq_);
+    w.u64(lastChaseSeq_);
+    w.u64(memDepStalls_);
+    w.u64(pendingOp_.gap);
+    w.b(pendingOp_.isWrite);
+    w.b(pendingOp_.dependsOnPrev);
+    w.u64(pendingOp_.addr);
+    w.b(havePendingOp_);
+    w.u64(gapLeft_);
+    w.u64(stallUntil_);
+    w.u8(static_cast<std::uint8_t>(idle_));
+    w.u64(robStallStart_);
+    ckpt::saveGroup(w, stats_);
+}
+
+void
+Core::loadState(ckpt::Reader &r)
+{
+    window_.clear();
+    const std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        WindowEntry e;
+        e.seq = r.u64();
+        e.done = r.b();
+        e.isMem = r.b();
+        window_.push_back(e);
+    }
+    nextSeq_ = r.u64();
+    nonMemBudget_ = r.f64();
+    lastLoadSeq_ = r.u64();
+    lastChaseSeq_ = r.u64();
+    memDepStalls_ = r.u64();
+    pendingOp_.gap = static_cast<std::uint32_t>(r.u64());
+    pendingOp_.isWrite = r.b();
+    pendingOp_.dependsOnPrev = r.b();
+    pendingOp_.addr = r.u64();
+    havePendingOp_ = r.b();
+    gapLeft_ = static_cast<std::uint32_t>(r.u64());
+    stallUntil_ = r.u64();
+    idle_ = static_cast<IdleState>(r.u8());
+    robStallStart_ = r.u64();
+    ckpt::loadGroup(r, stats_);
+}
+
 bool
 Core::prevLoadDone() const
 {

@@ -45,7 +45,8 @@ struct CoreConfig
     double nonMemIpc = 1.5;
 };
 
-class Core : public Clocked, public L1Client
+class Core : public Clocked, public L1Client,
+             public ckpt::Serializable
 {
   public:
     Core(std::string name, CoreId id, const CoreConfig &cfg,
@@ -81,6 +82,12 @@ class Core : public Clocked, public L1Client
      * head.
      */
     void registerTelemetry(telemetry::Telemetry &t);
+
+    /** Checkpoint window, trace cursor, stall/idle state and stats.
+     *  The open trace-event episode (robStallStart_) is included so a
+     *  resumed run emits the identical duration event. */
+    void saveState(ckpt::Writer &w) const override;
+    void loadState(ckpt::Reader &r) override;
 
   private:
     struct WindowEntry

@@ -225,4 +225,51 @@ Dram::tick(Tick now)
                          refBlockUntil_);
 }
 
+void
+Dram::saveState(ckpt::Writer &w) const
+{
+    w.u64(banks_.size());
+    for (const auto &b : banks_) {
+        w.b(b.rowOpen);
+        w.u64(b.row);
+        w.u64(b.busyUntil);
+        w.u64(b.activateAt);
+        w.u64(b.writeRecoverUntil);
+    }
+    w.u64(busFreeAt_);
+    w.vecU64(recentActivates_);
+    w.u64(actHead_);
+    w.u64(numActivates_);
+    w.u64(lastActivate_);
+    w.b(anyActivate_);
+    w.u64(nextRefreshAt_);
+    w.u64(refBlockUntil_);
+    ckpt::saveGroup(w, stats_);
+}
+
+void
+Dram::loadState(ckpt::Reader &r)
+{
+    if (r.u64() != banks_.size())
+        throw ckpt::Error("DRAM bank count mismatch");
+    for (auto &b : banks_) {
+        b.rowOpen = r.b();
+        b.row = r.u64();
+        b.busyUntil = r.u64();
+        b.activateAt = r.u64();
+        b.writeRecoverUntil = r.u64();
+    }
+    busFreeAt_ = r.u64();
+    recentActivates_ = r.vecU64();
+    if (recentActivates_.size() != 4)
+        throw ckpt::Error("DRAM activate ring size mismatch");
+    actHead_ = r.u64();
+    numActivates_ = r.u64();
+    lastActivate_ = r.u64();
+    anyActivate_ = r.b();
+    nextRefreshAt_ = r.u64();
+    refBlockUntil_ = r.u64();
+    ckpt::loadGroup(r, stats_);
+}
+
 } // namespace mitts

@@ -16,6 +16,7 @@
 
 #include "base/stats.hh"
 #include "base/types.hh"
+#include "ckpt/serialize.hh"
 #include "dram/dram_config.hh"
 #include "telemetry/probe.hh"
 
@@ -37,7 +38,7 @@ enum class RowState
 };
 
 /** One DDR3 channel: 8 banks, one shared data bus, refresh. */
-class Dram
+class Dram : public ckpt::Serializable
 {
   public:
     explicit Dram(const DramConfig &cfg);
@@ -100,6 +101,10 @@ class Dram
     std::uint64_t rowHits() const { return rowHits_.value(); }
     std::uint64_t rowMisses() const { return rowMisses_.value(); }
     std::uint64_t rowConflicts() const { return rowConflicts_.value(); }
+
+    /** Checkpoint bank/bus/activate-window/refresh timing state. */
+    void saveState(ckpt::Writer &w) const override;
+    void loadState(ckpt::Reader &r) override;
 
   private:
     struct Bank

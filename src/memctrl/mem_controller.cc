@@ -246,29 +246,79 @@ MemController::scheduleChannel(unsigned channel, Tick now)
     const Tick done = dram.issue(req->blockAddr, !req->isRead(), now);
 
     if (req->isDemand()) {
-        MemScheduler *sched = sched_;
-        SharedLlc *llc = llc_;
-        auto *completed_ctr = &completed_;
-        auto *per_core = (req->core >= 0 &&
-                          static_cast<std::size_t>(req->core) <
-                              completedPerCore_.size())
-                             ? completedPerCore_[req->core]
-                             : nullptr;
-        auto *total_lat = &totalLatency_;
-        events_.schedule(done, [req, done, sched, llc, completed_ctr,
-                                per_core, total_lat] {
-            req->doneAt = done;
-            completed_ctr->inc();
-            if (per_core)
-                per_core->inc();
-            total_lat->sample(
-                static_cast<double>(done - req->l1MissAt));
-            if (sched)
-                sched->onComplete(*req, done);
-            if (llc)
-                llc->fillFromMem(req, done);
-        });
+        events_.schedule(done, completionCallback(req, done),
+                         EventDesc::memComplete(req));
     }
+}
+
+EventQueue::Callback
+MemController::completionCallback(ReqPtr req, Tick done)
+{
+    MemScheduler *sched = sched_;
+    SharedLlc *llc = llc_;
+    auto *completed_ctr = &completed_;
+    auto *per_core = (req->core >= 0 &&
+                      static_cast<std::size_t>(req->core) <
+                          completedPerCore_.size())
+                         ? completedPerCore_[req->core]
+                         : nullptr;
+    auto *total_lat = &totalLatency_;
+    return [req = std::move(req), done, sched, llc, completed_ctr,
+            per_core, total_lat] {
+        req->doneAt = done;
+        completed_ctr->inc();
+        if (per_core)
+            per_core->inc();
+        total_lat->sample(static_cast<double>(done - req->l1MissAt));
+        if (sched)
+            sched->onComplete(*req, done);
+        if (llc)
+            llc->fillFromMem(req, done);
+    };
+}
+
+void
+MemController::saveState(ckpt::Writer &w) const
+{
+    w.u64(queues_.size());
+    for (const auto &q : queues_) {
+        w.u64(q.size());
+        for (const auto &r : q)
+            w.request(r);
+    }
+    std::vector<bool> draining(draining_.begin(), draining_.end());
+    w.vecBool(draining);
+    w.u64(smoothingFifo_.size());
+    for (const auto &r : smoothingFifo_)
+        w.request(r);
+    for (const auto &dram : drams_)
+        dram->saveState(w);
+    ckpt::saveGroup(w, stats_);
+}
+
+void
+MemController::loadState(ckpt::Reader &r)
+{
+    const std::uint64_t nq = r.u64();
+    if (nq != queues_.size())
+        throw ckpt::Error("MC channel count mismatch");
+    for (auto &q : queues_) {
+        q.clear();
+        const std::uint64_t n = r.u64();
+        for (std::uint64_t i = 0; i < n; ++i)
+            q.push_back(r.request());
+    }
+    const auto draining = r.vecBool();
+    if (draining.size() != draining_.size())
+        throw ckpt::Error("MC drain-latch count mismatch");
+    draining_.assign(draining.begin(), draining.end());
+    smoothingFifo_.clear();
+    const std::uint64_t nf = r.u64();
+    for (std::uint64_t i = 0; i < nf; ++i)
+        smoothingFifo_.push_back(r.request());
+    for (const auto &dram : drams_)
+        dram->loadState(r);
+    ckpt::loadGroup(r, stats_);
 }
 
 } // namespace mitts

@@ -89,4 +89,21 @@ MeshNoc::route(unsigned src, unsigned dst, Tick now)
     return lat;
 }
 
+void
+MeshNoc::saveState(ckpt::Writer &w) const
+{
+    w.vecU64(linkBusyUntil_);
+    ckpt::saveGroup(w, stats_);
+}
+
+void
+MeshNoc::loadState(ckpt::Reader &r)
+{
+    const std::vector<std::uint64_t> busy = r.vecU64();
+    if (busy.size() != linkBusyUntil_.size())
+        throw ckpt::Error("noc link count mismatch");
+    linkBusyUntil_ = busy;
+    ckpt::loadGroup(r, stats_);
+}
+
 } // namespace mitts

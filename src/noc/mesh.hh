@@ -22,6 +22,7 @@
 #include "base/logging.hh"
 #include "base/stats.hh"
 #include "base/types.hh"
+#include "ckpt/serialize.hh"
 
 namespace mitts
 {
@@ -44,7 +45,7 @@ struct NocCoord
     unsigned y;
 };
 
-class MeshNoc
+class MeshNoc : public ckpt::Serializable
 {
   public:
     explicit MeshNoc(const NocConfig &cfg);
@@ -77,6 +78,9 @@ class MeshNoc
 
     stats::Group &statsGroup() { return stats_; }
     double avgLatency() const { return latency_.mean(); }
+
+    void saveState(ckpt::Writer &w) const override;
+    void loadState(ckpt::Reader &r) override;
 
   private:
     /** Link id for the hop from `from` toward `to` (adjacent). */

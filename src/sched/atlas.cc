@@ -75,4 +75,31 @@ AtlasScheduler::pick(const std::vector<ReqPtr> &queue,
     return RankedFrfcfs::pick(queue, dram, now);
 }
 
+void
+AtlasScheduler::saveState(ckpt::Writer &w) const
+{
+    RankedFrfcfs::saveState(w);
+    w.vecF64(quantumService_);
+    w.vecF64(totalService_);
+    w.u64(ranks_.size());
+    for (int v : ranks_)
+        w.i64(v);
+    w.u64(nextQuantumAt_);
+}
+
+void
+AtlasScheduler::loadState(ckpt::Reader &r)
+{
+    RankedFrfcfs::loadState(r);
+    quantumService_ = r.vecF64();
+    totalService_ = r.vecF64();
+    const std::uint64_t n = r.u64();
+    if (quantumService_.size() != numCores_ ||
+        totalService_.size() != numCores_ || n != numCores_)
+        throw ckpt::Error("atlas core count mismatch");
+    for (auto &v : ranks_)
+        v = static_cast<int>(r.i64());
+    nextQuantumAt_ = r.u64();
+}
+
 } // namespace mitts

@@ -48,6 +48,9 @@ class AtlasScheduler : public RankedFrfcfs
         return totalService_[core];
     }
 
+    void saveState(ckpt::Writer &w) const override;
+    void loadState(ckpt::Reader &r) override;
+
   protected:
     int rankOf(CoreId core) const override { return ranks_[core]; }
 

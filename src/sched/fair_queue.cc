@@ -73,4 +73,20 @@ FairQueueScheduler::pick(const std::vector<ReqPtr> &queue,
     return best_wb;
 }
 
+void
+FairQueueScheduler::saveState(ckpt::Writer &w) const
+{
+    w.vecF64(virtualClock_);
+    w.f64(systemVt_);
+}
+
+void
+FairQueueScheduler::loadState(ckpt::Reader &r)
+{
+    virtualClock_ = r.vecF64();
+    if (virtualClock_.size() != numCores_)
+        throw ckpt::Error("fair-queue core count mismatch");
+    systemVt_ = r.f64();
+}
+
 } // namespace mitts

@@ -42,6 +42,9 @@ class FairQueueScheduler : public MemScheduler
     int pick(const std::vector<ReqPtr> &queue, const Dram &dram,
              Tick now) override;
 
+    void saveState(ckpt::Writer &w) const override;
+    void loadState(ckpt::Reader &r) override;
+
   private:
     double virtualFinishOf(CoreId core, Tick now,
                            double service_cost) const;

@@ -47,6 +47,20 @@ class FstGate : public SourceGate
 
     bool tryIssue(MemRequest &req, Tick now) override;
 
+    void
+    saveState(ckpt::Writer &w) const
+    {
+        w.f64(allowance_);
+        w.u64(lastRefill_);
+    }
+
+    void
+    loadState(ckpt::Reader &r)
+    {
+        allowance_ = r.f64();
+        lastRefill_ = r.u64();
+    }
+
   private:
     FstScheduler &owner_;
     CoreId core_;
@@ -75,6 +89,9 @@ class FstScheduler : public RankedFrfcfs
     /** Current throttle fraction of peak injection rate. */
     double throttleLevel(CoreId core) const { return levels_[core]; }
     const FstConfig &config() const { return cfg_; }
+
+    void saveState(ckpt::Writer &w) const override;
+    void loadState(ckpt::Reader &r) override;
 
   private:
     void adjust();

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "base/types.hh"
+#include "ckpt/serialize.hh"
 #include "dram/dram.hh"
 #include "mem/request.hh"
 
@@ -87,6 +88,14 @@ class MemScheduler
 
     /** Supply application state for application-aware policies. */
     virtual void setMonitor(const AppMonitor *mon) { monitor_ = mon; }
+
+    /**
+     * Checkpoint policy-internal state (ranks, epochs, estimators).
+     * Stateless policies (plain FR-FCFS, FCFS) keep the empty
+     * default; every stateful policy must override both.
+     */
+    virtual void saveState(ckpt::Writer &w) const { (void)w; }
+    virtual void loadState(ckpt::Reader &r) { (void)r; }
 
   protected:
     /** Oldest queue entry that can issue now; -1 if none. */

@@ -19,6 +19,7 @@
 
 #include "base/stats.hh"
 #include "cache/interfaces.hh"
+#include "ckpt/serialize.hh"
 #include "sim/clocked.hh"
 
 namespace mitts
@@ -58,7 +59,7 @@ class MemGuardGate : public SourceGate
     CoreId core_;
 };
 
-class MemGuardController : public Clocked
+class MemGuardController : public Clocked, public ckpt::Serializable
 {
   public:
     MemGuardController(std::string name, unsigned num_cores,
@@ -89,6 +90,28 @@ class MemGuardController : public Clocked
 
     std::uint64_t budget(CoreId core) const { return budget_[core]; }
     std::uint64_t used(CoreId core) const { return used_[core]; }
+
+    void
+    saveState(ckpt::Writer &w) const override
+    {
+        w.vecU64(budget_);
+        w.vecU64(used_);
+        w.u64(globalBudget_);
+        w.u64(globalUsed_);
+        w.u64(nextResetAt_);
+    }
+
+    void
+    loadState(ckpt::Reader &r) override
+    {
+        budget_ = r.vecU64();
+        used_ = r.vecU64();
+        if (budget_.size() != numCores_ || used_.size() != numCores_)
+            throw ckpt::Error("memguard core count mismatch");
+        globalBudget_ = r.u64();
+        globalUsed_ = r.u64();
+        nextResetAt_ = r.u64();
+    }
 
   private:
     MemGuardConfig cfg_;

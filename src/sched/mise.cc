@@ -55,4 +55,27 @@ MiseScheduler::reprioritize()
         ranks_[order[i]] = static_cast<int>(numCores_ - i);
 }
 
+void
+MiseScheduler::saveState(ckpt::Writer &w) const
+{
+    RankedFrfcfs::saveState(w);
+    est_->saveState(w);
+    w.u64(ranks_.size());
+    for (int v : ranks_)
+        w.i64(v);
+    w.u64(nextIntervalAt_);
+}
+
+void
+MiseScheduler::loadState(ckpt::Reader &r)
+{
+    RankedFrfcfs::loadState(r);
+    est_->loadState(r);
+    if (r.u64() != numCores_)
+        throw ckpt::Error("mise core count mismatch");
+    for (auto &v : ranks_)
+        v = static_cast<int>(r.i64());
+    nextIntervalAt_ = r.u64();
+}
+
 } // namespace mitts

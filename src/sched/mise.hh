@@ -39,6 +39,9 @@ class MiseScheduler : public RankedFrfcfs
 
     const SlowdownEstimator &estimator() const { return *est_; }
 
+    void saveState(ckpt::Writer &w) const override;
+    void loadState(ckpt::Reader &r) override;
+
   protected:
     int rankOf(CoreId core) const override { return ranks_[core]; }
 

@@ -92,4 +92,28 @@ ParbsScheduler::pick(const std::vector<ReqPtr> &queue,
     return best;
 }
 
+void
+ParbsScheduler::saveState(ckpt::Writer &w) const
+{
+    // Unordered set: serialize sorted so the image is deterministic.
+    std::vector<std::uint64_t> keys(marked_.begin(), marked_.end());
+    std::sort(keys.begin(), keys.end());
+    w.vecU64(keys);
+    w.u64(ranks_.size());
+    for (int v : ranks_)
+        w.i64(v);
+}
+
+void
+ParbsScheduler::loadState(ckpt::Reader &r)
+{
+    const std::vector<std::uint64_t> keys = r.vecU64();
+    marked_.clear();
+    marked_.insert(keys.begin(), keys.end());
+    if (r.u64() != numCores_)
+        throw ckpt::Error("par-bs core count mismatch");
+    for (auto &v : ranks_)
+        v = static_cast<int>(r.i64());
+}
+
 } // namespace mitts

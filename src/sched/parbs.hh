@@ -50,6 +50,9 @@ class ParbsScheduler : public MemScheduler
     /** Requests still marked in the current batch (testing). */
     std::size_t batchRemaining() const { return marked_.size(); }
 
+    void saveState(ckpt::Writer &w) const override;
+    void loadState(ckpt::Reader &r) override;
+
   private:
     void formBatch(const std::vector<ReqPtr> &queue);
 

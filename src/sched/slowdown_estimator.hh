@@ -63,6 +63,39 @@ class SlowdownEstimator
 
     unsigned numCores() const { return numCores_; }
 
+    /** Checkpoint epoch bookkeeping and rate estimates. */
+    void
+    saveState(ckpt::Writer &w) const
+    {
+        w.i64(measuredCore_);
+        w.u64(epochStart_);
+        w.vecU64(epochServiced_);
+        w.vecU64(lastStall_);
+        w.vecF64(aloneRate_);
+        w.vecF64(sharedRate_);
+        w.vecF64(slowdown_);
+    }
+
+    void
+    loadState(ckpt::Reader &r)
+    {
+        measuredCore_ = static_cast<CoreId>(r.i64());
+        epochStart_ = r.u64();
+        epochServiced_ = r.vecU64();
+        lastStall_ = r.vecU64();
+        aloneRate_ = r.vecF64();
+        sharedRate_ = r.vecF64();
+        slowdown_ = r.vecF64();
+        if (epochServiced_.size() != numCores_ ||
+            lastStall_.size() != numCores_ ||
+            aloneRate_.size() != numCores_ ||
+            sharedRate_.size() != numCores_ ||
+            slowdown_.size() != numCores_) {
+            throw ckpt::Error(
+                "slowdown estimator core count mismatch");
+        }
+    }
+
   private:
     void closeEpoch(Tick now);
 

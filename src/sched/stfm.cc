@@ -57,4 +57,22 @@ StfmScheduler::reevaluate()
         unfairness > cfg_.unfairnessThresh ? most : kNoCore;
 }
 
+void
+StfmScheduler::saveState(ckpt::Writer &w) const
+{
+    RankedFrfcfs::saveState(w);
+    est_->saveState(w);
+    w.i64(prioritized_);
+    w.u64(nextUpdateAt_);
+}
+
+void
+StfmScheduler::loadState(ckpt::Reader &r)
+{
+    RankedFrfcfs::loadState(r);
+    est_->loadState(r);
+    prioritized_ = static_cast<CoreId>(r.i64());
+    nextUpdateAt_ = r.u64();
+}
+
 } // namespace mitts

@@ -46,6 +46,9 @@ class StfmScheduler : public RankedFrfcfs
     const SlowdownEstimator &estimator() const { return *est_; }
     CoreId prioritized() const { return prioritized_; }
 
+    void saveState(ckpt::Writer &w) const override;
+    void loadState(ckpt::Reader &r) override;
+
   protected:
     int
     rankOf(CoreId core) const override

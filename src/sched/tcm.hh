@@ -46,6 +46,9 @@ class TcmScheduler : public RankedFrfcfs
         return inLatencyCluster_;
     }
 
+    void saveState(ckpt::Writer &w) const override;
+    void loadState(ckpt::Reader &r) override;
+
   protected:
     int
     rankOf(CoreId core) const override

@@ -34,7 +34,7 @@ struct CongestionConfig
     double minScale = 0.25;      ///< floor (never fully starve)
 };
 
-class CongestionController : public Clocked
+class CongestionController : public Clocked, public ckpt::Serializable
 {
   public:
     CongestionController(std::string name, const CongestionConfig &cfg,
@@ -52,6 +52,24 @@ class CongestionController : public Clocked
 
     double scale() const { return scale_; }
     stats::Group &statsGroup() { return stats_; }
+
+    /** Checkpoint the broadcast scale and check schedule. Shapers
+     *  save their own congestion scale, so no re-apply on restore. */
+    void
+    saveState(ckpt::Writer &w) const override
+    {
+        w.f64(scale_);
+        w.u64(nextCheckAt_);
+        ckpt::saveGroup(w, stats_);
+    }
+
+    void
+    loadState(ckpt::Reader &r) override
+    {
+        scale_ = r.f64();
+        nextCheckAt_ = r.u64();
+        ckpt::loadGroup(r, stats_);
+    }
 
   private:
     void apply();

@@ -346,4 +346,93 @@ MittsShaper::hardwareStateBytes() const
     return (bin_bits + counters_bits + pending_bits + 7) / 8;
 }
 
+namespace
+{
+
+/** Serialize an unordered u64-keyed map sorted by key. */
+template <typename V, typename WriteV>
+void
+saveSortedMap(ckpt::Writer &w,
+              const std::unordered_map<std::uint64_t, V> &m,
+              WriteV write_value)
+{
+    std::vector<std::uint64_t> keys;
+    keys.reserve(m.size());
+    for (const auto &[k, v] : m)
+        keys.push_back(k);
+    std::sort(keys.begin(), keys.end());
+    w.u64(keys.size());
+    for (std::uint64_t k : keys) {
+        w.u64(k);
+        write_value(m.at(k));
+    }
+}
+
+} // namespace
+
+void
+MittsShaper::saveState(ckpt::Writer &w) const
+{
+    // The live BinConfig: setConfig (the GA, phase switcher) mutates
+    // it mid-run, so it is state, not configuration.
+    w.u64(cfg_.spec.numBins);
+    w.u64(cfg_.spec.intervalLength);
+    w.u64(cfg_.spec.replenishPeriod);
+    w.u64(cfg_.spec.maxCredits);
+    w.u8(static_cast<std::uint8_t>(cfg_.spec.policy));
+    w.vecU32(cfg_.credits);
+    w.b(enabled_);
+    w.vecU32(credits_);
+    w.vecU32(effCredits_);
+    w.vecF64(rollingAcc_);
+    w.f64(congestionScale_);
+    w.u64(nextReplenishAt_);
+    w.u64(lastReplenishAt_);
+    w.u64(lastIssueAt_);
+    saveSortedMap(w, pendingBin_,
+                  [&w](unsigned bin) { w.u64(bin); });
+    saveSortedMap(w, pendingStamp_, [&w](Tick t) { w.u64(t); });
+    w.u64(lastLlcMissStamp_);
+    w.u64(throttleStart_);
+    ckpt::saveGroup(w, stats_);
+}
+
+void
+MittsShaper::loadState(ckpt::Reader &r)
+{
+    BinSpec spec;
+    spec.numBins = static_cast<unsigned>(r.u64());
+    spec.intervalLength = r.u64();
+    spec.replenishPeriod = r.u64();
+    spec.maxCredits = static_cast<std::uint32_t>(r.u64());
+    spec.policy = static_cast<ReplenishPolicy>(r.u8());
+    cfg_ = BinConfig(spec, r.vecU32());
+    enabled_ = r.b();
+    credits_ = r.vecU32();
+    effCredits_ = r.vecU32();
+    rollingAcc_ = r.vecF64();
+    if (credits_.size() != spec.numBins ||
+        effCredits_.size() != spec.numBins)
+        throw ckpt::Error("shaper bin count mismatch");
+    congestionScale_ = r.f64();
+    nextReplenishAt_ = r.u64();
+    lastReplenishAt_ = r.u64();
+    lastIssueAt_ = r.u64();
+    pendingBin_.clear();
+    const std::uint64_t nb = r.u64();
+    for (std::uint64_t i = 0; i < nb; ++i) {
+        const std::uint64_t k = r.u64();
+        pendingBin_[k] = static_cast<unsigned>(r.u64());
+    }
+    pendingStamp_.clear();
+    const std::uint64_t ns = r.u64();
+    for (std::uint64_t i = 0; i < ns; ++i) {
+        const std::uint64_t k = r.u64();
+        pendingStamp_[k] = r.u64();
+    }
+    lastLlcMissStamp_ = r.u64();
+    throttleStart_ = r.u64();
+    ckpt::loadGroup(r, stats_);
+}
+
 } // namespace mitts

@@ -23,6 +23,7 @@
 
 #include "base/stats.hh"
 #include "cache/interfaces.hh"
+#include "ckpt/serialize.hh"
 #include "shaper/bin_config.hh"
 #include "telemetry/probe.hh"
 
@@ -42,7 +43,7 @@ enum class HybridMethod
     ConservativeRefund,   ///< method 2 (taped out)
 };
 
-class MittsShaper : public SourceGate
+class MittsShaper : public SourceGate, public ckpt::Serializable
 {
   public:
     MittsShaper(std::string name, const BinConfig &cfg,
@@ -114,6 +115,11 @@ class MittsShaper : public SourceGate
      * C++ analogue of the paper's 0.0035 mm^2 area discussion.
      */
     std::size_t hardwareStateBytes() const;
+
+    /** Checkpoint credits, replenish schedule, pending tables, the
+     *  live BinConfig (it changes under setConfig) and stats. */
+    void saveState(ckpt::Writer &w) const override;
+    void loadState(ckpt::Reader &r) override;
 
   private:
     /** Largest-interval non-empty bin with index <= `bin`, or -1. */

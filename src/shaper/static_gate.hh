@@ -14,11 +14,12 @@
 #include "base/logging.hh"
 #include "base/stats.hh"
 #include "cache/interfaces.hh"
+#include "ckpt/serialize.hh"
 
 namespace mitts
 {
 
-class StaticRateGate : public SourceGate
+class StaticRateGate : public SourceGate, public ckpt::Serializable
 {
   public:
     /**
@@ -63,6 +64,22 @@ class StaticRateGate : public SourceGate
 
     double interval() const { return interval_; }
     stats::Group &statsGroup() { return stats_; }
+
+    void
+    saveState(ckpt::Writer &w) const override
+    {
+        w.f64(tokens_);
+        w.u64(lastRefill_);
+        ckpt::saveGroup(w, stats_);
+    }
+
+    void
+    loadState(ckpt::Reader &r) override
+    {
+        tokens_ = r.f64();
+        lastRefill_ = r.u64();
+        ckpt::loadGroup(r, stats_);
+    }
 
   private:
     double interval_;

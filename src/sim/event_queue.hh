@@ -10,18 +10,77 @@
 #include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <utility>
 #include <vector>
 
 #include "base/logging.hh"
 #include "base/types.hh"
+#include "ckpt/serialize.hh"
+#include "mem/request.hh"
 
 namespace mitts
 {
 
 /**
+ * What a pending event *does*, in serializable form. Closures cannot
+ * be checkpointed, so every event on the simulation fast path carries
+ * one of these descriptors alongside its callback; on restore the
+ * System rebuilds the callback from the descriptor (it knows which
+ * component the event targets). Opaque events (tests, ad-hoc tools)
+ * have no descriptor and make the queue non-checkpointable — saving
+ * with one pending is an error, not silent data loss.
+ */
+struct EventDesc
+{
+    enum class Kind : std::uint8_t
+    {
+        Opaque = 0,       ///< bare closure; cannot be saved
+        LoadComplete = 1, ///< L1 hit latency -> core loadComplete
+        LlcFill = 2,      ///< LLC -> L1 fill response
+        MemComplete = 3,  ///< DRAM burst done -> MC completion
+    };
+
+    Kind kind = Kind::Opaque;
+    CoreId core = kNoCore; ///< LoadComplete: target core
+    SeqNum seq = 0;        ///< LoadComplete: completing access
+    ReqPtr req;            ///< LlcFill / MemComplete payload
+
+    static EventDesc
+    loadComplete(CoreId core, SeqNum seq)
+    {
+        EventDesc d;
+        d.kind = Kind::LoadComplete;
+        d.core = core;
+        d.seq = seq;
+        return d;
+    }
+
+    static EventDesc
+    llcFill(ReqPtr req)
+    {
+        EventDesc d;
+        d.kind = Kind::LlcFill;
+        d.req = std::move(req);
+        return d;
+    }
+
+    static EventDesc
+    memComplete(ReqPtr req)
+    {
+        EventDesc d;
+        d.kind = Kind::MemComplete;
+        d.req = std::move(req);
+        return d;
+    }
+};
+
+/**
  * Min-heap of (tick, sequence, callback). Events scheduled for the same
  * tick fire in scheduling order, keeping the simulation deterministic.
+ * Same-tick ordering survives a checkpoint round trip: events are
+ * serialized in drain order (when, then scheduling sequence) and
+ * renumbered densely on load, so the restored queue drains identically
+ * even though the absolute sequence numbers differ.
  *
  * Scheduling into the past — `when` strictly below the tick of the
  * most recent runDue() — is a modelling bug: the event's cycle has
@@ -40,9 +99,19 @@ class EventQueue
   public:
     using Callback = std::function<void()>;
 
+    /** Rebuilds a callback from its descriptor on restore. */
+    using Factory = std::function<Callback(const EventDesc &, Tick)>;
+
     /** Schedule `cb` to run at absolute tick `when`. */
     void
     schedule(Tick when, Callback cb)
+    {
+        schedule(when, std::move(cb), EventDesc{});
+    }
+
+    /** Schedule with a descriptor so the event survives checkpoints. */
+    void
+    schedule(Tick when, Callback cb, EventDesc desc)
     {
         if (when < horizon_) {
 #ifndef NDEBUG
@@ -51,7 +120,9 @@ class EventQueue
 #endif
             when = horizon_;
         }
-        heap_.push(Event{when, nextSeq_++, std::move(cb)});
+        heap_.push_back(
+            Event{when, nextSeq_++, std::move(cb), std::move(desc)});
+        std::push_heap(heap_.begin(), heap_.end(), Event::later);
     }
 
     /** Run all events with tick <= now (events may schedule more). */
@@ -59,11 +130,11 @@ class EventQueue
     runDue(Tick now)
     {
         horizon_ = std::max(horizon_, now);
-        while (!heap_.empty() && heap_.top().when <= now) {
-            // Copy out before pop so the callback can schedule events.
-            Callback cb = std::move(
-                const_cast<Event &>(heap_.top()).cb);
-            heap_.pop();
+        while (!heap_.empty() && heap_.front().when <= now) {
+            std::pop_heap(heap_.begin(), heap_.end(), Event::later);
+            // Move out before pop so the callback can schedule events.
+            Callback cb = std::move(heap_.back().cb);
+            heap_.pop_back();
             cb();
         }
     }
@@ -75,7 +146,74 @@ class EventQueue
     Tick
     nextEventTick() const
     {
-        return heap_.empty() ? kTickNever : heap_.top().when;
+        return heap_.empty() ? kTickNever : heap_.front().when;
+    }
+
+    /**
+     * Serialize pending events in drain order. Throws ckpt::Error if
+     * any pending event is Opaque (no descriptor to rebuild it from).
+     */
+    void
+    saveState(ckpt::Writer &w) const
+    {
+        std::vector<const Event *> ordered;
+        ordered.reserve(heap_.size());
+        for (const auto &e : heap_) {
+            if (e.desc.kind == EventDesc::Kind::Opaque)
+                throw ckpt::Error(
+                    "cannot checkpoint an opaque event (scheduled "
+                    "without a descriptor) pending at tick " +
+                    std::to_string(e.when));
+            ordered.push_back(&e);
+        }
+        std::sort(ordered.begin(), ordered.end(),
+                  [](const Event *a, const Event *b) {
+                      return a->when != b->when ? a->when < b->when
+                                                : a->seq < b->seq;
+                  });
+        w.u64(horizon_);
+        w.u64(ordered.size());
+        for (const Event *e : ordered) {
+            w.u64(e->when);
+            w.u8(static_cast<std::uint8_t>(e->desc.kind));
+            w.i64(e->desc.core);
+            w.u64(e->desc.seq);
+            w.request(e->desc.req);
+        }
+    }
+
+    /**
+     * Restore into an empty queue, rebuilding callbacks via `factory`.
+     * Events are renumbered 0..n-1 in drain order.
+     */
+    void
+    loadState(ckpt::Reader &r, const Factory &factory)
+    {
+        MITTS_ASSERT(heap_.empty(),
+                     "EventQueue::loadState on a non-empty queue");
+        horizon_ = r.u64();
+        const std::uint64_t n = r.u64();
+        heap_.clear();
+        heap_.reserve(n);
+        for (std::uint64_t i = 0; i < n; ++i) {
+            const Tick when = r.u64();
+            EventDesc d;
+            d.kind = static_cast<EventDesc::Kind>(r.u8());
+            d.core = static_cast<CoreId>(r.i64());
+            d.seq = r.u64();
+            d.req = r.request();
+            if (d.kind == EventDesc::Kind::Opaque)
+                throw ckpt::Error("opaque event in checkpoint");
+            Callback cb = factory(d, when);
+            if (!cb)
+                throw ckpt::Error(
+                    "event factory returned no callback");
+            heap_.push_back(Event{when, i, std::move(cb),
+                                  std::move(d)});
+        }
+        // Drain order is a valid heap order, but normalize anyway.
+        std::make_heap(heap_.begin(), heap_.end(), Event::later);
+        nextSeq_ = n;
     }
 
   private:
@@ -84,15 +222,17 @@ class EventQueue
         Tick when;
         std::uint64_t seq;
         Callback cb;
+        EventDesc desc;
 
-        bool
-        operator>(const Event &o) const
+        /** Max-heap comparator inverted into a min-heap. */
+        static bool
+        later(const Event &a, const Event &b)
         {
-            return when != o.when ? when > o.when : seq > o.seq;
+            return a.when != b.when ? a.when > b.when : a.seq > b.seq;
         }
     };
 
-    std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+    std::vector<Event> heap_;
     std::uint64_t nextSeq_ = 0;
     /** Tick of the most recent runDue(); past-schedule clamp floor. */
     Tick horizon_ = 0;

@@ -81,6 +81,28 @@ class Simulation
     /** Whole-cycle gaps fast-forwarded so far (introspection). */
     std::uint64_t cyclesSkipped() const { return cyclesSkipped_; }
 
+    /**
+     * Checkpoint the kernel's own state. The event queue is handled
+     * separately by the System, which owns the callback factory.
+     * cyclesSkipped_ is introspection-only and deliberately not part
+     * of the bit-identity contract (skip and no-skip runs differ in
+     * it by construction), but round-tripping it keeps a resumed run's
+     * diagnostics meaningful.
+     */
+    void
+    saveState(ckpt::Writer &w) const
+    {
+        w.u64(now_);
+        w.u64(cyclesSkipped_);
+    }
+
+    void
+    loadState(ckpt::Reader &r)
+    {
+        now_ = r.u64();
+        cyclesSkipped_ = r.u64();
+    }
+
     /** Run for `cycles` more cycles. */
     void
     run(Tick cycles)

@@ -4,8 +4,10 @@
 
 #include "base/logging.hh"
 #include "base/random.hh"
+#include "ckpt/config_hash.hh"
 #include "sched/fair_queue.hh"
 #include "sched/frfcfs.hh"
+#include "telemetry/telemetry.hh"
 #include "trace/app_profile.hh"
 
 namespace mitts
@@ -49,6 +51,7 @@ System::System(const SystemConfig &cfg) : cfg_(cfg), sim_(cfg_.sim)
 
     // Expand applications into cores (one core per thread).
     coresOfApp_.resize(cfg_.apps.size());
+    appCompletedAt_.assign(cfg_.apps.size(), kTickNever);
     for (unsigned a = 0; a < cfg_.apps.size(); ++a) {
         const AppProfile &prof = cfg_.customProfiles.empty()
                                      ? appProfile(cfg_.apps[a])
@@ -333,7 +336,24 @@ System::runUntilInstructions(std::uint64_t instr_target,
         results[a].name = cfg_.apps[a];
 
     const Tick end = sim_.now() + max_cycles;
-    unsigned remaining = numApps();
+    // Completion state lives in appCompletedAt_ (not a local) so a
+    // run resumed from a checkpoint reports the original completion
+    // cycles of apps that finished before the snapshot. A recorded
+    // completion only stands while the app still meets the current
+    // target; calling again with a larger target re-opens the app.
+    unsigned remaining = 0;
+    for (unsigned a = 0; a < numApps(); ++a) {
+        if (appCompletedAt_[a] != kTickNever) {
+            for (CoreId c : coresOfApp_[a]) {
+                if (cores_[c]->instructions() < instr_target) {
+                    appCompletedAt_[a] = kTickNever;
+                    break;
+                }
+            }
+        }
+        if (appCompletedAt_[a] == kTickNever)
+            ++remaining;
+    }
     while (remaining > 0 && sim_.now() < end) {
         // Run a small batch between completion checks; run() rather
         // than step() so globally idle stretches inside the batch are
@@ -341,7 +361,7 @@ System::runUntilInstructions(std::uint64_t instr_target,
         // check boundaries in both modes.
         sim_.run(std::min<Tick>(32, end - sim_.now()));
         for (unsigned a = 0; a < numApps(); ++a) {
-            if (results[a].completed)
+            if (appCompletedAt_[a] != kTickNever)
                 continue;
             bool all_done = true;
             for (CoreId c : coresOfApp_[a]) {
@@ -351,11 +371,15 @@ System::runUntilInstructions(std::uint64_t instr_target,
                 }
             }
             if (all_done) {
-                results[a].completed = true;
-                results[a].completedAt = sim_.now();
+                appCompletedAt_[a] = sim_.now();
                 --remaining;
             }
         }
+        // Batch boundaries are the only cycle counts this loop can
+        // stop at, so they are the only safe checkpoint instants: a
+        // restored run re-enters the loop exactly here.
+        if (batchCallback_)
+            batchCallback_(sim_.now());
     }
 
     for (unsigned a = 0; a < numApps(); ++a) {
@@ -366,10 +390,292 @@ System::runUntilInstructions(std::uint64_t instr_target,
         }
         results[a].instructions = instr;
         results[a].memStallCycles = stall;
-        if (!results[a].completed)
-            results[a].completedAt = sim_.now();
+        results[a].completed = appCompletedAt_[a] != kTickNever;
+        results[a].completedAt =
+            results[a].completed ? appCompletedAt_[a] : sim_.now();
     }
     return results;
+}
+
+std::uint64_t
+System::checkpointHash() const
+{
+    return ckpt::configHash(cfg_);
+}
+
+EventQueue::Factory
+System::eventFactory()
+{
+    return [this](const EventDesc &d,
+                  Tick when) -> EventQueue::Callback {
+        switch (d.kind) {
+          case EventDesc::Kind::LoadComplete: {
+            if (d.core < 0 ||
+                static_cast<unsigned>(d.core) >= numCores_)
+                throw ckpt::Error("event core out of range");
+            Core *core = cores_[d.core].get();
+            const SeqNum seq = d.seq;
+            return [core, seq, when] {
+                core->loadComplete(seq, when);
+            };
+          }
+          case EventDesc::Kind::LlcFill: {
+            if (!d.req || d.req->core < 0 ||
+                static_cast<unsigned>(d.req->core) >= numCores_)
+                throw ckpt::Error("fill event request invalid");
+            L1Cache *l1 = l1s_[d.req->core].get();
+            const ReqPtr req = d.req;
+            return [l1, req, when] { l1->fill(req, when); };
+          }
+          case EventDesc::Kind::MemComplete: {
+            if (!d.req)
+                throw ckpt::Error("completion event without request");
+            return mc_->completionCallback(d.req, when);
+          }
+          case EventDesc::Kind::Opaque:
+            break;
+        }
+        throw ckpt::Error("opaque event in checkpoint");
+    };
+}
+
+void
+System::saveCheckpoint(const std::string &path)
+{
+    ckpt::Writer w;
+
+    w.beginSection("system");
+    w.u64(numCores_);
+    w.vecU64(appCompletedAt_);
+    w.endSection();
+
+    w.beginSection("sim");
+    sim_.saveState(w);
+    w.endSection();
+
+    w.beginSection("traces");
+    w.u64(traces_.size());
+    for (const auto &t : traces_)
+        t->saveState(w);
+    w.endSection();
+
+    w.beginSection("cores");
+    for (const auto &c : cores_)
+        c->saveState(w);
+    w.endSection();
+
+    w.beginSection("l1s");
+    for (const auto &l1 : l1s_)
+        l1->saveState(w);
+    w.endSection();
+
+    w.beginSection("llc");
+    llc_->saveState(w);
+    w.endSection();
+
+    if (noc_) {
+        w.beginSection("noc");
+        noc_->saveState(w);
+        w.endSection();
+    }
+
+    w.beginSection("sched");
+    sched_->saveState(w);
+    w.endSection();
+
+    if (extraClocked_) {
+        auto *s =
+            dynamic_cast<ckpt::Serializable *>(extraClocked_.get());
+        MITTS_ASSERT(s, "extra clocked component not serializable");
+        w.beginSection("memguard");
+        s->saveState(w);
+        w.endSection();
+    }
+
+    if (congestionCtrl_) {
+        w.beginSection("congestion");
+        congestionCtrl_->saveState(w);
+        w.endSection();
+    }
+
+    // Shapers may be shared across cores (per-app); save each unique
+    // instance once, in first-core order, which is deterministic.
+    w.beginSection("shapers");
+    {
+        std::vector<const MittsShaper *> seen;
+        for (const auto *sh : shapers_) {
+            if (sh && std::find(seen.begin(), seen.end(), sh) ==
+                          seen.end())
+                seen.push_back(sh);
+        }
+        w.u64(seen.size());
+        for (const auto *sh : seen)
+            sh->saveState(w);
+    }
+    w.endSection();
+
+    w.beginSection("gates");
+    {
+        std::vector<const StaticRateGate *> gates;
+        for (const auto *g : staticGates_) {
+            if (g)
+                gates.push_back(g);
+        }
+        w.u64(gates.size());
+        for (const auto *g : gates)
+            g->saveState(w);
+    }
+    w.endSection();
+
+    // The memory controller serializes its DRAM channels inline and
+    // references in-flight requests, which alias entries interned by
+    // the LLC section above — order matters.
+    w.beginSection("mc");
+    mc_->saveState(w);
+    w.endSection();
+
+    w.beginSection("events");
+    sim_.events().saveState(w);
+    w.endSection();
+
+    if (telemetry_) {
+        w.beginSection("telemetry");
+        telemetry_->saveState(w);
+        w.endSection();
+    }
+
+    for (const auto &[name, s] : ckptExtras_) {
+        w.beginSection("extra." + name);
+        s->saveState(w);
+        w.endSection();
+    }
+
+    w.writeFile(path, checkpointHash());
+}
+
+void
+System::restoreCheckpoint(const std::string &path)
+{
+    if (sim_.now() != 0)
+        throw ckpt::Error(
+            "restore requires a freshly constructed system");
+
+    ckpt::Reader r = ckpt::Reader::fromFile(path, checkpointHash());
+
+    r.beginSection("system");
+    if (r.u64() != numCores_)
+        throw ckpt::Error("checkpoint core count mismatch");
+    appCompletedAt_ = r.vecU64();
+    if (appCompletedAt_.size() != cfg_.apps.size())
+        throw ckpt::Error("checkpoint app count mismatch");
+    r.endSection();
+
+    r.beginSection("sim");
+    sim_.loadState(r);
+    r.endSection();
+
+    r.beginSection("traces");
+    if (r.u64() != traces_.size())
+        throw ckpt::Error("checkpoint trace count mismatch");
+    for (const auto &t : traces_)
+        t->loadState(r);
+    r.endSection();
+
+    r.beginSection("cores");
+    for (const auto &c : cores_)
+        c->loadState(r);
+    r.endSection();
+
+    r.beginSection("l1s");
+    for (const auto &l1 : l1s_)
+        l1->loadState(r);
+    r.endSection();
+
+    r.beginSection("llc");
+    llc_->loadState(r);
+    r.endSection();
+
+    if (noc_) {
+        r.beginSection("noc");
+        noc_->loadState(r);
+        r.endSection();
+    }
+
+    r.beginSection("sched");
+    sched_->loadState(r);
+    r.endSection();
+
+    if (extraClocked_) {
+        auto *s =
+            dynamic_cast<ckpt::Serializable *>(extraClocked_.get());
+        MITTS_ASSERT(s, "extra clocked component not serializable");
+        r.beginSection("memguard");
+        s->loadState(r);
+        r.endSection();
+    }
+
+    if (congestionCtrl_) {
+        r.beginSection("congestion");
+        congestionCtrl_->loadState(r);
+        r.endSection();
+    }
+
+    r.beginSection("shapers");
+    {
+        std::vector<MittsShaper *> seen;
+        for (auto *sh : shapers_) {
+            if (sh && std::find(seen.begin(), seen.end(), sh) ==
+                          seen.end())
+                seen.push_back(sh);
+        }
+        if (r.u64() != seen.size())
+            throw ckpt::Error("checkpoint shaper count mismatch");
+        for (auto *sh : seen)
+            sh->loadState(r);
+    }
+    r.endSection();
+
+    r.beginSection("gates");
+    {
+        std::vector<StaticRateGate *> gates;
+        for (auto *g : staticGates_) {
+            if (g)
+                gates.push_back(g);
+        }
+        if (r.u64() != gates.size())
+            throw ckpt::Error("checkpoint gate count mismatch");
+        for (auto *g : gates)
+            g->loadState(r);
+    }
+    r.endSection();
+
+    r.beginSection("mc");
+    mc_->loadState(r);
+    r.endSection();
+
+    r.beginSection("events");
+    {
+        EventQueue::Factory factory = eventFactory();
+        sim_.events().loadState(r, factory);
+    }
+    r.endSection();
+
+    if (telemetry_) {
+        r.beginSection("telemetry");
+        telemetry_->loadState(r);
+        r.endSection();
+    }
+
+    for (const auto &[name, s] : ckptExtras_) {
+        r.beginSection("extra." + name);
+        s->loadState(r);
+        r.endSection();
+    }
+
+    if (r.remainingSections() != 0)
+        throw ckpt::Error(
+            "checkpoint holds sections this system cannot restore "
+            "(component registration mismatch)");
 }
 
 } // namespace mitts

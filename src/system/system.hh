@@ -7,11 +7,15 @@
 #ifndef MITTS_SYSTEM_SYSTEM_HH
 #define MITTS_SYSTEM_SYSTEM_HH
 
+#include <functional>
 #include <memory>
 #include <ostream>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "cache/interfaces.hh"
+#include "ckpt/serialize.hh"
 #include "shaper/congestion.hh"
 #include "cache/l1_cache.hh"
 #include "cache/shared_llc.hh"
@@ -105,8 +109,54 @@ class System : public AppMonitor
 
     const SystemConfig &config() const { return cfg_; }
 
+    // --- Checkpoint / restore -------------------------------------
+
+    /** Hash of every simulation-visible config field (excludes
+     *  kernel-mode and output-path knobs; see ckpt/config_hash.hh). */
+    std::uint64_t checkpointHash() const;
+
+    /**
+     * Write a full-state snapshot to `path` (atomically: temp file +
+     * rename). A run restored from it and a run that never stopped
+     * produce byte-identical stats dumps, telemetry CSV and trace
+     * JSON. Throws ckpt::Error on unserializable state (e.g. a
+     * pending event scheduled without a descriptor) or I/O failure.
+     */
+    void saveCheckpoint(const std::string &path);
+
+    /**
+     * Restore a snapshot into this freshly constructed system (built
+     * from the same config; must not have simulated yet). Throws
+     * ckpt::Error on magic/version/config-hash/CRC mismatch or any
+     * structural inconsistency.
+     */
+    void restoreCheckpoint(const std::string &path);
+
+    /**
+     * Register an external component (online tuner, phase switcher)
+     * whose state rides along in the checkpoint as a named section.
+     * Register in the same order before save and before restore.
+     */
+    void
+    addCheckpointExtra(std::string name, ckpt::Serializable *s)
+    {
+        ckptExtras_.emplace_back(std::move(name), s);
+    }
+
+    /**
+     * Invoked after every 32-cycle batch inside
+     * runUntilInstructions() — the only cycle counts that path can
+     * stop at, hence the only safe checkpoint instants for it.
+     */
+    void
+    setBatchCallback(std::function<void(Tick)> cb)
+    {
+        batchCallback_ = std::move(cb);
+    }
+
   private:
     void buildScheduler();
+    EventQueue::Factory eventFactory();
 
     SystemConfig cfg_;
     unsigned numCores_ = 0;
@@ -132,6 +182,14 @@ class System : public AppMonitor
     std::vector<std::unique_ptr<SourceGate>> ownedGates_;
     std::vector<MittsShaper *> shapers_;
     std::vector<StaticRateGate *> staticGates_;
+
+    /** Completion cycle per app (kTickNever = not yet); persists
+     *  across checkpoints so a resumed instruction-target run reports
+     *  the original completion times. */
+    std::vector<Tick> appCompletedAt_;
+    std::vector<std::pair<std::string, ckpt::Serializable *>>
+        ckptExtras_;
+    std::function<void(Tick)> batchCallback_;
 };
 
 } // namespace mitts

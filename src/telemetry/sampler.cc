@@ -131,4 +131,65 @@ TimeSeriesSampler::flush()
     ringCount_ = 0;
 }
 
+void
+TimeSeriesSampler::saveState(ckpt::Writer &w) const
+{
+    w.u64(probes_.size());
+    for (const auto &p : probes_)
+        w.str(p.name);
+    w.vecF64(lastValue_);
+    w.u64(ringCount_);
+    for (std::size_t i = 0; i < ringCount_; ++i) {
+        w.u64(ring_[i].start);
+        w.u64(ring_[i].end);
+        w.vecF64(ring_[i].values);
+    }
+    w.u64(windowStart_);
+    w.u64(nextBoundary_);
+    w.u64(windowsClosed_);
+    w.b(headerWritten_);
+}
+
+void
+TimeSeriesSampler::loadState(ckpt::Reader &r)
+{
+    const std::uint64_t n = r.u64();
+    std::vector<std::string> names(n);
+    for (auto &name : names)
+        name = r.str();
+    if (n == 0) {
+        // Never synced in the saved run; stay unsynced here too.
+        probes_.clear();
+        seenVersion_ = ~0ull;
+    } else {
+        // The rebuilt components must have registered the identical
+        // probe set; adopt it and verify by name.
+        probes_ = registry_.snapshot();
+        if (probes_.size() != n)
+            throw ckpt::Error("telemetry probe count mismatch");
+        for (std::size_t i = 0; i < n; ++i) {
+            if (probes_[i].name != names[i])
+                throw ckpt::Error("telemetry probe name mismatch: " +
+                                  probes_[i].name + " vs " +
+                                  names[i]);
+        }
+        seenVersion_ = registry_.version();
+    }
+    lastValue_ = r.vecF64();
+    if (lastValue_.size() != n)
+        throw ckpt::Error("telemetry delta base count mismatch");
+    ringCount_ = static_cast<std::size_t>(r.u64());
+    if (ringCount_ > ring_.size())
+        throw ckpt::Error("telemetry ring overflow in checkpoint");
+    for (std::size_t i = 0; i < ringCount_; ++i) {
+        ring_[i].start = r.u64();
+        ring_[i].end = r.u64();
+        ring_[i].values = r.vecF64();
+    }
+    windowStart_ = r.u64();
+    nextBoundary_ = r.u64();
+    windowsClosed_ = static_cast<std::size_t>(r.u64());
+    headerWritten_ = r.b();
+}
+
 } // namespace mitts::telemetry

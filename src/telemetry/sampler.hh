@@ -21,6 +21,7 @@
 #include <ostream>
 #include <vector>
 
+#include "ckpt/serialize.hh"
 #include "sim/clocked.hh"
 #include "telemetry/probe.hh"
 
@@ -33,7 +34,7 @@ struct SamplerOptions
     std::size_t ringWindows = 256; ///< windows buffered before flush
 };
 
-class TimeSeriesSampler : public Clocked
+class TimeSeriesSampler : public Clocked, public ckpt::Serializable
 {
   public:
     /**
@@ -62,6 +63,15 @@ class TimeSeriesSampler : public Clocked
 
     std::size_t windowsClosed() const { return windowsClosed_; }
     Tick interval() const { return opts_.interval; }
+
+    /**
+     * Checkpoint the window machinery: cached probe names (identity
+     * check on restore — the rebuilt system must register the same
+     * probe set), per-probe delta bases and the unflushed ring.
+     * The already-flushed CSV text is the Telemetry hub's problem.
+     */
+    void saveState(ckpt::Writer &w) const override;
+    void loadState(ckpt::Reader &r) override;
 
   private:
     struct Window

@@ -1,8 +1,10 @@
 #include "telemetry/telemetry.hh"
 
 #include <filesystem>
+#include <sstream>
 
 #include "base/logging.hh"
+#include "ckpt/serialize.hh"
 
 namespace mitts::telemetry
 {
@@ -61,6 +63,52 @@ Telemetry::finalize(Tick now)
             fatal("telemetry: cannot open ", tracePath_);
         trace_->write(os);
     }
+}
+
+void
+Telemetry::saveState(ckpt::Writer &w)
+{
+    // CSV emitted so far. The file sink is read back from disk so the
+    // hub never has to keep a shadow copy on the hot path.
+    std::string csv;
+    if (opts_.outDir.empty()) {
+        csv = memCsv_.str();
+    } else {
+        csvFile_.flush();
+        std::ifstream in(csvPath_, std::ios::binary);
+        if (!in)
+            throw ckpt::Error("telemetry: cannot read back " +
+                              csvPath_);
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        csv = buf.str();
+    }
+    w.str(csv);
+    sampler_->saveState(w);
+    w.b(trace_ != nullptr);
+    if (trace_)
+        trace_->saveState(w);
+}
+
+void
+Telemetry::loadState(ckpt::Reader &r)
+{
+    const std::string csv = r.str();
+    if (opts_.outDir.empty()) {
+        memCsv_.str(csv);
+        memCsv_.seekp(0, std::ios::end);
+    } else {
+        // The constructor truncated the file; replay the prefix.
+        csvFile_ << csv;
+        csvFile_.flush();
+    }
+    sampler_->loadState(r);
+    const bool had_trace = r.b();
+    if (had_trace != (trace_ != nullptr))
+        throw ckpt::Error(
+            "telemetry trace-event configuration mismatch");
+    if (trace_)
+        trace_->loadState(r);
 }
 
 } // namespace mitts::telemetry

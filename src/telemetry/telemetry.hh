@@ -71,6 +71,15 @@ class Telemetry
     const std::string &csvPath() const { return csvPath_; }
     const std::string &tracePath() const { return tracePath_; }
 
+    /**
+     * Checkpoint the full telemetry pipeline so a restored run
+     * produces byte-identical outputs: the CSV text emitted so far
+     * (read back from the file sink, or from the in-memory stream),
+     * the sampler's ring/delta state and the buffered trace events.
+     */
+    void saveState(ckpt::Writer &w);
+    void loadState(ckpt::Reader &r);
+
   private:
     TelemetryOptions opts_;
     ProbeRegistry registry_;

@@ -19,15 +19,17 @@
 
 #include <cstdint>
 #include <ostream>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "base/types.hh"
+#include "ckpt/serialize.hh"
 
 namespace mitts::telemetry
 {
 
-class TraceEventWriter
+class TraceEventWriter : public ckpt::Serializable
 {
   public:
     struct Options
@@ -58,6 +60,12 @@ class TraceEventWriter
     std::size_t events() const { return events_.size(); }
     std::size_t dropped() const { return dropped_; }
 
+    /** Checkpoint buffered events. Category/name literals are
+     *  re-homed into an intern pool on restore (the original
+     *  pointers belonged to the saving process). */
+    void saveState(ckpt::Writer &w) const override;
+    void loadState(ckpt::Reader &r) override;
+
   private:
     struct Event
     {
@@ -71,10 +79,15 @@ class TraceEventWriter
 
     double usOf(Tick t) const;
 
+    const char *intern(const std::string &s);
+
     Options opts_;
     std::vector<std::string> tracks_;
     std::vector<Event> events_;
     std::size_t dropped_ = 0;
+    /** Stable storage for restored event strings (std::set nodes
+     *  never move). */
+    std::set<std::string> internPool_;
 };
 
 } // namespace mitts::telemetry

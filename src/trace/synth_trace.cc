@@ -200,4 +200,49 @@ SyntheticTrace::next()
     return op;
 }
 
+void
+SyntheticTrace::saveState(ckpt::Writer &w) const
+{
+    const Random::State s = rng_.state();
+    for (std::uint64_t word : s)
+        w.u64(word);
+    w.b(inBurst_);
+    w.u64(burstOps_);
+    w.u64(calmOps_);
+    w.u64(streamBlock_);
+    w.u64(streamLeft_);
+    w.u64(streamOpInBlock_);
+    w.u64(warmBlock_);
+    w.u64(warmLeft_);
+    w.f64(cachedMemFrac_);
+    w.f64(cachedInvLog_);
+    w.u64(phaseIdx_);
+    w.u64(opsInPhase_);
+}
+
+void
+SyntheticTrace::loadState(ckpt::Reader &r)
+{
+    Random::State s;
+    for (auto &word : s)
+        word = r.u64();
+    rng_.setState(s);
+    inBurst_ = r.b();
+    burstOps_ = static_cast<std::uint32_t>(r.u64());
+    calmOps_ = static_cast<std::uint32_t>(r.u64());
+    streamBlock_ = r.u64();
+    streamLeft_ = static_cast<unsigned>(r.u64());
+    streamOpInBlock_ = static_cast<unsigned>(r.u64());
+    warmBlock_ = r.u64();
+    warmLeft_ = static_cast<unsigned>(r.u64());
+    cachedMemFrac_ = r.f64();
+    cachedInvLog_ = r.f64();
+    phaseIdx_ = static_cast<std::size_t>(r.u64());
+    opsInPhase_ = r.u64();
+    if (phaseIdx_ != 0 &&
+        (profile_.phases.empty() ||
+         phaseIdx_ >= profile_.phases.size()))
+        throw ckpt::Error("synthetic trace phase out of range");
+}
+
 } // namespace mitts

@@ -33,6 +33,9 @@ class SyntheticTrace : public TraceSource
     TraceOp next() override;
     void reset() override;
 
+    void saveState(ckpt::Writer &w) const override;
+    void loadState(ckpt::Reader &r) override;
+
   private:
     const PhaseSpec &currentPhase() const;
     void advancePhase();
@@ -87,6 +90,20 @@ class ScriptedTrace : public TraceSource
     }
 
     void reset() override { idx_ = 0; }
+
+    void
+    saveState(ckpt::Writer &w) const override
+    {
+        w.u64(idx_);
+    }
+
+    void
+    loadState(ckpt::Reader &r) override
+    {
+        idx_ = static_cast<std::size_t>(r.u64());
+        if (idx_ >= ops_.size())
+            throw ckpt::Error("scripted trace cursor out of range");
+    }
 
   private:
     std::vector<TraceOp> ops_;

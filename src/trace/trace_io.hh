@@ -57,6 +57,20 @@ class FileTrace : public TraceSource
 
     std::size_t size() const { return ops_.size(); }
 
+    void
+    saveState(ckpt::Writer &w) const override
+    {
+        w.u64(idx_);
+    }
+
+    void
+    loadState(ckpt::Reader &r) override
+    {
+        idx_ = static_cast<std::size_t>(r.u64());
+        if (idx_ >= ops_.size())
+            throw ckpt::Error("file trace cursor out of range");
+    }
+
   private:
     std::vector<TraceOp> ops_;
     std::size_t idx_ = 0;

@@ -9,6 +9,7 @@
 #include <cstdint>
 
 #include "base/types.hh"
+#include "ckpt/serialize.hh"
 
 namespace mitts
 {
@@ -27,7 +28,7 @@ struct TraceOp
 };
 
 /** Stream of trace operations; generators loop forever. */
-class TraceSource
+class TraceSource : public ckpt::Serializable
 {
   public:
     virtual ~TraceSource() = default;
@@ -37,6 +38,25 @@ class TraceSource
 
     /** Restart the stream from the beginning (deterministic). */
     virtual void reset() = 0;
+
+    /**
+     * Checkpoint the stream cursor. Every source the CLI can build
+     * overrides both; exotic test doubles that don't are caught at
+     * save time rather than producing a broken image.
+     */
+    void
+    saveState(ckpt::Writer &w) const override
+    {
+        (void)w;
+        throw ckpt::Error("trace source is not checkpointable");
+    }
+
+    void
+    loadState(ckpt::Reader &r) override
+    {
+        (void)r;
+        throw ckpt::Error("trace source is not checkpointable");
+    }
 };
 
 } // namespace mitts

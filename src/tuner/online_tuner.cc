@@ -323,4 +323,108 @@ OnlineTuner::tick(Tick now)
         closeEpoch(now);
 }
 
+namespace
+{
+
+void
+saveBinConfig(ckpt::Writer &w, const BinConfig &c)
+{
+    w.u64(c.spec.numBins);
+    w.u64(c.spec.intervalLength);
+    w.u64(c.spec.replenishPeriod);
+    w.u64(c.spec.maxCredits);
+    w.u8(static_cast<std::uint8_t>(c.spec.policy));
+    w.vecU32(c.credits);
+}
+
+BinConfig
+loadBinConfig(ckpt::Reader &r)
+{
+    BinSpec spec;
+    spec.numBins = static_cast<unsigned>(r.u64());
+    spec.intervalLength = r.u64();
+    spec.replenishPeriod = r.u64();
+    spec.maxCredits = static_cast<std::uint32_t>(r.u64());
+    spec.policy = static_cast<ReplenishPolicy>(r.u8());
+    std::vector<std::uint32_t> credits = r.vecU32();
+    if (credits.size() != spec.numBins)
+        throw ckpt::Error("tuner bin config credit size mismatch");
+    return BinConfig(spec, std::move(credits));
+}
+
+} // namespace
+
+void
+OnlineTuner::saveState(ckpt::Writer &w) const
+{
+    const Random::State s = rng_.state();
+    for (std::uint64_t word : s)
+        w.u64(word);
+    w.u8(static_cast<std::uint8_t>(state_));
+    w.u64(epochEndsAt_);
+    w.u64(nextPhaseAt_);
+    w.u64(configPhases_);
+    w.i64(boostedCore_);
+    w.vecF64(aloneRate_);
+    w.vecU64(epochStartCompleted_);
+    w.vecU64(epochStartStall_);
+    w.vecU64(epochStartInstr_);
+    w.u64(epochStartTick_);
+    w.u64(measureEpochsLeft_);
+    w.u64(population_.size());
+    for (const Genome &g : population_)
+        w.vecU32(g);
+    w.vecF64(fitness_);
+    w.u64(childIdx_);
+    w.u64(generation_);
+    w.vecU32(bestGenome_);
+    w.f64(bestFitness_);
+    w.u64(best_.size());
+    for (const BinConfig &c : best_)
+        saveBinConfig(w, c);
+    w.u64(overheadApplied_);
+    w.u64(configPhaseStart_);
+    w.u64(configSwitches_);
+    w.f64(lastAvgSlowdown_);
+    w.f64(lastMaxSlowdown_);
+}
+
+void
+OnlineTuner::loadState(ckpt::Reader &r)
+{
+    Random::State s;
+    for (auto &word : s)
+        word = r.u64();
+    rng_.setState(s);
+    state_ = static_cast<State>(r.u8());
+    epochEndsAt_ = r.u64();
+    nextPhaseAt_ = r.u64();
+    configPhases_ = static_cast<unsigned>(r.u64());
+    boostedCore_ = static_cast<CoreId>(r.i64());
+    aloneRate_ = r.vecF64();
+    epochStartCompleted_ = r.vecU64();
+    epochStartStall_ = r.vecU64();
+    epochStartInstr_ = r.vecU64();
+    epochStartTick_ = r.u64();
+    measureEpochsLeft_ = static_cast<unsigned>(r.u64());
+    population_.clear();
+    const std::uint64_t pop = r.u64();
+    for (std::uint64_t i = 0; i < pop; ++i)
+        population_.push_back(r.vecU32());
+    fitness_ = r.vecF64();
+    childIdx_ = static_cast<std::size_t>(r.u64());
+    generation_ = static_cast<unsigned>(r.u64());
+    bestGenome_ = r.vecU32();
+    bestFitness_ = r.f64();
+    best_.clear();
+    const std::uint64_t nbest = r.u64();
+    for (std::uint64_t i = 0; i < nbest; ++i)
+        best_.push_back(loadBinConfig(r));
+    overheadApplied_ = r.u64();
+    configPhaseStart_ = r.u64();
+    configSwitches_ = r.u64();
+    lastAvgSlowdown_ = r.f64();
+    lastMaxSlowdown_ = r.f64();
+}
+
 } // namespace mitts

@@ -20,6 +20,7 @@
 #include <memory>
 #include <vector>
 
+#include "ckpt/serialize.hh"
 #include "sim/clocked.hh"
 #include "system/system.hh"
 #include "telemetry/probe.hh"
@@ -50,7 +51,7 @@ struct OnlineTunerOptions
     GeneticAlgorithm::Projection projection;
 };
 
-class OnlineTuner : public Clocked
+class OnlineTuner : public Clocked, public ckpt::Serializable
 {
   public:
     /**
@@ -92,6 +93,11 @@ class OnlineTuner : public Clocked
      * telemetry hub.
      */
     void registerTelemetry(telemetry::Telemetry &t);
+
+    /** Checkpoint the whole runtime: GA population, measurement
+     *  bookkeeping, phase state and the RNG stream. */
+    void saveState(ckpt::Writer &w) const override;
+    void loadState(ckpt::Reader &r) override;
 
   private:
     enum class State

@@ -19,6 +19,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "ckpt/serialize.hh"
 #include "sim/clocked.hh"
 #include "system/system.hh"
 
@@ -35,7 +36,7 @@ struct PhaseSchedule
     std::vector<BinConfig> configs;
 };
 
-class PhaseSwitcher : public Clocked
+class PhaseSwitcher : public Clocked, public ckpt::Serializable
 {
   public:
     PhaseSwitcher(std::string name, System &sys,
@@ -55,6 +56,27 @@ class PhaseSwitcher : public Clocked
     unsigned currentPhase(CoreId core) const;
 
     std::uint64_t switches() const { return switches_; }
+
+    void
+    saveState(ckpt::Writer &w) const override
+    {
+        w.u64(applied_.size());
+        for (unsigned p : applied_)
+            w.u64(p);
+        w.u64(nextCheckAt_);
+        w.u64(switches_);
+    }
+
+    void
+    loadState(ckpt::Reader &r) override
+    {
+        if (r.u64() != applied_.size())
+            throw ckpt::Error("phase switcher schedule mismatch");
+        for (auto &p : applied_)
+            p = static_cast<unsigned>(r.u64());
+        nextCheckAt_ = r.u64();
+        switches_ = r.u64();
+    }
 
   private:
     System &sys_;

@@ -10,14 +10,17 @@
  * Run with --help for the full flag reference.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "ckpt/serialize.hh"
 #include "system/runner.hh"
 #include "system/system.hh"
 #include "trace/app_profile.hh"
@@ -27,6 +30,8 @@ using namespace mitts;
 
 namespace
 {
+
+constexpr const char *kToolVersion = "1.4.0";
 
 [[noreturn]] void
 usage(int code)
@@ -49,8 +54,19 @@ usage(int code)
   --telemetry-out D  write windowed time-series CSV (and trace) to D
   --sample-interval N  telemetry window length in cycles (default 10000)
   --trace-events     also emit Chrome trace-event JSON (chrome://tracing)
+  --checkpoint-out D write checkpoints to D (final one always; periodic
+                     ones with --checkpoint-every)
+  --checkpoint-every N  also checkpoint at every N-cycle boundary
+  --restore FILE     resume from a checkpoint written by an identically
+                     configured run (pass the same flags again)
   --list-apps        print the workload registry and exit
+  --version          print version and checkpoint format, then exit
   --help             this text
+
+exit codes:
+  0  success
+  1  configuration or runtime error
+  2  usage error, or an invalid/corrupt/mismatched checkpoint
 )");
     std::exit(code);
 }
@@ -129,6 +145,9 @@ main(int argc, char **argv)
     std::string tune_objective;
     std::vector<std::uint32_t> bin_credits;
     double static_gbps = 0.0;
+    std::string ckpt_out;
+    Tick ckpt_every = 0;
+    std::string restore_path;
 
     auto need = [&](int &i) -> std::string {
         if (i + 1 >= argc)
@@ -140,6 +159,10 @@ main(int argc, char **argv)
         const std::string arg = argv[i];
         if (arg == "--help") {
             usage(0);
+        } else if (arg == "--version") {
+            std::printf("mitts_sim %s (checkpoint format v%u)\n",
+                        kToolVersion, ckpt::kFormatVersion);
+            return 0;
         } else if (arg == "--list-apps") {
             for (const auto &name : allProfileNames()) {
                 const AppProfile &p = appProfile(name);
@@ -201,6 +224,12 @@ main(int argc, char **argv)
         } else if (arg == "--trace-events") {
             cfg.telemetry.enabled = true;
             cfg.telemetry.traceEvents = true;
+        } else if (arg == "--checkpoint-out") {
+            ckpt_out = need(i);
+        } else if (arg == "--checkpoint-every") {
+            ckpt_every = std::strtoull(need(i).c_str(), nullptr, 10);
+        } else if (arg == "--restore") {
+            restore_path = need(i);
         } else {
             std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
             usage(2);
@@ -208,6 +237,18 @@ main(int argc, char **argv)
     }
     if (cfg.apps.empty()) {
         std::fprintf(stderr, "--apps is required\n");
+        usage(2);
+    }
+    if (ckpt_every > 0 && ckpt_out.empty()) {
+        std::fprintf(stderr,
+                     "--checkpoint-every needs --checkpoint-out\n");
+        usage(2);
+    }
+    if (!tune_objective.empty() &&
+        (!ckpt_out.empty() || !restore_path.empty())) {
+        std::fprintf(stderr,
+                     "--tune cannot be combined with checkpointing "
+                     "(the GA runs many short-lived systems)\n");
         usage(2);
     }
     if (cfg.telemetry.enabled && cfg.telemetry.outDir.empty())
@@ -266,8 +307,68 @@ main(int argc, char **argv)
     }
 
     System sys(cfg);
+
+    if (!restore_path.empty()) {
+        try {
+            sys.restoreCheckpoint(restore_path);
+        } catch (const ckpt::Error &e) {
+            std::fprintf(stderr,
+                         "mitts_sim: cannot restore '%s': %s\n",
+                         restore_path.c_str(), e.what());
+            return 2;
+        }
+        std::printf("restored %s at cycle %llu\n",
+                    restore_path.c_str(),
+                    static_cast<unsigned long long>(sys.sim().now()));
+    }
+
+    if (!ckpt_out.empty())
+        std::filesystem::create_directories(ckpt_out);
+    auto ckpt_file = [&](const std::string &tag) {
+        return (std::filesystem::path(ckpt_out) /
+                ("ckpt-" + tag + ".mitts"))
+            .string();
+    };
+    auto save_ckpt = [&](const std::string &tag) {
+        try {
+            sys.saveCheckpoint(ckpt_file(tag));
+        } catch (const ckpt::Error &e) {
+            std::fprintf(stderr, "mitts_sim: checkpoint failed: %s\n",
+                         e.what());
+            std::exit(2);
+        }
+    };
+    // Periodic checkpoints land on absolute `ckpt_every` boundaries
+    // (fixed-cycle runs) or the first batch boundary past them
+    // (instruction-target runs), so a restored run schedules its next
+    // checkpoint at the same cycle the uninterrupted run would.
+    Tick next_ckpt = kTickNever;
+    if (ckpt_every > 0)
+        next_ckpt = (sys.sim().now() / ckpt_every + 1) * ckpt_every;
+    if (ckpt_every > 0 && fixed_cycles == 0) {
+        sys.setBatchCallback([&](Tick now) {
+            if (now >= next_ckpt) {
+                save_ckpt(std::to_string(now));
+                while (next_ckpt <= now)
+                    next_ckpt += ckpt_every;
+            }
+        });
+    }
+
     if (fixed_cycles > 0) {
-        sys.run(fixed_cycles);
+        // `--cycles N` is an absolute endpoint so a restored run
+        // finishes at the same cycle as the run it resumes.
+        const Tick end = fixed_cycles;
+        if (sys.sim().now() > end)
+            fatal("checkpoint is already past --cycles ", end);
+        while (sys.sim().now() < end) {
+            const Tick stop = std::min(end, next_ckpt);
+            sys.run(stop - sys.sim().now());
+            if (sys.sim().now() >= next_ckpt) {
+                save_ckpt(std::to_string(sys.sim().now()));
+                next_ckpt += ckpt_every;
+            }
+        }
         std::printf("%-14s %14s %10s\n", "app", "instructions",
                     "IPC/core");
         for (unsigned a = 0; a < sys.numApps(); ++a) {
@@ -295,6 +396,11 @@ main(int argc, char **argv)
                 static_cast<double>(r.instructions) /
                     static_cast<double>(r.completedAt));
         }
+    }
+
+    if (!ckpt_out.empty()) {
+        save_ckpt("final");
+        std::printf("checkpoint: %s\n", ckpt_file("final").c_str());
     }
 
     if (dump_stats) {
