@@ -7,6 +7,19 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+EXTRAS=()
+for arg in "$@"; do
+    case "$arg" in
+        -h|--help)
+            sed -n '2,6p' "$0" | sed 's/^# \{0,1\}//'
+            exit 0 ;;
+        -*)
+            echo "asan.sh: unknown flag '$arg' (try --help)" >&2
+            exit 2 ;;
+        *) EXTRAS+=("$arg") ;;
+    esac
+done
+
 BUILD=build-asan
 SAN="-fsanitize=address,undefined -fno-sanitize-recover=all"
 cmake -B "$BUILD" -S . \
@@ -24,7 +37,7 @@ export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
 "$BUILD"/tests/test_base
 bash tests/cli_ckpt_test.sh "$BUILD"/tools/mitts_sim
 
-for extra in "$@"; do
+for extra in ${EXTRAS[@]+"${EXTRAS[@]}"}; do
     cmake --build "$BUILD" -j --target "$extra"
     "$BUILD"/tests/"$extra"
 done

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Single lint entry point, used by the `lint` CI job and by humans:
+#   1. detlint      — repo-specific determinism & Clocked-contract
+#                     rules (tools/detlint/, always runs)
+#   2. clang-tidy   — curated .clang-tidy over src/ bench/ tools/
+#                     (skipped with a notice if not installed)
+#   3. format check — clang-format on changed files via
+#                     scripts/format.sh --check (skipped if absent)
+#
+# Usage: scripts/lint.sh [--no-tidy] [--no-format]
+# Exits nonzero if any stage that ran found a problem.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+RUN_TIDY=1
+RUN_FORMAT=1
+for arg in "$@"; do
+    case "$arg" in
+        --no-tidy) RUN_TIDY=0 ;;
+        --no-format) RUN_FORMAT=0 ;;
+        -h|--help)
+            sed -n '2,11p' "$0" | sed 's/^# \{0,1\}//'
+            exit 0 ;;
+        *)
+            echo "lint.sh: unknown flag '$arg' (try --help)" >&2
+            exit 2 ;;
+    esac
+done
+
+status=0
+
+echo "== detlint"
+if python3 tools/detlint/detlint.py; then
+    echo "detlint: clean"
+else
+    status=1
+fi
+
+if [ "$RUN_TIDY" -eq 1 ]; then
+    echo "== clang-tidy"
+    if ! command -v clang-tidy >/dev/null 2>&1; then
+        echo "clang-tidy not installed; skipping (CI runs it)" >&2
+    else
+        # compile_commands.json, ccached like the other CI builds.
+        cmake -B build-lint -S . \
+            -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+            ${CMAKE_CXX_COMPILER_LAUNCHER:+-DCMAKE_CXX_COMPILER_LAUNCHER=$CMAKE_CXX_COMPILER_LAUNCHER} \
+            >/dev/null
+        mapfile -t tidy_files < <(
+            git ls-files 'src/**/*.cc' 'tools/*.cpp' \
+                         'bench/*.cc' 'bench/*.cpp')
+        if ! printf '%s\n' "${tidy_files[@]}" \
+            | xargs -P "$(nproc)" -n 8 \
+                clang-tidy -p build-lint --quiet; then
+            status=1
+        else
+            echo "clang-tidy: clean"
+        fi
+    fi
+fi
+
+if [ "$RUN_FORMAT" -eq 1 ]; then
+    echo "== format check"
+    if ! bash scripts/format.sh --check; then
+        status=1
+    fi
+fi
+
+if [ "$status" -ne 0 ]; then
+    echo "lint.sh: FAILED" >&2
+else
+    echo "lint.sh: all checks passed"
+fi
+exit "$status"

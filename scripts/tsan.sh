@@ -1,9 +1,20 @@
 #!/usr/bin/env bash
 # Build with ThreadSanitizer and run the parallel-engine test suites
 # (thread pool + tuners, which exercise parallel GA evaluation and the
-# global pool) under it. Usage: scripts/tsan.sh [extra ctest -R regex]
+# global pool) under it. Usage: scripts/tsan.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+for arg in "$@"; do
+    case "$arg" in
+        -h|--help)
+            sed -n '2,4p' "$0" | sed 's/^# \{0,1\}//'
+            exit 0 ;;
+        *)
+            echo "tsan.sh: unknown flag '$arg' (try --help)" >&2
+            exit 2 ;;
+    esac
+done
 
 BUILD=build-tsan
 cmake -B "$BUILD" -S . \

@@ -78,7 +78,11 @@ class Average
         max_ = max;
     }
 
-    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double
+    mean() const
+    {
+        return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+    }
     double sum() const { return sum_; }
     std::uint64_t count() const { return count_; }
     double min() const { return min_; }
@@ -157,14 +161,20 @@ class Histogram
     std::uint64_t underflow() const { return underflow_; }
     std::uint64_t overflow() const { return overflow_; }
     std::uint64_t total() const { return total_; }
-    double mean() const { return total_ ? sum_ / total_ : 0.0; }
+    double
+    mean() const
+    {
+        return total_ ? sum_ / static_cast<double>(total_) : 0.0;
+    }
     const std::string &name() const { return name_; }
 
     /** Fraction of samples in bin i (0 when empty). */
     double
     fraction(std::size_t i) const
     {
-        return total_ ? static_cast<double>(bins_.at(i)) / total_ : 0.0;
+        return total_ ? static_cast<double>(bins_.at(i)) /
+                            static_cast<double>(total_)
+                      : 0.0;
     }
 
     /**

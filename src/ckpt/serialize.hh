@@ -114,6 +114,10 @@ class Writer
 
     std::vector<std::pair<std::string, std::string>> sections_;
     bool open_ = false;
+    // Positional interning: ids are assigned in serialization order
+    // and only ever looked up, never iterated, compared or hashed
+    // into the image.
+    // detlint-allow(R3): pointer key is a lookup handle, not an order
     std::unordered_map<const MemRequest *, std::uint64_t> reqIds_;
 };
 

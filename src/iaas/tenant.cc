@@ -70,9 +70,13 @@ void
 AutoScaler::schedule(ScheduledReconfig entry)
 {
     schedule_.push_back(std::move(entry));
-    std::sort(schedule_.begin(), schedule_.end(),
-              [](const ScheduledReconfig &a,
-                 const ScheduledReconfig &b) { return a.at < b.at; });
+    // stable_sort: same-cycle entries apply in registration order on
+    // every standard library.
+    std::stable_sort(schedule_.begin(), schedule_.end(),
+                     [](const ScheduledReconfig &a,
+                        const ScheduledReconfig &b) {
+                         return a.at < b.at;
+                     });
 }
 
 void
@@ -81,6 +85,68 @@ AutoScaler::addRule(ReconfigRule rule)
     MITTS_ASSERT(rule.trigger && rule.action,
                  "rule needs trigger and action");
     rules_.push_back(std::move(rule));
+}
+
+Tick
+AutoScaler::nextWakeTick(Tick now) const
+{
+    // Schedule entries land on their exact cycle; rule checks happen
+    // at nextCheckAt_ (tick() advances it even with no rules
+    // registered, so the check phase stays aligned across skips).
+    Tick wake = nextCheckAt_;
+    if (!schedule_.empty())
+        wake = std::min(wake, schedule_.front().at);
+    return std::max(wake, now + 1);
+}
+
+void
+AutoScaler::saveState(ckpt::Writer &w) const
+{
+    w.u64(checkPeriod_);
+    w.u64(nextCheckAt_);
+    w.u64(schedule_.size());
+    for (const auto &e : schedule_) {
+        w.u64(e.at);
+        w.u64(e.config.spec.numBins);
+        w.u64(e.config.spec.intervalLength);
+        w.u64(e.config.spec.replenishPeriod);
+        w.u64(e.config.spec.maxCredits);
+        w.u8(static_cast<std::uint8_t>(e.config.spec.policy));
+        w.vecU32(e.config.credits);
+    }
+    w.u64(rules_.size());
+    for (const auto &rule : rules_)
+        w.u64(rule.lastFiredAt);
+    ckpt::saveGroup(w, stats_);
+}
+
+void
+AutoScaler::loadState(ckpt::Reader &r)
+{
+    if (r.u64() != checkPeriod_)
+        throw ckpt::Error("auto-scaler check period mismatch");
+    nextCheckAt_ = r.u64();
+    schedule_.clear();
+    const std::uint64_t n_sched = r.u64();
+    for (std::uint64_t i = 0; i < n_sched; ++i) {
+        ScheduledReconfig e;
+        e.at = r.u64();
+        BinSpec spec;
+        spec.numBins = static_cast<unsigned>(r.u64());
+        spec.intervalLength = r.u64();
+        spec.replenishPeriod = r.u64();
+        spec.maxCredits = static_cast<std::uint32_t>(r.u64());
+        spec.policy = static_cast<ReplenishPolicy>(r.u8());
+        e.config = BinConfig(spec, r.vecU32());
+        schedule_.push_back(std::move(e));
+    }
+    if (r.u64() != rules_.size())
+        throw ckpt::Error(
+            "auto-scaler rule count mismatch: re-register the same "
+            "rules before loadState");
+    for (auto &rule : rules_)
+        rule.lastFiredAt = r.u64();
+    ckpt::loadGroup(r, stats_);
 }
 
 void

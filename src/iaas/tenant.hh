@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "base/stats.hh"
+#include "ckpt/serialize.hh"
 #include "iaas/pricing.hh"
 #include "shaper/mitts_shaper.hh"
 #include "sim/clocked.hh"
@@ -88,7 +89,7 @@ struct ReconfigRule
  * evaluates rules, mirroring the cloud auto-scaling mechanisms the
  * paper describes.
  */
-class AutoScaler : public Clocked
+class AutoScaler : public Clocked, public ckpt::Serializable
 {
   public:
     AutoScaler(std::string name, Tenant &tenant,
@@ -101,6 +102,22 @@ class AutoScaler : public Clocked
     void addRule(ReconfigRule rule);
 
     void tick(Tick now) override;
+
+    /**
+     * Quiescent until the earlier of the next rule-check boundary and
+     * the next scheduled reconfiguration; tick() does nothing on any
+     * other cycle.
+     */
+    Tick nextWakeTick(Tick now) const override;
+
+    /**
+     * Rule triggers/actions are closures and cannot be serialized;
+     * like System::eventFactory, the owner re-registers the same
+     * rules before loadState, which restores their cooldown clocks
+     * (and throws ckpt::Error on a rule-count mismatch).
+     */
+    void saveState(ckpt::Writer &w) const override;
+    void loadState(ckpt::Reader &r) override;
 
     std::uint64_t reconfigurations() const
     {

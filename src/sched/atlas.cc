@@ -43,12 +43,16 @@ AtlasScheduler::requantize()
                            (1.0 - cfg_.alpha) * quantumService_[c];
         quantumService_[c] = 0.0;
     }
-    // Least attained service -> highest rank.
+    // Least attained service -> highest rank. stable_sort: equal
+    // service (e.g. the all-zero first quantum) must tie-break by
+    // core id on every standard library, not by whatever permutation
+    // an unstable sort leaves.
     std::vector<unsigned> order(numCores_);
     std::iota(order.begin(), order.end(), 0);
-    std::sort(order.begin(), order.end(), [&](unsigned a, unsigned b) {
-        return totalService_[a] < totalService_[b];
-    });
+    std::stable_sort(order.begin(), order.end(),
+                     [&](unsigned a, unsigned b) {
+                         return totalService_[a] < totalService_[b];
+                     });
     for (unsigned i = 0; i < numCores_; ++i)
         ranks_[order[i]] = static_cast<int>(numCores_ - i);
 }

@@ -45,12 +45,14 @@ MiseScheduler::tick(Tick now)
 void
 MiseScheduler::reprioritize()
 {
-    // Highest slowdown -> highest rank.
+    // Highest slowdown -> highest rank. stable_sort: equal
+    // slowdowns tie-break by core id on every standard library.
     std::vector<unsigned> order(numCores_);
     std::iota(order.begin(), order.end(), 0);
-    std::sort(order.begin(), order.end(), [&](unsigned a, unsigned b) {
-        return est_->slowdown(a) > est_->slowdown(b);
-    });
+    std::stable_sort(order.begin(), order.end(),
+                     [&](unsigned a, unsigned b) {
+                         return est_->slowdown(a) > est_->slowdown(b);
+                     });
     for (unsigned i = 0; i < numCores_; ++i)
         ranks_[order[i]] = static_cast<int>(numCores_ - i);
 }

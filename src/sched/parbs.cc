@@ -34,11 +34,14 @@ ParbsScheduler::formBatch(const std::vector<ReqPtr> &queue)
 
     // Shortest-job-first ranking: cores with fewer marked requests
     // finish their batch share sooner, preserving their parallelism.
+    // stable_sort: cores with equal batch load tie-break by core id
+    // on every standard library.
     std::vector<unsigned> order(numCores_);
     std::iota(order.begin(), order.end(), 0);
-    std::sort(order.begin(), order.end(), [&](unsigned a, unsigned b) {
-        return load[a] < load[b];
-    });
+    std::stable_sort(order.begin(), order.end(),
+                     [&](unsigned a, unsigned b) {
+                         return load[a] < load[b];
+                     });
     for (unsigned i = 0; i < numCores_; ++i)
         ranks_[order[i]] = static_cast<int>(numCores_ - i);
 }

@@ -63,11 +63,14 @@ TcmScheduler::recluster(Tick now)
         1.0, std::accumulate(quantumRequests_.begin(),
                              quantumRequests_.end(), 0.0));
 
+    // stable_sort: equal-MPKI cores tie-break by core id on every
+    // standard library (the cluster cut depends on this order).
     std::vector<unsigned> order(numCores_);
     std::iota(order.begin(), order.end(), 0);
-    std::sort(order.begin(), order.end(), [&](unsigned a, unsigned b) {
-        return mpki[a] < mpki[b];
-    });
+    std::stable_sort(order.begin(), order.end(),
+                     [&](unsigned a, unsigned b) {
+                         return mpki[a] < mpki[b];
+                     });
 
     // Fill the latency cluster with the least intense cores until its
     // bandwidth share would exceed ClusterThresh.

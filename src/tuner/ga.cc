@@ -136,10 +136,12 @@ GeneticAlgorithm::run(const BatchEvaluator &evaluate)
         std::vector<std::size_t> order(population.size());
         for (std::size_t i = 0; i < order.size(); ++i)
             order[i] = i;
-        std::sort(order.begin(), order.end(),
-                  [&](std::size_t a, std::size_t b) {
-                      return fitness[a] > fitness[b];
-                  });
+        // stable_sort: equal-fitness genomes tie-break by index so
+        // elite selection is identical on every standard library.
+        std::stable_sort(order.begin(), order.end(),
+                         [&](std::size_t a, std::size_t b) {
+                             return fitness[a] > fitness[b];
+                         });
 
         std::vector<Genome> next;
         for (unsigned e = 0;

@@ -16,9 +16,10 @@ stepUp(std::uint32_t v, double frac, std::uint32_t max_value)
 {
     const auto delta = std::max<std::uint32_t>(
         1, static_cast<std::uint32_t>(static_cast<double>(v) * frac));
-    return std::min<std::uint64_t>(max_value,
-                                   static_cast<std::uint64_t>(v) +
-                                       delta);
+    return static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(max_value,
+                                static_cast<std::uint64_t>(v) +
+                                    delta));
 }
 
 std::uint32_t

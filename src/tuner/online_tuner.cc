@@ -200,10 +200,12 @@ OnlineTuner::stepGeneration(Tick now)
     std::vector<std::size_t> order(population_.size());
     for (std::size_t i = 0; i < order.size(); ++i)
         order[i] = i;
-    std::sort(order.begin(), order.end(),
-              [&](std::size_t a, std::size_t b) {
-                  return fitness_[a] > fitness_[b];
-              });
+    // stable_sort: equal-fitness genomes tie-break by index so
+    // elite selection is identical on every standard library.
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return fitness_[a] > fitness_[b];
+                     });
 
     auto tourney = [&]() -> const Genome & {
         std::size_t best = rng_.below(population_.size());

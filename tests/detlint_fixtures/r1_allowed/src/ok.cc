@@ -1,0 +1,12 @@
+// R1 fixture: the same sources, each carrying an inline allow (e.g.
+// host-side timing that never feeds simulated state).
+#include <chrono>
+
+double
+wallSeconds()
+{
+    // detlint-allow(R1): host wall-clock for bench reporting only
+    auto t0 = std::chrono::steady_clock::now();
+    auto t1 = std::chrono::steady_clock::now(); // detlint-allow(R1): same
+    return std::chrono::duration<double>(t1 - t0).count();
+}

@@ -1,0 +1,30 @@
+// R2 fixture: the sanctioned idiom — copy keys out, sort, then walk
+// the sorted keys. The key-collection loop passes without any
+// annotation; an order-independent loop carries an inline allow.
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+struct Tracker
+{
+    std::unordered_map<std::uint64_t, double> latency_;
+
+    double
+    flush()
+    {
+        std::vector<std::uint64_t> keys;
+        for (const auto &[addr, lat] : latency_)
+            keys.push_back(addr);
+        std::sort(keys.begin(), keys.end());
+        double total = 0.0;
+        for (std::uint64_t k : keys)
+            total += latency_.at(k);
+        // detlint-allow(R2): max over u64 keys is order-independent
+        for (const auto &[addr, lat] : latency_) {
+            if (addr > 100)
+                return lat;
+        }
+        return total;
+    }
+};

@@ -1,0 +1,37 @@
+// R2 fixture: unordered iteration feeding stats and FP accumulation.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+struct Stats
+{
+    double total = 0.0;
+    std::uint64_t hits = 0;
+};
+
+struct Tracker
+{
+    std::unordered_map<std::uint64_t, double> latency_;
+    std::unordered_set<std::uint64_t> live_;
+    Stats stats_;
+
+    void
+    flush()
+    {
+        for (const auto &[addr, lat] : latency_)
+            stats_.total += lat;
+        for (auto it = live_.begin(); it != live_.end(); ++it)
+            stats_.hits += *it;
+    }
+};
+
+// Last-parameter declaration must be recognized too (regression:
+// the decl scanner once required ; , = { ( or [ after the name).
+double
+sumAll(const std::unordered_map<std::uint64_t, double> &lat)
+{
+    double sum = 0.0;
+    for (const auto &[addr, v] : lat)
+        sum += v;
+    return sum;
+}

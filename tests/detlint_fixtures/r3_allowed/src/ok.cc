@@ -1,0 +1,15 @@
+// R3 fixture: a pointer-keyed lookup table whose order is never
+// observed (interning), carrying the required inline allow.
+#include <cstdint>
+#include <unordered_map>
+
+struct Request
+{
+    int core = 0;
+};
+
+struct Interner
+{
+    // detlint-allow(R3): lookup handle only; never iterated or ordered
+    std::unordered_map<const Request *, std::uint64_t> ids_;
+};

@@ -1,0 +1,24 @@
+// R3 fixture: pointer-keyed containers and pointer-value ordering.
+#include <map>
+#include <memory>
+#include <set>
+#include <unordered_map>
+
+struct Request
+{
+    int core = 0;
+};
+
+struct Book
+{
+    std::set<Request *> live_;
+    std::map<const Request *, int> order_;
+    std::unordered_map<Request *, int> ids_;
+};
+
+bool
+older(const std::shared_ptr<Request> &a,
+      const std::shared_ptr<Request> &b)
+{
+    return a.get() < b.get();
+}

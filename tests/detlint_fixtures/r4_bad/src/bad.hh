@@ -1,0 +1,27 @@
+// R4 fixture: a Clocked subclass with member state and none of the
+// contract overrides — it would silently break skip-ahead and
+// checkpointing.
+#ifndef FIXTURE_R4_BAD_HH
+#define FIXTURE_R4_BAD_HH
+
+using Tick = unsigned long long;
+
+class Clocked
+{
+  public:
+    virtual ~Clocked() = default;
+    virtual void tick(Tick now) = 0;
+    virtual Tick nextWakeTick(Tick now) const { return now + 1; }
+};
+
+class Prefetcher : public Clocked
+{
+  public:
+    void tick(Tick now) override { lastAt_ = now; }
+
+  private:
+    Tick lastAt_ = 0;
+    unsigned issued_ = 0;
+};
+
+#endif

@@ -1,0 +1,19 @@
+// R5 fixture: MITTS_ASSERT-bearing header that carries everything it
+// needs — compiles standalone.
+#ifndef FIXTURE_R5_OK_HH
+#define FIXTURE_R5_OK_HH
+
+#include <cassert>
+
+#ifndef MITTS_ASSERT
+#define MITTS_ASSERT(cond, msg) assert((cond) && (msg))
+#endif
+
+inline unsigned
+half(unsigned v)
+{
+    MITTS_ASSERT(v % 2 == 0, "odd");
+    return v / 2;
+}
+
+#endif

@@ -1,0 +1,13 @@
+// R5 fixture: uses MITTS_ASSERT without including its definition —
+// the header does not compile standalone.
+#ifndef FIXTURE_R5_BAD_HH
+#define FIXTURE_R5_BAD_HH
+
+inline unsigned
+half(unsigned v)
+{
+    MITTS_ASSERT(v % 2 == 0, "odd");
+    return v / 2;
+}
+
+#endif

@@ -1,0 +1,14 @@
+// Stale-allow fixture: suppressions that suppress nothing are
+// themselves findings, so annotations cannot rot after a cleanup.
+#include <vector>
+
+int
+sum(const std::vector<int> &v)
+{
+    int total = 0;
+    // detlint-allow(R2): this loop is over a vector, nothing fires
+    for (int x : v)
+        total += x;
+    total += 1; // detlint-allow(R1) missing colon and reason
+    return total;
+}

@@ -104,7 +104,9 @@ TEST(Integration, MittsIsolatesVictimFromHog)
 
     EXPECT_GT(tres[0].completedAt, open_res[0].completedAt);
     EXPECT_LE(tres[1].completedAt,
-              static_cast<Tick>(open_res[1].completedAt * 1.05));
+              static_cast<Tick>(
+                  static_cast<double>(open_res[1].completedAt) *
+                  1.05));
 }
 
 TEST(Integration, HybridMethodsBothWork)

@@ -8,7 +8,10 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <sstream>
+#include <string>
 
+#include "base/thread_pool.hh"
 #include "dram/dram.hh"
 #include "sched/atlas.hh"
 #include "sched/parbs.hh"
@@ -20,6 +23,7 @@
 #include "sched/mise.hh"
 #include "sched/slowdown_estimator.hh"
 #include "sched/tcm.hh"
+#include "system/system.hh"
 
 namespace mitts
 {
@@ -450,6 +454,58 @@ TEST(Stfm, FairSystemFallsBackToFrfcfs)
         sched.tick(t);
     }
     EXPECT_EQ(sched.prioritized(), kNoCore);
+}
+
+// ---------------------------------------------------------------
+// Ranking-tie determinism (the linter-seeded regression class).
+//
+// TCM is the worst offender: an identical-MPKI mix makes every core
+// tie in the clustering sort, and the latency/bandwidth cluster cut
+// is taken from that order — an unstable sort would hand the cut to
+// whatever permutation the standard library leaves. The full-system
+// runs below must be byte-identical across the skip-ahead and
+// no-skip kernels, and across host thread counts.
+
+namespace
+{
+
+std::string
+runTcmMix(bool skip_ahead)
+{
+    // Four copies of the same app: identical traffic, so every
+    // quantum's MPKI ranking is all ties.
+    SystemConfig cfg = SystemConfig::multiProgram(
+        {"mcf", "mcf", "mcf", "mcf"});
+    cfg.sched = SchedulerKind::Tcm;
+    cfg.sim.skipAhead = skip_ahead;
+    System sys(cfg);
+    sys.run(60'000);
+    std::ostringstream os;
+    sys.dumpStats(os);
+    return os.str();
+}
+
+} // namespace
+
+TEST(SchedTieDeterminism, TcmSkipVsNoSkipBitIdentical)
+{
+    EXPECT_EQ(runTcmMix(true), runTcmMix(false));
+}
+
+TEST(SchedTieDeterminism, TcmBitIdenticalAcrossThreadCounts)
+{
+    // The same four-way tied mix simulated serially and on a 4-thread
+    // pool (the experiment-engine path): every replica must dump the
+    // same bytes.
+    const std::string reference = runTcmMix(true);
+
+    ThreadPool serial(1), pooled(4);
+    for (ThreadPool *pool : {&serial, &pooled}) {
+        const auto dumps = parallelMap(
+            4, [](std::size_t) { return runTcmMix(true); }, pool);
+        for (const auto &d : dumps)
+            EXPECT_EQ(d, reference);
+    }
 }
 
 } // namespace
