@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Analytic-tier accuracy and speed: evaluate a fig12-style 4-program
+ * shaper sweep with the cycle-accurate simulator and with the M/D/1
+ * analytic model, and report the wall-clock speedup plus the worst
+ * relative error of the predicted S_avg/S_max. Results append to
+ * BENCH_analytic.json for the performance trajectory (the acceptance
+ * bar is a >=100x speedup on this sweep).
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analytic/analytic_model.hh"
+#include "base/thread_pool.hh"
+#include "bench_common.hh"
+#include "system/metrics.hh"
+#include "system/runner.hh"
+
+using namespace mitts;
+
+namespace
+{
+
+/** The fig12 mix with a sweep of uniform per-core throttles. */
+std::vector<SystemConfig>
+sweepConfigs()
+{
+    SystemConfig base = SystemConfig::multiProgram(
+        {"gcc", "mcf", "libquantum", "sjeng"});
+    base.gate = GateKind::Mitts;
+
+    std::vector<SystemConfig> out;
+    for (std::uint32_t level : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+        SystemConfig cfg = base;
+        cfg.mittsConfigs.assign(
+            4, BinConfig::uniform(cfg.binSpec, level));
+        out.push_back(std::move(cfg));
+    }
+    return out;
+}
+
+double
+relError(double predicted, double measured)
+{
+    if (measured == 0.0)
+        return 0.0;
+    return std::abs(predicted - measured) / measured;
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto configs = sweepConfigs();
+    const RunnerOptions opts = bench::runOptions();
+    const analytic::AnalyticModel model;
+
+    bench::header("Analytic tier vs cycle-accurate (fig12 sweep, " +
+                  std::to_string(configs.size()) + " configs)");
+
+    // Cycle-accurate reference: alone baselines plus one shared run
+    // per sweep point (the same work a tuner evaluation does).
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto alone = aloneCyclesForAll(configs[0], opts);
+    std::vector<MultiProgramMetrics> measured;
+    for (const auto &cfg : configs)
+        measured.push_back(runMulti(cfg, alone, opts).metrics);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ca_sec =
+        std::chrono::duration<double>(t1 - t0).count();
+
+    // Analytic: context once, one closed-form solve per point.
+    const auto t2 = std::chrono::steady_clock::now();
+    const auto ctx = model.makeContext(configs[0]);
+    std::vector<MultiProgramMetrics> predicted;
+    for (const auto &cfg : configs)
+        predicted.push_back(model.metricsFor(ctx, cfg));
+    const auto t3 = std::chrono::steady_clock::now();
+    const double an_sec =
+        std::chrono::duration<double>(t3 - t2).count();
+
+    double max_err = 0.0;
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        const double err = std::max(
+            relError(predicted[i].savg, measured[i].savg),
+            relError(predicted[i].smax, measured[i].smax));
+        max_err = std::max(max_err, err);
+        bench::row("level " + std::to_string(i),
+                   {{"S_avg_ca", measured[i].savg},
+                    {"S_avg_an", predicted[i].savg},
+                    {"S_max_ca", measured[i].smax},
+                    {"S_max_an", predicted[i].smax},
+                    {"rel_err", err}});
+    }
+
+    const double speedup = an_sec > 0.0 ? ca_sec / an_sec : 0.0;
+    bench::row("wall", {{"cycle_accurate_s", ca_sec},
+                        {"analytic_s", an_sec},
+                        {"speedup", speedup},
+                        {"max_rel_err", max_err}});
+
+    const std::string json_path =
+        bench::jsonPath("BENCH_analytic.json");
+    if (std::FILE *json = std::fopen(json_path.c_str(), "w")) {
+        std::fprintf(
+            json,
+            "[\n  {\"bench\": \"analytic\", \"mix\": \"fig12\", "
+            "\"configs\": %zu, \"cycle_accurate_s\": %.4f, "
+            "\"analytic_s\": %.6f, \"speedup\": %.1f, "
+            "\"max_rel_err\": %.4f}\n]\n",
+            configs.size(), ca_sec, an_sec, speedup, max_err);
+        std::fclose(json);
+        std::printf("\nwrote %s\n", json_path.c_str());
+    }
+    return 0;
+}

@@ -71,6 +71,20 @@ gaConfig(unsigned population, unsigned generations)
     return cfg;
 }
 
+std::string
+jsonPath(const std::string &filename)
+{
+#ifndef MITTS_REPO_ROOT
+#define MITTS_REPO_ROOT "."
+#endif
+    std::string dir = MITTS_REPO_ROOT;
+    if (const char *env = std::getenv("MITTS_BENCH_OUT_DIR"))
+        dir = env;
+    if (!dir.empty() && dir.back() != '/')
+        dir += '/';
+    return dir + filename;
+}
+
 void
 header(const std::string &title)
 {

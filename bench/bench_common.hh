@@ -36,6 +36,15 @@ GaConfig gaConfig(unsigned population = 10, unsigned generations = 6);
 /** Print a section header. */
 void header(const std::string &title);
 
+/**
+ * Absolute path for a BENCH_*.json results file. Benches run from
+ * the build tree, but the perf trajectory is committed at the repo
+ * root, so results resolve against MITTS_REPO_ROOT (baked in by the
+ * build; overridable with the MITTS_BENCH_OUT_DIR environment
+ * variable, e.g. for CI scratch space).
+ */
+std::string jsonPath(const std::string &filename);
+
 /** Print one row: label + columns. */
 void row(const std::string &label,
          const std::vector<std::pair<std::string, double>> &cols);

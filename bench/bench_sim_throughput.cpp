@@ -94,7 +94,9 @@ main()
         {"saturated", saturatedMix()},
     };
 
-    std::FILE *json = std::fopen("BENCH_simkernel.json", "w");
+    const std::string json_path =
+        bench::jsonPath("BENCH_simkernel.json");
+    std::FILE *json = std::fopen(json_path.c_str(), "w");
     if (json)
         std::fprintf(json, "[\n");
 
@@ -143,7 +145,7 @@ main()
     if (json) {
         std::fprintf(json, "\n]\n");
         std::fclose(json);
-        std::printf("\nwrote BENCH_simkernel.json\n");
+        std::printf("\nwrote %s\n", json_path.c_str());
     }
     return 0;
 }

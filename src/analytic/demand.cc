@@ -1,0 +1,146 @@
+#include "analytic/demand.hh"
+
+#include <algorithm>
+
+namespace mitts::analytic
+{
+
+namespace
+{
+
+/** Stationary fraction of ops spent inside bursts. */
+double
+burstDuty(const AppProfile &p)
+{
+    if (p.burstEnterProb <= 0.0)
+        return 0.0;
+    const double mean_len =
+        p.burstLenOps > 0
+            ? static_cast<double>(p.burstLenOps)
+            : 1.0 / std::max(1e-9, p.burstExitProb);
+    const double mean_gap =
+        1.0 / p.burstEnterProb +
+        static_cast<double>(p.burstMinGapOps);
+    return mean_len / (mean_len + mean_gap);
+}
+
+/** Mean multiplier a phase schedule applies to one scale knob. */
+double
+phaseMean(const AppProfile &p, double PhaseSpec::*knob)
+{
+    if (p.phases.empty())
+        return 1.0;
+    double weighted = 0.0, total = 0.0;
+    for (const auto &ph : p.phases) {
+        const double len = static_cast<double>(ph.lengthOps);
+        weighted += ph.*knob * len;
+        total += len;
+    }
+    return total > 0.0 ? weighted / total : 1.0;
+}
+
+} // namespace
+
+AppDemand
+deriveDemand(const AppProfile &p, std::size_t l1_bytes,
+             std::size_t llc_share_bytes)
+{
+    AppDemand d;
+    d.threads = std::max(1u, p.numThreads);
+
+    const double duty = burstDuty(p);
+    const double intensity =
+        ((1.0 - duty) + duty * p.burstIntensityScale) *
+        phaseMean(p, &PhaseSpec::intensityScale);
+    d.memPerInstr = std::min(0.95, p.memFraction * intensity);
+
+    // Tier mix per memory op. Bursts walking big structures shift a
+    // burstWarmBias fraction of their ops into the warm tier.
+    const double warm_bias = duty * p.burstWarmBias;
+    const double base_scale = 1.0 - warm_bias;
+    double hot = p.hotFraction * base_scale;
+    if (duty > 0.0 && p.burstHotScale != 1.0) {
+        // Bursts shrink the hot share; spread the difference over
+        // the cold remainder below.
+        hot *= (1.0 - duty) + duty * p.burstHotScale;
+    }
+    const double mid = p.midFraction * base_scale;
+    const double warm = p.warmFraction * base_scale + warm_bias;
+    const double stream = p.streamFraction *
+                          phaseMean(p, &PhaseSpec::streamScale) *
+                          base_scale;
+    const double cold =
+        std::max(0.0, 1.0 - hot - mid - warm - stream);
+
+    // Where each tier's L1 misses are served. A tier "fits" a level
+    // when its footprint does not exceed that level's capacity.
+    const auto fits = [](Addr bytes, std::size_t capacity) {
+        return bytes <= static_cast<Addr>(capacity);
+    };
+    double llc_hit = 0.0, dram = 0.0;
+
+    const double hot_miss =
+        fits(p.hotSetBytes, l1_bytes) ? 0.0 : hot;
+    llc_hit += hot_miss; // an L1-overflowing hot set still fits LLC
+
+    if (!fits(p.midSetBytes, l1_bytes)) {
+        if (fits(p.midSetBytes, llc_share_bytes))
+            llc_hit += mid;
+        else
+            dram += mid;
+    }
+
+    if (!fits(p.warmSetBytes, l1_bytes)) {
+        if (fits(p.warmSetBytes, llc_share_bytes))
+            llc_hit += warm;
+        else
+            dram += warm;
+    }
+
+    // Streams miss once per block; the other streamOpsPerBlock-1
+    // touches are L1 hits. A bounded stream region can be LLC
+    // resident on its second and later laps.
+    const double stream_miss =
+        stream /
+        static_cast<double>(std::max(1u, p.streamOpsPerBlock));
+    double stream_dram = 0.0;
+    if (p.streamRegionBytes > 0 &&
+        fits(p.streamRegionBytes, llc_share_bytes)) {
+        llc_hit += stream_miss;
+    } else {
+        dram += stream_miss;
+        stream_dram = stream_miss;
+    }
+
+    // Cold working-set accesses hit the LLC in proportion to the
+    // share of the set this core can keep resident.
+    const double ws_resident =
+        p.workingSetBytes > 0
+            ? std::min(1.0,
+                       static_cast<double>(llc_share_bytes) /
+                           static_cast<double>(p.workingSetBytes))
+            : 1.0;
+    llc_hit += cold * ws_resident;
+    dram += cold * (1.0 - ws_resident);
+
+    d.l1MissPerInstr = d.memPerInstr * (llc_hit + dram);
+    d.llcHitPerInstr = d.memPerInstr * llc_hit;
+    d.dramReadPerInstr = d.memPerInstr * dram;
+    // Dirty blocks eventually wash back out of the hierarchy at the
+    // fetch rate scaled by the store share.
+    d.writebackPerInstr = d.dramReadPerInstr * p.writeFraction;
+
+    // Row-buffer locality: streaming DRAM traffic walks rows
+    // sequentially, the rest is effectively random.
+    d.rowHitFraction =
+        dram > 0.0 ? std::clamp(stream_dram / dram, 0.0, 0.95)
+                   : 0.0;
+
+    const double idle =
+        p.idleFraction * phaseMean(p, &PhaseSpec::idleScale);
+    d.idleCyclesPerInstr = d.memPerInstr * idle *
+                           static_cast<double>(p.idleGapInstrs);
+    return d;
+}
+
+} // namespace mitts::analytic

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Closed-form per-app memory demand derived from an AppProfile.
+ *
+ * The synthetic trace generator (src/trace/synth_trace.cc) draws
+ * individual accesses from the profile's tier mix; this module
+ * integrates the same mix analytically into per-instruction rates:
+ * how many L1 misses, LLC hits and DRAM fetches an instruction stream
+ * produces on average, assuming each tier behaves as its steady-state
+ * caricature (hot set resident in L1, mid set resident in the LLC,
+ * streams missing once per block, the cold remainder hitting the LLC
+ * in proportion to this core's share of it). Burst modulation and
+ * phases are averaged through their duty cycles. DESIGN.md's
+ * "Analytical tier" section lists the approximations.
+ */
+
+#ifndef MITTS_ANALYTIC_DEMAND_HH
+#define MITTS_ANALYTIC_DEMAND_HH
+
+#include <cstddef>
+
+#include "trace/app_profile.hh"
+
+namespace mitts::analytic
+{
+
+/** Steady-state per-core request rates for one application. */
+struct AppDemand
+{
+    double memPerInstr = 0.0;      ///< memory ops per instruction
+    double l1MissPerInstr = 0.0;   ///< misses leaving the L1
+    double llcHitPerInstr = 0.0;   ///< L1 misses served by the LLC
+    double dramReadPerInstr = 0.0; ///< demand fetches reaching DRAM
+    double writebackPerInstr = 0.0;///< dirty evictions reaching DRAM
+    double rowHitFraction = 0.0;   ///< of DRAM traffic (stream share)
+    double idleCyclesPerInstr = 0.0; ///< server-style idle gaps
+    unsigned threads = 1;
+};
+
+/**
+ * Integrate `profile` against a per-core LLC share of
+ * `llc_share_bytes` and an L1 of `l1_bytes`.
+ */
+AppDemand deriveDemand(const AppProfile &profile,
+                       std::size_t l1_bytes,
+                       std::size_t llc_share_bytes);
+
+} // namespace mitts::analytic
+
+#endif // MITTS_ANALYTIC_DEMAND_HH

@@ -1,0 +1,160 @@
+#include "analytic/envelope.hh"
+
+#include "analytic/shaper_curve.hh"
+#include "base/logging.hh"
+#include "system/system.hh"
+
+namespace mitts::analytic
+{
+
+namespace
+{
+
+double
+blocksToGBps(double blocks, Tick window, double cpu_ghz)
+{
+    if (window == 0)
+        return 0.0;
+    return blocks / static_cast<double>(window) *
+           static_cast<double>(kBlockBytes) * cpu_ghz;
+}
+
+const AppProfile &
+profileOf(const SystemConfig &cfg, unsigned app)
+{
+    return cfg.customProfiles.empty()
+               ? appProfile(cfg.apps[app])
+               : cfg.customProfiles[app];
+}
+
+} // namespace
+
+std::vector<AppEnvelope>
+computeEnvelopes(const SystemConfig &cfg, Tick window)
+{
+    std::vector<AppEnvelope> out;
+    // Both read bursts and write bursts occupy the data bus, so the
+    // pure occupancy argument caps completions per channel at
+    // T/tBURST plus one straddling burst.
+    const std::uint64_t bus_cap =
+        (window / static_cast<Tick>(cfg.dram.tBURST) + 1) *
+        cfg.mc.numChannels;
+
+    unsigned core = 0;
+    for (unsigned a = 0; a < cfg.apps.size(); ++a) {
+        const AppProfile &prof = profileOf(cfg, a);
+        const unsigned threads = std::max(1u, prof.numThreads);
+
+        AppEnvelope env;
+        env.name = cfg.apps[a];
+        env.cores = threads;
+
+        std::uint64_t gate_cap = kTickNever;
+        if (cfg.gate == GateKind::Mitts) {
+            if (cfg.sharedShaperPerApp) {
+                // One shaper for the whole app, configured from its
+                // first core's slot.
+                const BinConfig bc =
+                    core < cfg.mittsConfigs.size()
+                        ? cfg.mittsConfigs[core]
+                        : BinConfig::uniform(cfg.binSpec,
+                                             cfg.binSpec.maxCredits);
+                gate_cap = maxShapedAdmissions(bc, window);
+            } else {
+                gate_cap = 0;
+                for (unsigned t = 0; t < threads; ++t) {
+                    const unsigned c = core + t;
+                    const BinConfig bc =
+                        c < cfg.mittsConfigs.size()
+                            ? cfg.mittsConfigs[c]
+                            : BinConfig::uniform(
+                                  cfg.binSpec,
+                                  cfg.binSpec.maxCredits);
+                    gate_cap += maxShapedAdmissions(bc, window);
+                }
+            }
+        } else if (cfg.gate == GateKind::Static) {
+            gate_cap = 0;
+            for (unsigned t = 0; t < threads; ++t) {
+                const unsigned c = core + t;
+                const double interval =
+                    c < cfg.staticIntervals.size()
+                        ? cfg.staticIntervals[c]
+                        : 0.0;
+                const std::uint64_t cap = maxStaticAdmissions(
+                    interval, cfg.staticBucketDepth, window);
+                if (cap == kTickNever) {
+                    gate_cap = kTickNever;
+                    break;
+                }
+                gate_cap += cap;
+            }
+        }
+
+        env.maxCompletions = std::min(gate_cap, bus_cap);
+        env.bwUpperGBps = blocksToGBps(
+            static_cast<double>(env.maxCompletions), window,
+            cfg.cpuGhz);
+        // Demand loads see at least tCL + tBURST; write-allocate
+        // fills at least tWL + tBURST. The min of the two bounds any
+        // mix of demand completions.
+        env.latLowerCycles = static_cast<double>(
+            std::min(cfg.dram.tCL, cfg.dram.tWL) + cfg.dram.tBURST);
+        env.maxOutstanding =
+            static_cast<double>(cfg.l1.mshrs) * threads;
+
+        out.push_back(std::move(env));
+        core += threads;
+    }
+    return out;
+}
+
+EnvelopeReport
+runEnvelopeOracle(const SystemConfig &cfg, Tick window)
+{
+    MITTS_ASSERT(window > 0, "oracle needs a nonzero window");
+    const auto envelopes = computeEnvelopes(cfg, window);
+
+    System sys(cfg);
+    sys.run(window);
+    MemController &mc = sys.memController();
+
+    EnvelopeReport report;
+    report.window = window;
+    for (unsigned a = 0; a < sys.numApps(); ++a) {
+        const AppEnvelope &env = envelopes[a];
+        EnvelopeCheck chk;
+        chk.name = env.name;
+        chk.maxCompletions = env.maxCompletions;
+        chk.bwUpperGBps = env.bwUpperGBps;
+        chk.latLowerCycles = env.latLowerCycles;
+
+        double lat_weighted = 0.0;
+        for (CoreId c : sys.coresOfApp(a)) {
+            chk.completions += mc.completed(c);
+            lat_weighted +=
+                mc.meanLatency(c) *
+                static_cast<double>(mc.latencySamples(c));
+        }
+        chk.measuredGBps = blocksToGBps(
+            static_cast<double>(chk.completions), window,
+            cfg.cpuGhz);
+
+        chk.pass = chk.completions <= env.maxCompletions;
+        if (chk.completions > 0) {
+            chk.measuredLatency =
+                lat_weighted / static_cast<double>(chk.completions);
+            chk.latUpperCycles = env.maxOutstanding *
+                                 static_cast<double>(window) /
+                                 static_cast<double>(chk.completions);
+            chk.pass = chk.pass &&
+                       chk.measuredLatency >= chk.latLowerCycles &&
+                       chk.measuredLatency <= chk.latUpperCycles;
+        }
+        report.pass = report.pass && chk.pass;
+        report.apps.push_back(std::move(chk));
+    }
+    return report;
+}
+
+} // namespace mitts::analytic

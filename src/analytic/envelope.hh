@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The envelope oracle: provable per-app bounds on what any
+ * cycle-accurate run of a SystemConfig can do, and a checker that
+ * runs the real simulator and asserts it stayed inside them.
+ *
+ * Only structurally sound bounds participate (each follows from a
+ * conservation argument, not from the queueing model):
+ *
+ *  - bandwidth upper bound: min(shaper admission cap over the window,
+ *    data-bus occupancy cap (T/tBURST + 1 per channel));
+ *  - mean-latency lower bound: the unloaded DRAM access path
+ *    min(tCL, tWL) + tBURST (every demand completion traverses at
+ *    least one CAS-or-write command and one burst);
+ *  - mean-latency upper bound via Little's law: each core holds at
+ *    most `mshrs` outstanding demand misses, so the latency integral
+ *    over a window of T cycles is at most mshrs * cores * T, and the
+ *    mean over C completions is at most mshrs * cores * T / C.
+ *
+ * The bandwidth lower bound is 0 and latency bounds are vacuous for
+ * apps with no completions — see DESIGN.md "Analytical tier" for why
+ * (FR-FCFS has no starvation bound, so nothing stronger is sound).
+ */
+
+#ifndef MITTS_ANALYTIC_ENVELOPE_HH
+#define MITTS_ANALYTIC_ENVELOPE_HH
+
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+#include "system/config.hh"
+
+namespace mitts::analytic
+{
+
+/** Bounds for one app over a window of `window` cycles. */
+struct AppEnvelope
+{
+    std::string name;
+    unsigned cores = 1;
+    /** Demand completions the memory system can deliver. */
+    std::uint64_t maxCompletions = 0;
+    double bwUpperGBps = 0.0;  ///< maxCompletions expressed as GB/s
+    double latLowerCycles = 0.0;
+    /** Little's-law occupancy: mshrs * cores. The mean-latency upper
+     *  bound is maxOutstanding * window / completions. */
+    double maxOutstanding = 0.0;
+};
+
+/** Compute per-app envelopes for a window of `window` cycles. */
+std::vector<AppEnvelope> computeEnvelopes(const SystemConfig &cfg,
+                                          Tick window);
+
+/** One app's measured-vs-bound comparison. */
+struct EnvelopeCheck
+{
+    std::string name;
+    std::uint64_t completions = 0;
+    std::uint64_t maxCompletions = 0;
+    double measuredGBps = 0.0;
+    double bwUpperGBps = 0.0;
+    double measuredLatency = 0.0; ///< cycles; 0 if no completions
+    double latLowerCycles = 0.0;
+    double latUpperCycles = 0.0;  ///< from Little's law; 0 if vacuous
+    bool pass = true;
+};
+
+struct EnvelopeReport
+{
+    Tick window = 0;
+    std::vector<EnvelopeCheck> apps;
+    bool pass = true;
+};
+
+/**
+ * Run the cycle-accurate simulator for `window` cycles and check
+ * every app against its envelope. Used by tests/test_analytic.cc and
+ * the `envelope` CI job.
+ */
+EnvelopeReport runEnvelopeOracle(const SystemConfig &cfg, Tick window);
+
+} // namespace mitts::analytic
+
+#endif // MITTS_ANALYTIC_ENVELOPE_HH

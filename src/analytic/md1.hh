@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Closed-form M/D/1 queueing primitives for the analytical tier.
+ *
+ * The memory bus serves fixed-size 64B bursts, so deterministic
+ * service is the natural fit: for Poisson arrivals at rate lambda and
+ * deterministic service time D, the mean queueing wait is
+ *
+ *     W = rho * D / (2 * (1 - rho)),   rho = lambda * D.
+ *
+ * Everything here is pure arithmetic — no Clocked, no events, no
+ * state — so a whole design-space sweep is a few thousand FLOPs (cf.
+ * MD1MemRouter in SNIPPETS.md). Utilization is clamped below 1 so an
+ * overloaded operating point returns a large-but-finite wait instead
+ * of infinity; the fixed-point solver in analytic_model.cc relies on
+ * that to converge from saturated starting points.
+ */
+
+#ifndef MITTS_ANALYTIC_MD1_HH
+#define MITTS_ANALYTIC_MD1_HH
+
+#include <algorithm>
+
+namespace mitts::analytic
+{
+
+/** Utilization cap keeping waits finite past saturation. */
+constexpr double kRhoCap = 0.995;
+
+/** Server utilization lambda * service, clamped to [0, rho_cap]. */
+inline double
+utilization(double lambda, double service, double rho_cap = kRhoCap)
+{
+    return std::clamp(lambda * service, 0.0, rho_cap);
+}
+
+/**
+ * Mean M/D/1 queueing wait (excluding service) in cycles. Monotone
+ * non-decreasing in lambda for fixed service (tests/test_analytic.cc
+ * asserts this property across the full utilization range).
+ */
+inline double
+md1Wait(double lambda, double service, double rho_cap = kRhoCap)
+{
+    if (service <= 0.0)
+        return 0.0;
+    const double rho = utilization(lambda, service, rho_cap);
+    return rho * service / (2.0 * (1.0 - rho));
+}
+
+/** Mean M/D/1 backlog (queued jobs, Little's law on the wait). */
+inline double
+md1Backlog(double lambda, double service, double rho_cap = kRhoCap)
+{
+    return std::max(0.0, lambda) *
+           md1Wait(lambda, service, rho_cap);
+}
+
+} // namespace mitts::analytic
+
+#endif // MITTS_ANALYTIC_MD1_HH

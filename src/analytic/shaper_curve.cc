@@ -1,0 +1,101 @@
+#include "analytic/shaper_curve.hh"
+
+#include <cmath>
+
+namespace mitts::analytic
+{
+
+namespace
+{
+
+/**
+ * Max admissions whose per-request spacing floors fit in `budget`
+ * cycles, given `periods` replenishments of credits. Greedy over bins
+ * in ascending floor order is optimal: any admission multiset can
+ * swap a credit for a cheaper unused one without losing feasibility.
+ */
+std::uint64_t
+spacingPacked(const BinConfig &cfg, std::uint64_t periods,
+              Tick budget)
+{
+    std::uint64_t count = 0;
+    Tick left = budget;
+    for (unsigned j = 0; j < cfg.spec.numBins; ++j) {
+        const std::uint64_t avail =
+            static_cast<std::uint64_t>(cfg.credits[j]) * periods;
+        const Tick floor_j =
+            static_cast<Tick>(j) * cfg.spec.intervalLength;
+        if (floor_j == 0) {
+            count += avail; // bin 0 admits back-to-back requests
+            continue;
+        }
+        const std::uint64_t fit =
+            std::min<std::uint64_t>(avail, left / floor_j);
+        count += fit;
+        left -= fit * floor_j;
+        if (left < floor_j)
+            break;
+    }
+    return count;
+}
+
+} // namespace
+
+ShaperCurve
+shaperCurve(const BinConfig &cfg)
+{
+    ShaperCurve c;
+    c.creditsPerPeriod = cfg.totalCredits();
+    const Tick period = cfg.spec.replenishPeriod;
+    c.admissionsPerPeriod =
+        std::min(c.creditsPerPeriod, spacingPacked(cfg, 1, period));
+    c.sustainedRate = period > 0
+                          ? static_cast<double>(
+                                c.admissionsPerPeriod) /
+                                static_cast<double>(period)
+                          : 0.0;
+    // Burst: credits spendable with zero spacing (bin 0) plus the
+    // maximally spaced first request, still capped by the total.
+    c.burst = static_cast<double>(std::min<std::uint64_t>(
+        c.creditsPerPeriod, 1 + cfg.credits[0]));
+    return c;
+}
+
+std::uint64_t
+maxShapedAdmissions(const BinConfig &cfg, Tick window)
+{
+    const Tick period = cfg.spec.replenishPeriod;
+    // Replenishments whose credits are spendable inside the window.
+    // Reset grants the full vector at most floor(T/T_r)+1 times;
+    // Rolling accrues at K_i/T_r on top of at most K_i initial, so
+    // the same count (rounded up) also bounds it.
+    std::uint64_t periods = 1;
+    if (period > 0) {
+        periods = window / period + 1;
+        if (cfg.spec.policy == ReplenishPolicy::Rolling &&
+            window % period != 0)
+            ++periods;
+    }
+    const std::uint64_t credit_cap = cfg.totalCredits() * periods;
+    if (credit_cap == 0)
+        return 0;
+    // +1: the first admission's inter-arrival extends before the
+    // window, so only the later ones consume spacing budget.
+    const std::uint64_t spacing_cap =
+        1 + spacingPacked(cfg, periods, window);
+    return std::min(credit_cap, spacing_cap);
+}
+
+std::uint64_t
+maxStaticAdmissions(double interval_cycles, double bucket_depth,
+                    Tick window)
+{
+    if (interval_cycles <= 0.0)
+        return kTickNever; // unlimited
+    const double tokens =
+        bucket_depth +
+        static_cast<double>(window) / interval_cycles;
+    return static_cast<std::uint64_t>(std::ceil(tokens)) + 1;
+}
+
+} // namespace mitts::analytic

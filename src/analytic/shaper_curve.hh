@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Network-calculus arrival curves for the MITTS credit shaper and the
+ * static token-bucket gate (cf. the credit-based-shaper bounds of
+ * Mohammadpour et al., PAPERS.md).
+ *
+ * A consumed credit from bin j implies the admitted request's
+ * inter-arrival time was at least j*L (MittsShaper::eligibleBin walks
+ * downward, so a bin-j credit is only spent on requests whose
+ * observed bin is >= j). Two structural facts follow for any window
+ * of length T:
+ *
+ *  1. Credit cap: every DRAM-bound admission permanently consumes one
+ *     credit (the hybrid refund only returns credits for LLC hits),
+ *     and at most floor(T / T_r) + 1 replenishments supply credits
+ *     inside the window.
+ *  2. Spacing cap: the inter-arrival times of admissions after the
+ *     first sum to at most T, and each is bounded below by the floor
+ *     of the bin whose credit it consumed, so the maximum admission
+ *     count packs the cheapest (lowest-bin) credits first.
+ *
+ * Both hold for every replenish policy, congestion scaling (which
+ * only shrinks credits) and hybrid method, which is what lets the
+ * envelope oracle assert them against cycle-accurate runs.
+ */
+
+#ifndef MITTS_ANALYTIC_SHAPER_CURVE_HH
+#define MITTS_ANALYTIC_SHAPER_CURVE_HH
+
+#include <cstdint>
+
+#include "base/types.hh"
+#include "shaper/bin_config.hh"
+
+namespace mitts::analytic
+{
+
+/** Token-bucket summary of one shaper's admission curve. */
+struct ShaperCurve
+{
+    /** Long-run admissible rate in blocks/cycle (the slope r of the
+     *  arrival curve alpha(t) = b + r t). */
+    double sustainedRate = 0.0;
+    /** Max admissions at a single instant (the burst term b). */
+    double burst = 0.0;
+    /** Total credits per replenishment period. */
+    std::uint64_t creditsPerPeriod = 0;
+    /** Spacing-capped admissions within one period. */
+    std::uint64_t admissionsPerPeriod = 0;
+};
+
+/** Summarize a bin configuration as a token bucket. */
+ShaperCurve shaperCurve(const BinConfig &cfg);
+
+/**
+ * Hard upper bound on DRAM-bound admissions through a MITTS shaper
+ * over any window of `window` cycles (min of the credit cap and the
+ * spacing cap above). Exact in the sense that no cycle-accurate run
+ * can exceed it, for either replenish policy.
+ */
+std::uint64_t maxShapedAdmissions(const BinConfig &cfg, Tick window);
+
+/**
+ * Same bound for the static token-bucket gate: depth + T/interval
+ * (+1 for the request straddling the window start).
+ */
+std::uint64_t maxStaticAdmissions(double interval_cycles,
+                                  double bucket_depth, Tick window);
+
+} // namespace mitts::analytic
+
+#endif // MITTS_ANALYTIC_SHAPER_CURVE_HH

@@ -29,12 +29,26 @@ Histogram::percentile(double p) const
 {
     if (total_ == 0)
         return 0.0;
-    p = std::clamp(p, 0.0, 1.0);
+    // std::clamp passes NaN through; force non-finite p to 0 so the
+    // result is always defined (see the convention in stats.hh).
+    if (!(p > 0.0))
+        p = 0.0;
+    else if (p > 1.0)
+        p = 1.0;
     const double target = p * static_cast<double>(total_);
     // Underflow samples (v < 0) sit below every bin; treat them as 0.
     double cum = static_cast<double>(underflow_);
-    if (target <= cum)
-        return 0.0;
+    if (target <= cum) {
+        // p == 0, or every sample underflowed: the smallest value the
+        // histogram can name for its recorded mass.
+        if (underflow_ > 0)
+            return 0.0;
+        for (std::size_t i = 0; i < bins_.size(); ++i) {
+            if (bins_[i] > 0)
+                return static_cast<double>(i) * width_;
+        }
+        return static_cast<double>(bins_.size()) * width_;
+    }
     for (std::size_t i = 0; i < bins_.size(); ++i) {
         const double in_bin = static_cast<double>(bins_[i]);
         if (cum + in_bin >= target && in_bin > 0) {

@@ -11,6 +11,7 @@
 #define MITTS_BASE_STATS_HH
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <memory>
 #include <ostream>
@@ -115,20 +116,36 @@ class Histogram
                      "Histogram needs bins");
     }
 
+    /**
+     * Record `n` observations of value `v`. Convention for values the
+     * bins cannot represent: negatives, NaN and -inf count as
+     * underflow; +inf and anything at or beyond the top edge count as
+     * overflow. Non-finite values are excluded from `sum()` so
+     * `mean()` stays finite. (The naive `size_t(v / width)` cast is
+     * undefined for NaN and for values past 2^64 bins, hence the
+     * explicit range checks.)
+     */
     void
     sample(double v, std::uint64_t n = 1)
     {
         total_ += n;
+        if (!std::isfinite(v)) {
+            if (v > 0)
+                overflow_ += n;
+            else
+                underflow_ += n;
+            return;
+        }
         sum_ += v * static_cast<double>(n);
         if (v < 0) {
             underflow_ += n;
             return;
         }
-        auto idx = static_cast<std::size_t>(v / width_);
-        if (idx >= bins_.size())
+        const double scaled = v / width_;
+        if (scaled >= static_cast<double>(bins_.size()))
             overflow_ += n;
         else
-            bins_[idx] += n;
+            bins_[static_cast<std::size_t>(scaled)] += n;
     }
 
     void
@@ -178,11 +195,20 @@ class Histogram
     }
 
     /**
-     * Value below which fraction `p` (in [0, 1]) of the samples fall,
-     * linearly interpolated within the containing bin. Underflow
-     * samples count as 0; percentiles landing in the overflow bucket
-     * clamp to the top edge `numBins * binWidth` (the histogram does
-     * not know how far beyond it they went). 0 when empty.
+     * Value below which fraction `p` of the samples fall, linearly
+     * interpolated within the containing bin.
+     *
+     * Edge-case convention (all cases return defined values):
+     *  - Empty histogram: 0 for every p.
+     *  - p is clamped to [0, 1]; a non-finite p (NaN) behaves like 0.
+     *  - p == 0 (or all mass below 0): the smallest value the
+     *    histogram can name — 0 if there is underflow mass, else the
+     *    lower edge of the first populated bin, else the top edge
+     *    (every sample overflowed).
+     *  - Underflow samples count as 0.
+     *  - Percentiles landing in the overflow bucket clamp to the top
+     *    edge `numBins * binWidth` (the histogram does not know how
+     *    far beyond it they went).
      */
     double percentile(double p) const;
 

@@ -34,6 +34,8 @@ MemController::initPerCore(unsigned num_cores)
     for (unsigned c = 0; c < num_cores; ++c) {
         completedPerCore_.push_back(&stats_.addCounter(
             "core" + std::to_string(c) + "_completed"));
+        latencyPerCore_.push_back(&stats_.addAverage(
+            "core" + std::to_string(c) + "_mem_latency"));
     }
 }
 
@@ -257,19 +259,25 @@ MemController::completionCallback(ReqPtr req, Tick done)
     MemScheduler *sched = sched_;
     SharedLlc *llc = llc_;
     auto *completed_ctr = &completed_;
-    auto *per_core = (req->core >= 0 &&
-                      static_cast<std::size_t>(req->core) <
-                          completedPerCore_.size())
-                         ? completedPerCore_[req->core]
-                         : nullptr;
+    const bool core_tracked =
+        req->core >= 0 && static_cast<std::size_t>(req->core) <
+                              completedPerCore_.size();
+    auto *per_core = core_tracked ? completedPerCore_[req->core]
+                                  : nullptr;
+    auto *per_core_lat = core_tracked
+                             ? latencyPerCore_[req->core]
+                             : nullptr;
     auto *total_lat = &totalLatency_;
     return [req = std::move(req), done, sched, llc, completed_ctr,
-            per_core, total_lat] {
+            per_core, per_core_lat, total_lat] {
         req->doneAt = done;
         completed_ctr->inc();
         if (per_core)
             per_core->inc();
-        total_lat->sample(static_cast<double>(done - req->l1MissAt));
+        const auto lat = static_cast<double>(done - req->l1MissAt);
+        total_lat->sample(lat);
+        if (per_core_lat)
+            per_core_lat->sample(lat);
         if (sched)
             sched->onComplete(*req, done);
         if (llc)

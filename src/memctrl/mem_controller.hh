@@ -94,6 +94,18 @@ class MemController : public Clocked, public MemSink
     /** Total demand reads completed. */
     std::uint64_t completed() const { return completed_.value(); }
 
+    /** Mean demand-read latency (L1-miss to DRAM burst end) for one
+     *  core; 0 when that core completed nothing. Feeds the analytic
+     *  envelope oracle (src/analytic/envelope.hh). */
+    double meanLatency(CoreId core) const
+    {
+        return latencyPerCore_.at(core)->mean();
+    }
+    std::uint64_t latencySamples(CoreId core) const
+    {
+        return latencyPerCore_.at(core)->count();
+    }
+
     stats::Group &statsGroup() { return stats_; }
     double avgQueueLatency() const { return queueLatency_.mean(); }
     /** Entries across all channel queues. Kept inline: callers in
@@ -158,6 +170,7 @@ class MemController : public Clocked, public MemSink
     stats::Average &queueLatency_;
     stats::Average &totalLatency_;
     std::vector<stats::Counter *> completedPerCore_;
+    std::vector<stats::Average *> latencyPerCore_;
 };
 
 } // namespace mitts

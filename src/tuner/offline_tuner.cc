@@ -1,7 +1,9 @@
 #include "tuner/offline_tuner.hh"
 
+#include <algorithm>
 #include <optional>
 
+#include "analytic/analytic_model.hh"
 #include "base/logging.hh"
 #include "base/thread_pool.hh"
 #include "tuner/constraints.hh"
@@ -198,16 +200,64 @@ tuneMultiProgram(const SystemConfig &base,
         return 1.0 / std::max(1e-9, metric);
     };
 
+    // Analytic fast path: alone baselines computed once, one model
+    // solve (~µs) per candidate afterwards.
+    const analytic::AnalyticModel model;
+    std::optional<analytic::AnalyticModel::Context> actx;
+    if (opts.prefilter.enabled)
+        actx = model.makeContext(base);
+    std::uint64_t ca_evals = 0, analytic_evals = 0;
+
     std::optional<ThreadPool> local = poolOverride(opts);
     auto batch = [&](const std::vector<Genome> &gen) {
-        return parallelMap(
-            gen.size(),
-            [&](std::size_t i) { return eval_one(gen[i]); },
+        if (!opts.prefilter.enabled) {
+            ca_evals += gen.size();
+            return parallelMap(
+                gen.size(),
+                [&](std::size_t i) { return eval_one(gen[i]); },
+                local ? &*local : nullptr);
+        }
+
+        // Rank the generation analytically (sequential, so the
+        // ranking is identical for every thread count)...
+        std::vector<double> score;
+        for (const auto &g : gen) {
+            SystemConfig cfg = base;
+            cfg.mittsConfigs = genomeToConfigs(g, spec, num_cores);
+            const auto m = model.metricsFor(*actx, cfg);
+            const double metric = objective == Objective::Throughput
+                                      ? m.savg
+                                      : m.smax;
+            score.push_back(1.0 / std::max(1e-9, metric));
+        }
+        analytic_evals += gen.size();
+
+        // ...then spend cycle-accurate runs on the top fraction
+        // only, in index order (deterministic parallelMap).
+        auto keep = prefilterKeep(score, opts.prefilter);
+        std::sort(keep.begin(), keep.end());
+        const auto kept_fit = parallelMap(
+            keep.size(),
+            [&](std::size_t j) { return eval_one(gen[keep[j]]); },
             local ? &*local : nullptr);
+        ca_evals += keep.size();
+
+        std::vector<double> fitness(gen.size(), 0.0);
+        std::vector<bool> kept(gen.size(), false);
+        double floor = kept_fit.empty() ? 0.0 : kept_fit[0];
+        for (std::size_t j = 0; j < keep.size(); ++j) {
+            fitness[keep[j]] = kept_fit[j];
+            kept[keep[j]] = true;
+            floor = std::min(floor, kept_fit[j]);
+        }
+        assignPrunedFitness(score, kept, floor, fitness);
+        return fitness;
     };
 
     MultiTuneResult result;
     result.ga = ga.run(batch);
+    result.caEvaluations = ca_evals;
+    result.analyticEvaluations = analytic_evals;
     result.best = genomeToConfigs(result.ga.best, spec, num_cores);
 
     SystemConfig best_cfg = base;

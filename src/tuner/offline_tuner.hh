@@ -15,6 +15,7 @@
 #include "system/runner.hh"
 #include "tuner/ga.hh"
 #include "tuner/objective.hh"
+#include "tuner/prefilter.hh"
 
 namespace mitts
 {
@@ -33,6 +34,12 @@ struct OfflineTunerOptions
     /** Extra seed configurations injected into the GA population
      *  (e.g. the static-search winner, or a known-good profile). */
     std::vector<BinConfig> seedConfigs;
+    /** Analytic first-pass filter: rank each generation with the
+     *  M/D/1 fast model and cycle-accurately evaluate only the top
+     *  keepFraction (multi-program tuner only). Pruned children get
+     *  a fitness strictly below every kept child's, preserving the
+     *  analytic order, so the GA trajectory stays deterministic. */
+    PreFilterOptions prefilter;
 };
 
 /** Split a concatenated per-core genome into BinConfigs. */
@@ -73,6 +80,10 @@ struct MultiTuneResult
     std::vector<BinConfig> best; ///< one per core
     MultiProgramMetrics metrics;
     GeneticAlgorithm::Result ga;
+    /** Evaluation accounting (the analytic pre-filter's savings show
+     *  up as caEvaluations < analyticEvaluations). */
+    std::uint64_t caEvaluations = 0;
+    std::uint64_t analyticEvaluations = 0;
 };
 
 /**

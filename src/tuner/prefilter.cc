@@ -1,0 +1,58 @@
+#include "tuner/prefilter.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace mitts
+{
+
+std::vector<std::size_t>
+prefilterKeep(const std::vector<double> &scores,
+              const PreFilterOptions &opts)
+{
+    const std::size_t n = scores.size();
+    std::vector<std::size_t> order(n);
+    for (std::size_t i = 0; i < n; ++i)
+        order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return scores[a] > scores[b];
+                     });
+
+    const double frac = std::clamp(opts.keepFraction, 0.0, 1.0);
+    std::size_t keep = static_cast<std::size_t>(
+        std::ceil(frac * static_cast<double>(n)));
+    keep = std::max<std::size_t>(keep, opts.minKeep);
+    keep = std::min(keep, n);
+    order.resize(keep);
+    return order;
+}
+
+void
+assignPrunedFitness(const std::vector<double> &scores,
+                    const std::vector<bool> &kept, double kept_floor,
+                    std::vector<double> &fitness)
+{
+    MITTS_ASSERT(scores.size() == kept.size() &&
+                     scores.size() == fitness.size(),
+                 "prefilter size mismatch");
+    std::vector<std::size_t> pruned;
+    for (std::size_t i = 0; i < scores.size(); ++i)
+        if (!kept[i])
+            pruned.push_back(i);
+    std::stable_sort(pruned.begin(), pruned.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return scores[a] > scores[b];
+                     });
+    // Step below the kept floor per rank; scale the step with the
+    // floor's magnitude so it survives very small fitness values.
+    const double step =
+        std::max(std::abs(kept_floor), 1.0) * 1e-9;
+    for (std::size_t r = 0; r < pruned.size(); ++r)
+        fitness[pruned[r]] =
+            kept_floor - static_cast<double>(r + 1) * step;
+}
+
+} // namespace mitts

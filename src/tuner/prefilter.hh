@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Analytic pre-filter for the offline tuners: rank a batch of
+ * candidate configurations with the M/D/1 fast model
+ * (analytic/analytic_model.hh) and spend cycle-accurate simulations
+ * only on the most promising fraction. The ranking is sequential
+ * double arithmetic and the kept set is evaluated with the same
+ * index-ordered parallelMap the unfiltered path uses, so tuning
+ * trajectories stay bit-identical for every thread count.
+ */
+
+#ifndef MITTS_TUNER_PREFILTER_HH
+#define MITTS_TUNER_PREFILTER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mitts
+{
+
+struct PreFilterOptions
+{
+    /** Off by default: the unfiltered tuner is the reference. */
+    bool enabled = false;
+    /** Fraction of each batch that graduates to a cycle-accurate
+     *  evaluation (rounded up). */
+    double keepFraction = 0.5;
+    /** Floor on cycle-accurate evaluations per batch, so small
+     *  batches are never filtered down to nothing. */
+    unsigned minKeep = 4;
+};
+
+/**
+ * Indices of the candidates to keep, ordered by descending score
+ * (ties broken by ascending index, so the result is deterministic).
+ * Keeps max(minKeep, ceil(keepFraction * n)) candidates, capped at n.
+ */
+std::vector<std::size_t>
+prefilterKeep(const std::vector<double> &scores,
+              const PreFilterOptions &opts);
+
+/**
+ * Fill in fitness values for candidates the filter pruned: every
+ * pruned candidate scores strictly below `kept_floor` (the worst
+ * cycle-accurate fitness among the kept), and pruned candidates keep
+ * their analytic order relative to each other. `fitness` must be
+ * pre-sized to scores.size() with the kept entries already written;
+ * `kept` flags which indices those are.
+ */
+void assignPrunedFitness(const std::vector<double> &scores,
+                         const std::vector<bool> &kept,
+                         double kept_floor,
+                         std::vector<double> &fitness);
+
+} // namespace mitts
+
+#endif // MITTS_TUNER_PREFILTER_HH

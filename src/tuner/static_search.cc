@@ -1,7 +1,9 @@
 #include "tuner/static_search.hh"
 
 #include <algorithm>
+#include <optional>
 
+#include "analytic/analytic_model.hh"
 #include "base/logging.hh"
 #include "base/thread_pool.hh"
 
@@ -95,7 +97,8 @@ searchHeterogeneousSplit(const SystemConfig &base,
                          const std::vector<Tick> &alone,
                          double total_gbps, Objective objective,
                          unsigned iterations,
-                         const RunnerOptions &opts)
+                         const RunnerOptions &opts,
+                         const PreFilterOptions &prefilter)
 {
     System probe(base);
     const unsigned n = probe.numCores();
@@ -106,7 +109,26 @@ searchHeterogeneousSplit(const SystemConfig &base,
                                                 : r.metrics.savg;
     };
 
+    const analytic::AnalyticModel model;
+    std::optional<analytic::AnalyticModel::Context> actx;
+    if (prefilter.enabled)
+        actx = model.makeContext(base);
+    auto analytic_score = [&](const std::vector<double> &trial) {
+        SystemConfig cfg = base;
+        cfg.gate = GateKind::Static;
+        cfg.staticIntervals.clear();
+        for (double g : trial)
+            cfg.staticIntervals.push_back(
+                intervalForGBps(g, base.cpuGhz));
+        const auto m = model.metricsFor(*actx, cfg);
+        const double v = objective == Objective::Fairness ? m.smax
+                                                          : m.savg;
+        return 1.0 / std::max(1e-9, v);
+    };
+
+    std::uint64_t ca_evals = 0, analytic_evals = 0;
     StaticSplitResult best = runSplit(base, alone, gbps, opts);
+    ++ca_evals;
     const double min_share = total_gbps / (8.0 * n);
 
     for (unsigned it = 0; it < iterations; ++it) {
@@ -128,16 +150,32 @@ searchHeterogeneousSplit(const SystemConfig &base,
                 trials.push_back(std::move(trial));
             }
         }
-        auto results =
-            parallelMap(trials.size(), [&](std::size_t t) {
-                return runSplit(base, alone, trials[t], opts);
-            });
+
+        // With the pre-filter on, rank the sweep analytically and
+        // only simulate the top fraction; acceptance still scans the
+        // kept moves in their original (i, j) order.
+        std::vector<std::size_t> live(trials.size());
+        for (std::size_t t = 0; t < trials.size(); ++t)
+            live[t] = t;
+        if (prefilter.enabled) {
+            std::vector<double> score;
+            for (const auto &trial : trials)
+                score.push_back(analytic_score(trial));
+            analytic_evals += trials.size();
+            live = prefilterKeep(score, prefilter);
+            std::sort(live.begin(), live.end());
+        }
+
+        auto results = parallelMap(live.size(), [&](std::size_t t) {
+            return runSplit(base, alone, trials[live[t]], opts);
+        });
+        ca_evals += live.size();
 
         bool improved = false;
         for (std::size_t t = 0; t < results.size(); ++t) {
             if (metric(results[t]) < metric(best)) {
                 best = std::move(results[t]);
-                gbps = std::move(trials[t]);
+                gbps = std::move(trials[live[t]]);
                 improved = true;
                 break;
             }
@@ -145,6 +183,8 @@ searchHeterogeneousSplit(const SystemConfig &base,
         if (!improved)
             break;
     }
+    best.caEvaluations = ca_evals;
+    best.analyticEvaluations = analytic_evals;
     return best;
 }
 

@@ -16,6 +16,7 @@
 #include "iaas/pricing.hh"
 #include "system/runner.hh"
 #include "tuner/objective.hh"
+#include "tuner/prefilter.hh"
 
 namespace mitts
 {
@@ -45,6 +46,10 @@ struct StaticSplitResult
 {
     std::vector<double> intervals; ///< per-core cycles/request
     MultiProgramMetrics metrics;
+    /** Evaluation accounting (prefiltered searches report
+     *  caEvaluations < analyticEvaluations). */
+    std::uint64_t caEvaluations = 0;
+    std::uint64_t analyticEvaluations = 0;
 };
 
 /**
@@ -59,13 +64,19 @@ StaticSplitResult evenStaticSplit(const SystemConfig &base,
  * Greedy coordinate descent over per-core static bandwidth shares
  * with the total fixed, optimizing S_avg (Throughput) or S_max
  * (Fairness).
+ *
+ * With `prefilter.enabled`, each sweep's candidate moves are ranked
+ * by the analytic model first and only the most promising fraction
+ * is simulated; the first improving move in (i, j) order among the
+ * kept set is accepted, so the search stays deterministic.
  */
 StaticSplitResult
 searchHeterogeneousSplit(const SystemConfig &base,
                          const std::vector<Tick> &alone,
                          double total_gbps, Objective objective,
                          unsigned iterations,
-                         const RunnerOptions &opts);
+                         const RunnerOptions &opts,
+                         const PreFilterOptions &prefilter = {});
 
 /** cycles/request interval for a bandwidth in GB/s. */
 double intervalForGBps(double gbps, double cpu_ghz);

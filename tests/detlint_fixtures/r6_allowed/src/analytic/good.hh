@@ -1,0 +1,22 @@
+// R6 fixture (allowed): a pure closed-form analytic component — no
+// Clocked base, no event-loop includes. Running the cycle-accurate
+// oracle through system/system.hh is fine; only entering the Clocked
+// contract itself is banned.
+#ifndef FIXTURE_R6_ALLOWED_HH
+#define FIXTURE_R6_ALLOWED_HH
+
+#include "system/system.hh"
+
+struct QueueModel
+{
+    double service = 14.0;
+
+    double
+    wait(double lambda) const
+    {
+        const double rho = lambda * service;
+        return rho < 1.0 ? rho * service / (2.0 * (1.0 - rho)) : 1e9;
+    }
+};
+
+#endif

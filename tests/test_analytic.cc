@@ -1,0 +1,356 @@
+/**
+ * @file
+ * Analytic-tier tests: M/D/1 properties, the envelope oracle against
+ * cycle-accurate runs on the CI mixes, determinism of the fast model,
+ * and the tuner pre-filter's accuracy/accounting contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analytic/analytic_model.hh"
+#include "analytic/envelope.hh"
+#include "analytic/md1.hh"
+#include "analytic/shaper_curve.hh"
+#include "system/runner.hh"
+#include "tuner/offline_tuner.hh"
+#include "tuner/prefilter.hh"
+#include "tuner/static_search.hh"
+
+namespace mitts
+{
+namespace
+{
+
+using analytic::AnalyticModel;
+using analytic::md1Wait;
+using analytic::runEnvelopeOracle;
+using analytic::utilization;
+
+SystemConfig
+fig12Mix()
+{
+    SystemConfig cfg = SystemConfig::multiProgram(
+        {"gcc", "mcf", "libquantum", "sjeng"});
+    cfg.gate = GateKind::Mitts;
+    cfg.mittsConfigs.assign(4,
+                            BinConfig::uniform(cfg.binSpec, 8));
+    return cfg;
+}
+
+SystemConfig
+saturatedMix()
+{
+    // Ungated memory-intensive mix: the envelope must hold even with
+    // every queue full.
+    return SystemConfig::multiProgram(
+        {"mcf", "libquantum", "omnetpp", "astar"});
+}
+
+std::string
+describe(const analytic::EnvelopeReport &report)
+{
+    std::string s;
+    for (const auto &app : report.apps) {
+        char buf[256];
+        std::snprintf(
+            buf, sizeof(buf),
+            "%s: completions=%llu max=%llu lat=%.2f in [%.2f, %.2f] "
+            "%s\n",
+            app.name.c_str(),
+            static_cast<unsigned long long>(app.completions),
+            static_cast<unsigned long long>(app.maxCompletions),
+            app.measuredLatency, app.latLowerCycles,
+            app.latUpperCycles, app.pass ? "ok" : "VIOLATED");
+        s += buf;
+    }
+    return s;
+}
+
+TEST(Md1, WaitMonotoneInUtilization)
+{
+    const double service = 14.0;
+    double prev = -1.0;
+    for (double lambda = 0.0; lambda <= 0.12; lambda += 0.0005) {
+        const double w = md1Wait(lambda, service);
+        ASSERT_GE(w, prev) << "W_q decreased at lambda=" << lambda;
+        ASSERT_GE(w, 0.0);
+        prev = w;
+    }
+}
+
+TEST(Md1, UtilizationClampsAtCap)
+{
+    EXPECT_DOUBLE_EQ(utilization(0.0, 14.0), 0.0);
+    EXPECT_DOUBLE_EQ(utilization(-1.0, 14.0), 0.0);
+    EXPECT_NEAR(utilization(0.05, 14.0), 0.7, 1e-12);
+    // Past saturation the wait stays finite (the model predicts
+    // "very congested", not infinity).
+    EXPECT_LE(utilization(10.0, 14.0), analytic::kRhoCap);
+    EXPECT_TRUE(std::isfinite(md1Wait(10.0, 14.0)));
+}
+
+TEST(Md1, WaitZeroWhenIdleOrInstant)
+{
+    EXPECT_DOUBLE_EQ(md1Wait(0.0, 14.0), 0.0);
+    EXPECT_DOUBLE_EQ(md1Wait(0.5, 0.0), 0.0);
+}
+
+TEST(ShaperCurve, SaturatedBinsShapeNothing)
+{
+    BinSpec spec;
+    const auto unshaped =
+        analytic::shaperCurve(BinConfig::uniform(spec, 1024));
+    // Even fully credited the curve is spacing-limited: 1024
+    // back-to-back admissions from bin 0, then one per 10-cycle
+    // interval from bin 1 until the 10k-cycle period fills — 2024
+    // admissions, ~0.20 req/cycle. That is an order of magnitude
+    // above any core's achievable demand, i.e. effectively unshaped.
+    EXPECT_NEAR(unshaped.sustainedRate, 0.2024, 1e-12);
+
+    const auto tight =
+        analytic::shaperCurve(BinConfig::uniform(spec, 1));
+    EXPECT_LT(tight.sustainedRate, unshaped.sustainedRate);
+    EXPECT_GT(tight.sustainedRate, 0.0);
+}
+
+TEST(EnvelopeOracle, Fig12MittsMix)
+{
+    const auto report = runEnvelopeOracle(fig12Mix(), 200'000);
+    EXPECT_TRUE(report.pass) << describe(report);
+}
+
+TEST(EnvelopeOracle, Fig16StyleStaticSplit)
+{
+    SystemConfig cfg = SystemConfig::multiProgram(
+        {"mcf", "libquantum", "gcc", "sjeng"});
+    cfg.gate = GateKind::Static;
+    // Uneven split, fig16-style provisioning.
+    cfg.staticIntervals = {80.0, 160.0, 320.0, 640.0};
+    const auto report = runEnvelopeOracle(cfg, 200'000);
+    EXPECT_TRUE(report.pass) << describe(report);
+}
+
+TEST(EnvelopeOracle, SaturatedUngatedMix)
+{
+    const auto report = runEnvelopeOracle(saturatedMix(), 200'000);
+    EXPECT_TRUE(report.pass) << describe(report);
+}
+
+TEST(EnvelopeOracle, EightProgramMix)
+{
+    SystemConfig cfg = SystemConfig::multiProgram(
+        {"gcc", "mcf", "libquantum", "sjeng", "omnetpp", "astar",
+         "bzip", "hmmer"});
+    cfg.gate = GateKind::Mitts;
+    cfg.mittsConfigs.assign(8,
+                            BinConfig::uniform(cfg.binSpec, 4));
+    const auto report = runEnvelopeOracle(cfg, 150'000);
+    EXPECT_TRUE(report.pass) << describe(report);
+}
+
+/** The bounds must never be tighter than the measurement: every
+ *  measured value sits inside its envelope with slack accounted as
+ *  a pass, across a sweep of throttle strengths. */
+TEST(EnvelopeOracle, BoundsNeverTighterAcrossThrottleSweep)
+{
+    for (std::uint32_t level : {1u, 16u, 256u}) {
+        SystemConfig cfg = fig12Mix();
+        cfg.mittsConfigs.assign(
+            4, BinConfig::uniform(cfg.binSpec, level));
+        const auto report = runEnvelopeOracle(cfg, 120'000);
+        EXPECT_TRUE(report.pass)
+            << "level=" << level << "\n" << describe(report);
+        for (const auto &app : report.apps) {
+            EXPECT_LE(app.completions, app.maxCompletions);
+            EXPECT_LE(app.measuredGBps, app.bwUpperGBps + 1e-9);
+        }
+    }
+}
+
+TEST(AnalyticModel, SlowdownsAtLeastOne)
+{
+    const AnalyticModel model;
+    const auto res = model.evaluate(fig12Mix());
+    ASSERT_EQ(res.apps.size(), 4u);
+    for (const auto &app : res.apps) {
+        EXPECT_GE(app.slowdown, 1.0) << app.name;
+        EXPECT_GT(app.bandwidthGBps, 0.0) << app.name;
+        EXPECT_GT(app.meanLatencyCycles, 0.0) << app.name;
+    }
+    EXPECT_GE(res.metrics.smax, res.metrics.savg);
+    EXPECT_GT(res.busUtilization, 0.0);
+}
+
+TEST(AnalyticModel, TighterThrottleHurtsThroughput)
+{
+    const AnalyticModel model;
+    SystemConfig loose = fig12Mix();
+    loose.mittsConfigs.assign(
+        4, BinConfig::uniform(loose.binSpec, 1024));
+    SystemConfig tight = fig12Mix();
+    tight.mittsConfigs.assign(
+        4, BinConfig::uniform(tight.binSpec, 1));
+    const auto l = model.evaluate(loose);
+    const auto t = model.evaluate(tight);
+    EXPECT_GT(t.metrics.savg, l.metrics.savg);
+}
+
+/** Byte-identical results across calls: the model is straight-line
+ *  double arithmetic with no global state. */
+TEST(AnalyticModel, DeterministicAcrossCalls)
+{
+    const AnalyticModel model;
+    const SystemConfig cfg = fig12Mix();
+    const auto a = model.evaluate(cfg);
+    const auto b = model.evaluate(cfg);
+    ASSERT_EQ(a.apps.size(), b.apps.size());
+    for (std::size_t i = 0; i < a.apps.size(); ++i) {
+        // Exact bit equality, not tolerance.
+        EXPECT_EQ(a.apps[i].bandwidthGBps, b.apps[i].bandwidthGBps);
+        EXPECT_EQ(a.apps[i].meanLatencyCycles,
+                  b.apps[i].meanLatencyCycles);
+        EXPECT_EQ(a.apps[i].slowdown, b.apps[i].slowdown);
+    }
+    EXPECT_EQ(a.metrics.savg, b.metrics.savg);
+    EXPECT_EQ(a.metrics.smax, b.metrics.smax);
+
+    const auto ctx = model.makeContext(cfg);
+    const auto m1 = model.metricsFor(ctx, cfg);
+    const auto m2 = model.metricsFor(ctx, cfg);
+    EXPECT_EQ(m1.savg, m2.savg);
+    EXPECT_EQ(m1.smax, m2.smax);
+}
+
+TEST(Prefilter, KeepSelectsTopFractionDeterministically)
+{
+    PreFilterOptions opts;
+    opts.enabled = true;
+    opts.keepFraction = 0.5;
+    opts.minKeep = 2;
+    const std::vector<double> scores = {0.2, 0.9, 0.5, 0.9, 0.1,
+                                        0.7};
+    const auto keep = prefilterKeep(scores, opts);
+    // ceil(0.5 * 6) = 3: the two 0.9s (index order on the tie) and
+    // the 0.7.
+    ASSERT_EQ(keep.size(), 3u);
+    EXPECT_EQ(keep[0], 1u);
+    EXPECT_EQ(keep[1], 3u);
+    EXPECT_EQ(keep[2], 5u);
+
+    // minKeep floors the kept count for small batches.
+    const std::vector<double> tiny = {0.3, 0.1};
+    const auto keep_tiny = prefilterKeep(tiny, opts);
+    EXPECT_EQ(keep_tiny.size(), 2u);
+}
+
+TEST(Prefilter, PrunedFitnessBelowFloorInAnalyticOrder)
+{
+    const std::vector<double> scores = {0.9, 0.2, 0.8, 0.4};
+    const std::vector<bool> kept = {true, false, false, false};
+    std::vector<double> fitness = {0.33, 0.0, 0.0, 0.0};
+    assignPrunedFitness(scores, kept, 0.33, fitness);
+    EXPECT_EQ(fitness[0], 0.33);
+    EXPECT_LT(fitness[2], 0.33); // best pruned just below the floor
+    EXPECT_LT(fitness[3], fitness[2]);
+    EXPECT_LT(fitness[1], fitness[3]);
+}
+
+/** The acceptance contract: the prefiltered GA lands within 2% of
+ *  the unfiltered GA's cycle-accurate objective on the fig12 mix
+ *  while spending strictly fewer cycle-accurate evaluations. */
+TEST(Prefilter, GaWithinTwoPercentWithFewerCaEvals)
+{
+    SystemConfig cfg = fig12Mix();
+    cfg.mittsConfigs.clear();
+
+    OfflineTunerOptions opts;
+    opts.run.instrTarget = 20'000;
+    opts.run.maxCycles = 400 * opts.run.instrTarget;
+    opts.ga.populationSize = 8;
+    opts.ga.generations = 3;
+
+    const auto alone = aloneCyclesForAll(cfg, opts.run);
+    const auto plain = tuneMultiProgram(
+        cfg, alone, Objective::Throughput, 0, opts);
+
+    opts.prefilter.enabled = true;
+    const auto filtered = tuneMultiProgram(
+        cfg, alone, Objective::Throughput, 0, opts);
+
+    EXPECT_LT(filtered.caEvaluations, plain.caEvaluations)
+        << "prefilter saved no cycle-accurate evaluations";
+    EXPECT_GT(filtered.analyticEvaluations, 0u);
+    EXPECT_EQ(plain.analyticEvaluations, 0u);
+
+    // Compare the winners on the cycle-accurate objective.
+    auto objective = [&](const std::vector<BinConfig> &best) {
+        SystemConfig c = cfg;
+        c.mittsConfigs = best;
+        return runMulti(c, alone, opts.run).metrics.savg;
+    };
+    const double plain_savg = objective(plain.best);
+    const double filtered_savg = objective(filtered.best);
+    EXPECT_LE(filtered_savg, plain_savg * 1.02)
+        << "prefiltered GA lost more than 2%: " << filtered_savg
+        << " vs " << plain_savg;
+}
+
+/** Prefiltered tuning is thread-count independent: the analytic
+ *  ranking is sequential and kept evaluations stay index-ordered. */
+TEST(Prefilter, GaDeterministicAcrossThreadCounts)
+{
+    SystemConfig cfg = fig12Mix();
+    cfg.mittsConfigs.clear();
+
+    OfflineTunerOptions opts;
+    opts.run.instrTarget = 10'000;
+    opts.run.maxCycles = 400 * opts.run.instrTarget;
+    opts.ga.populationSize = 6;
+    opts.ga.generations = 2;
+    opts.prefilter.enabled = true;
+
+    const auto alone = aloneCyclesForAll(cfg, opts.run);
+
+    opts.maxThreads = 1;
+    const auto serial = tuneMultiProgram(
+        cfg, alone, Objective::Throughput, 0, opts);
+    opts.maxThreads = 4;
+    const auto parallel = tuneMultiProgram(
+        cfg, alone, Objective::Throughput, 0, opts);
+
+    EXPECT_EQ(serial.ga.bestFitness, parallel.ga.bestFitness);
+    ASSERT_EQ(serial.best.size(), parallel.best.size());
+    for (std::size_t c = 0; c < serial.best.size(); ++c)
+        EXPECT_EQ(serial.best[c].credits, parallel.best[c].credits);
+    EXPECT_EQ(serial.caEvaluations, parallel.caEvaluations);
+}
+
+/** The static-split search accepts the prefilter too and reports its
+ *  accounting. */
+TEST(Prefilter, StaticSearchAccounting)
+{
+    SystemConfig cfg = SystemConfig::multiProgram(
+        {"mcf", "libquantum", "gcc", "sjeng"});
+    RunnerOptions run;
+    run.instrTarget = 10'000;
+    run.maxCycles = 400 * run.instrTarget;
+    const auto alone = aloneCyclesForAll(cfg, run);
+
+    PreFilterOptions pf;
+    pf.enabled = true;
+    pf.keepFraction = 0.34;
+    pf.minKeep = 2;
+    const auto filtered = searchHeterogeneousSplit(
+        cfg, alone, 6.0, Objective::Throughput, 2, run, pf);
+    EXPECT_GT(filtered.analyticEvaluations, 0u);
+    EXPECT_GT(filtered.caEvaluations, 0u);
+    EXPECT_LT(filtered.caEvaluations, filtered.analyticEvaluations);
+    EXPECT_GT(filtered.metrics.savg, 0.0);
+}
+
+} // namespace
+} // namespace mitts

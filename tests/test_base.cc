@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <sstream>
 #include <vector>
 
@@ -226,6 +228,61 @@ TEST(Stats, HistogramPercentileEmpty)
 {
     stats::Histogram h("h", 4, 1.0);
     EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 0.0);
+}
+
+// Regression: percentile(0) used to return 0 even when the smallest
+// recorded mass sat in a higher bin.
+TEST(Stats, HistogramPercentileZeroNamesFirstMass)
+{
+    stats::Histogram h("h", 10, 1.0);
+    h.sample(3.5, 5); // all mass in bin 3
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 3.0);
+    EXPECT_DOUBLE_EQ(h.percentile(-1.0), 3.0); // p < 0 clamps to 0
+}
+
+// Regression: percentile(0) with every sample in the overflow bucket
+// used to return 0, far below all recorded mass; the convention clamps
+// to the top edge.
+TEST(Stats, HistogramPercentileZeroAllOverflow)
+{
+    stats::Histogram h("h", 4, 1.0);
+    h.sample(100.0, 3);
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 4.0);
+}
+
+// Regression: std::clamp passes NaN through, so percentile(NaN) used
+// to fall off the bin scan and report the top edge. It now behaves
+// like p == 0.
+TEST(Stats, HistogramPercentileNonFiniteP)
+{
+    stats::Histogram h("h", 4, 1.0);
+    h.sample(1.5, 8); // all mass in bin 1
+    const double nan = std::nan("");
+    EXPECT_DOUBLE_EQ(h.percentile(nan), 1.0);
+    EXPECT_DOUBLE_EQ(h.percentile(
+                         std::numeric_limits<double>::infinity()),
+                     2.0);
+}
+
+// Values the size_t(v / width) cast cannot represent must land in a
+// defined bucket instead of invoking undefined behaviour.
+TEST(Stats, HistogramSampleExtremeValuesDefined)
+{
+    stats::Histogram h("h", 4, 1.0);
+    h.sample(1e300);                                   // >> top edge
+    h.sample(std::numeric_limits<double>::infinity()); // +inf
+    h.sample(-std::numeric_limits<double>::infinity());
+    h.sample(std::nan(""));
+    h.sample(0.5);
+    EXPECT_EQ(h.total(), 5u);
+    EXPECT_EQ(h.overflow(), 2u);  // 1e300, +inf
+    EXPECT_EQ(h.underflow(), 2u); // -inf, NaN
+    EXPECT_EQ(h.bin(0), 1u);
+    // Non-finite samples are excluded from the sum so the mean stays
+    // finite (1e300 still dominates it, but it is a number).
+    EXPECT_TRUE(std::isfinite(h.mean()));
 }
 
 TEST(Stats, GroupDumpContainsNames)

@@ -22,6 +22,11 @@ run.  detlint checks them on every line of every PR:
       a safe default -- always-execute -- and is not required.)
   R5  every MITTS_ASSERT-bearing header under src/ compiles
       standalone (include-what-you-use lite).
+  R6  the analytic tier stays closed-form: nothing under
+      src/analytic/ may derive from Clocked or include the
+      event-loop headers (sim/clocked.hh, sim/event_queue.hh).
+      AnalyticModel results must be pure functions of the config,
+      never stepped state.
 
 Suppression:
   * inline: `// detlint-allow(R2): <reason>` on the finding's line or
@@ -42,7 +47,7 @@ import re
 import subprocess
 import sys
 
-RULES = ("R1", "R2", "R3", "R4", "R5")
+RULES = ("R1", "R2", "R3", "R4", "R5", "R6")
 ALLOW_RE = re.compile(
     r"detlint-allow\(\s*(?P<rules>[A-Za-z0-9_,\s]+)\s*\)"
     r"(?P<colon>:?)\s*(?P<reason>.*)")
@@ -422,6 +427,34 @@ def check_r4(path, code, report):
                    "does not override %s" % (name, what))
 
 
+# --------------------------------------------------------------- R6
+
+R6_BANNED_INCLUDES = ("sim/clocked.hh", "sim/event_queue.hh")
+
+
+def check_r6(path, code, raw_lines, report):
+    """src/analytic/ is the closed-form tier: its components are pure
+    functions of a SystemConfig, so they must never enter the Clocked
+    contract or the event loop."""
+    for m in CLASS_RE.finditer(code):
+        name, bases = m.group(1), m.group(2)
+        if re.search(r"\bClocked\b", bases):
+            report("R6", line_of(code, m.start()),
+                   "analytic component '%s' derives from Clocked; "
+                   "the analytic tier is closed-form and must not "
+                   "be stepped" % name)
+    # Includes live inside string literals, which strip_code blanks;
+    # scan the raw lines instead.
+    inc_re = re.compile(r'^\s*#\s*include\s*[<"]([^">]+)[">]')
+    for idx, line in enumerate(raw_lines, start=1):
+        m = inc_re.match(line)
+        if m and m.group(1) in R6_BANNED_INCLUDES:
+            report("R6", idx,
+                   "analytic tier includes %s; closed-form "
+                   "components must stay out of the Clocked/event "
+                   "contract" % m.group(1))
+
+
 # --------------------------------------------------------------- R5
 
 def check_r5(root, headers, report, cxx):
@@ -566,6 +599,9 @@ def main(argv):
         if in_src(root, path):
             check_r1(path, code, report)
             check_r4(path, code, report)
+            if rel.startswith(
+                    os.path.join("src", "analytic") + os.sep):
+                check_r6(path, code, raw_lines, report)
             if (path.endswith((".hh", ".hpp", ".h"))
                     and re.search(r"\bMITTS_ASSERT\b", code)):
                 r5_headers.append(path)

@@ -11,6 +11,8 @@
  */
 
 #include <algorithm>
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -20,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "analytic/analytic_model.hh"
 #include "ckpt/serialize.hh"
 #include "system/runner.hh"
 #include "system/system.hh"
@@ -39,11 +42,15 @@ usage(int code)
     std::printf(R"(mitts_sim - MITTS multicore memory-system simulator
 
   --apps a,b,c       application mix (see --list-apps); required
+  --backend B        cycle (default) | analytic: the cycle-accurate
+                     simulator, or the closed-form M/D/1 fast model
   --sched NAME       frfcfs|fcfs|fairqueue|atlas|parbs|stfm|tcm|fst|memguard|mise
   --gate KIND        none|mitts|static
   --bins k0,..,k9    MITTS credits for every core (implies --gate mitts)
   --static-gbps G    per-core static rate limit in GB/s
   --tune OBJ         offline GA: throughput|fairness (implies mitts)
+  --prefilter        rank each GA generation with the analytic model
+                     and simulate only the top half (with --tune)
   --instr N          instructions per core to complete (default 200000)
   --cycles N         run a fixed cycle count instead
   --llc BYTES        shared LLC size (default 1MiB; k/m suffixes ok)
@@ -65,10 +72,71 @@ usage(int code)
 
 exit codes:
   0  success
-  1  configuration or runtime error
-  2  usage error, or an invalid/corrupt/mismatched checkpoint
+  1  configuration or runtime error (unknown app/scheduler, bad bin
+     count, simulation failure)
+  2  usage error: unknown flag, malformed or out-of-range numeric
+     value (--instr/--cycles/--seed/--sample-interval/
+     --checkpoint-every must be positive integers, --static-gbps a
+     positive number), a conflicting combination (--tune with
+     checkpointing, --checkpoint-every without --checkpoint-out,
+     --prefilter without --tune, --backend analytic with any
+     cycle-accurate-only flag: --cycles --stats --no-skip
+     --telemetry-out --sample-interval --trace-events
+     --checkpoint-out --checkpoint-every --restore --tune), or an
+     invalid/corrupt/mismatched checkpoint
+
+every rejected combination prints a one-line reason on stderr.
 )");
     std::exit(code);
+}
+
+/** One-line usage-error reason on stderr, exit 2 (no usage dump —
+ *  scripts keying on stderr want exactly one line). */
+[[noreturn]] void
+usageError(const std::string &msg)
+{
+    std::fprintf(stderr, "mitts_sim: %s (see --help)\n", msg.c_str());
+    std::exit(2);
+}
+
+/** Checked u64 parse: the whole token must be digits and fit. */
+std::uint64_t
+parseU64(const std::string &flag, const std::string &s)
+{
+    if (s.empty() ||
+        s.find_first_not_of("0123456789") != std::string::npos)
+        usageError(flag + " expects a non-negative integer, got '" +
+                   s + "'");
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+    if (errno == ERANGE)
+        usageError(flag + " value out of range: '" + s + "'");
+    return v;
+}
+
+/** Checked u64 parse that additionally rejects zero. */
+std::uint64_t
+parsePositiveU64(const std::string &flag, const std::string &s)
+{
+    const std::uint64_t v = parseU64(flag, s);
+    if (v == 0)
+        usageError(flag + " must be a positive integer, got '" + s +
+                   "'");
+    return v;
+}
+
+/** Checked double parse rejecting non-numeric/non-finite/<=0. */
+double
+parsePositiveDouble(const std::string &flag, const std::string &s)
+{
+    char *end = nullptr;
+    const double v = std::strtod(s.c_str(), &end);
+    if (s.empty() || end == s.c_str() || (end && *end) ||
+        !std::isfinite(v) || v <= 0.0)
+        usageError(flag + " expects a positive number, got '" + s +
+                   "'");
+    return v;
 }
 
 std::vector<std::string>
@@ -142,12 +210,15 @@ main(int argc, char **argv)
     std::uint64_t instr_target = 200'000;
     Tick fixed_cycles = 0;
     bool dump_stats = false;
+    bool analytic_backend = false;
+    bool prefilter = false;
     std::string tune_objective;
     std::vector<std::uint32_t> bin_credits;
     double static_gbps = 0.0;
     std::string ckpt_out;
     Tick ckpt_every = 0;
     std::string restore_path;
+    bool saw_no_skip = false, saw_sample_interval = false;
 
     auto need = [&](int &i) -> std::string {
         if (i + 1 >= argc)
@@ -174,6 +245,15 @@ main(int argc, char **argv)
             return 0;
         } else if (arg == "--apps") {
             cfg.apps = split(need(i), ',');
+        } else if (arg == "--backend") {
+            const std::string b = need(i);
+            if (b == "analytic")
+                analytic_backend = true;
+            else if (b != "cycle")
+                usageError("--backend expects cycle or analytic, "
+                           "got '" + b + "'");
+        } else if (arg == "--prefilter") {
+            prefilter = true;
         } else if (arg == "--sched") {
             cfg.sched = parseSched(need(i));
         } else if (arg == "--gate") {
@@ -186,17 +266,22 @@ main(int argc, char **argv)
             cfg.gate = GateKind::Mitts;
             for (const auto &tok : split(need(i), ','))
                 bin_credits.push_back(static_cast<std::uint32_t>(
-                    std::strtoul(tok.c_str(), nullptr, 10)));
+                    parseU64("--bins", tok)));
         } else if (arg == "--static-gbps") {
             cfg.gate = GateKind::Static;
-            static_gbps = std::strtod(need(i).c_str(), nullptr);
+            static_gbps = parsePositiveDouble("--static-gbps",
+                                              need(i));
         } else if (arg == "--tune") {
             tune_objective = need(i);
+            if (tune_objective != "throughput" &&
+                tune_objective != "fairness")
+                usageError("--tune expects throughput or fairness, "
+                           "got '" + tune_objective + "'");
             cfg.gate = GateKind::Mitts;
         } else if (arg == "--instr") {
-            instr_target = std::strtoull(need(i).c_str(), nullptr, 10);
+            instr_target = parsePositiveU64("--instr", need(i));
         } else if (arg == "--cycles") {
-            fixed_cycles = std::strtoull(need(i).c_str(), nullptr, 10);
+            fixed_cycles = parsePositiveU64("--cycles", need(i));
         } else if (arg == "--llc") {
             cfg.llc.sizeBytes = parseBytes(need(i));
         } else if (arg == "--noc") {
@@ -205,51 +290,75 @@ main(int argc, char **argv)
                 fatal("--noc expects WxH");
             cfg.noc.enabled = true;
             cfg.noc.width = static_cast<unsigned>(
-                std::strtoul(dims[0].c_str(), nullptr, 10));
+                parsePositiveU64("--noc", dims[0]));
             cfg.noc.height = static_cast<unsigned>(
-                std::strtoul(dims[1].c_str(), nullptr, 10));
+                parsePositiveU64("--noc", dims[1]));
         } else if (arg == "--seed") {
-            cfg.seed = std::strtoull(need(i).c_str(), nullptr, 10);
+            cfg.seed = parseU64("--seed", need(i));
         } else if (arg == "--stats") {
             dump_stats = true;
         } else if (arg == "--no-skip") {
+            saw_no_skip = true;
             cfg.sim.skipAhead = false;
         } else if (arg == "--telemetry-out") {
             cfg.telemetry.enabled = true;
             cfg.telemetry.outDir = need(i);
         } else if (arg == "--sample-interval") {
+            saw_sample_interval = true;
             cfg.telemetry.enabled = true;
             cfg.telemetry.sampleInterval =
-                std::strtoull(need(i).c_str(), nullptr, 10);
+                parsePositiveU64("--sample-interval", need(i));
         } else if (arg == "--trace-events") {
             cfg.telemetry.enabled = true;
             cfg.telemetry.traceEvents = true;
         } else if (arg == "--checkpoint-out") {
             ckpt_out = need(i);
         } else if (arg == "--checkpoint-every") {
-            ckpt_every = std::strtoull(need(i).c_str(), nullptr, 10);
+            ckpt_every =
+                parsePositiveU64("--checkpoint-every", need(i));
         } else if (arg == "--restore") {
             restore_path = need(i);
         } else {
-            std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
-            usage(2);
+            usageError("unknown flag: " + arg);
         }
     }
-    if (cfg.apps.empty()) {
-        std::fprintf(stderr, "--apps is required\n");
-        usage(2);
-    }
-    if (ckpt_every > 0 && ckpt_out.empty()) {
-        std::fprintf(stderr,
-                     "--checkpoint-every needs --checkpoint-out\n");
-        usage(2);
-    }
+    if (cfg.apps.empty())
+        usageError("--apps is required");
+    if (ckpt_every > 0 && ckpt_out.empty())
+        usageError("--checkpoint-every needs --checkpoint-out");
     if (!tune_objective.empty() &&
-        (!ckpt_out.empty() || !restore_path.empty())) {
-        std::fprintf(stderr,
-                     "--tune cannot be combined with checkpointing "
-                     "(the GA runs many short-lived systems)\n");
-        usage(2);
+        (!ckpt_out.empty() || !restore_path.empty()))
+        usageError("--tune cannot be combined with checkpointing "
+                   "(the GA runs many short-lived systems)");
+    if (prefilter && tune_objective.empty())
+        usageError("--prefilter only applies to --tune runs");
+    if (analytic_backend) {
+        // The analytic backend is closed-form: nothing is stepped,
+        // checkpointed or sampled, so cycle-accurate-only flags are
+        // user errors, not no-ops.
+        if (!tune_objective.empty())
+            usageError("--backend analytic cannot drive --tune; use "
+                       "--prefilter to accelerate tuning instead");
+        if (fixed_cycles > 0)
+            usageError("--cycles only applies to the cycle-accurate "
+                       "backend");
+        if (dump_stats)
+            usageError("--stats only applies to the cycle-accurate "
+                       "backend");
+        if (saw_no_skip)
+            usageError("--no-skip only applies to the cycle-accurate "
+                       "backend");
+        if (cfg.telemetry.enabled)
+            usageError(std::string(saw_sample_interval
+                                       ? "--sample-interval"
+                                       : "telemetry flags") +
+                       " only apply to the cycle-accurate backend");
+        if (!ckpt_out.empty() || ckpt_every > 0)
+            usageError("checkpointing only applies to the "
+                       "cycle-accurate backend");
+        if (!restore_path.empty())
+            usageError("--restore only applies to the cycle-accurate "
+                       "backend");
     }
     if (cfg.telemetry.enabled && cfg.telemetry.outDir.empty())
         cfg.telemetry.outDir = "telemetry_out";
@@ -271,6 +380,22 @@ main(int argc, char **argv)
         System probe(probe_cfg);
         cfg.staticIntervals.assign(
             probe.numCores(), 64.0 * cfg.cpuGhz / static_gbps);
+    }
+
+    if (analytic_backend) {
+        const analytic::AnalyticModel model;
+        const auto res = model.evaluate(cfg);
+        std::printf("%-14s %6s %10s %12s %10s\n", "app", "cores",
+                    "GB/s", "latency", "slowdown");
+        for (const auto &app : res.apps)
+            std::printf("%-14s %6u %10.4f %12.2f %10.4f\n",
+                        app.name.c_str(), app.cores,
+                        app.bandwidthGBps, app.meanLatencyCycles,
+                        app.slowdown);
+        std::printf("S_avg=%.4f S_max=%.4f bus=%.3f iters=%u\n",
+                    res.metrics.savg, res.metrics.smax,
+                    res.busUtilization, res.iterations);
+        return 0;
     }
 
     RunnerOptions opts;
@@ -295,6 +420,7 @@ main(int argc, char **argv)
         topts.run = opts;
         topts.ga.populationSize = 12;
         topts.ga.generations = 6;
+        topts.prefilter.enabled = prefilter;
         const auto tuned =
             tuneMultiProgram(cfg, alone, obj, 0, topts);
         std::printf("best configs:\n");
@@ -303,6 +429,12 @@ main(int argc, char **argv)
                         tuned.best[c].toString().c_str());
         std::printf("S_avg=%.3f S_max=%.3f\n", tuned.metrics.savg,
                     tuned.metrics.smax);
+        std::printf("evaluations: %llu cycle-accurate, %llu "
+                    "analytic\n",
+                    static_cast<unsigned long long>(
+                        tuned.caEvaluations),
+                    static_cast<unsigned long long>(
+                        tuned.analyticEvaluations));
         return 0;
     }
 
