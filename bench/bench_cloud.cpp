@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Cloud scenario engine throughput: run a mid-size multi-tenant
+ * datacenter scenario (diurnal load, autoscaling, SLA accounting)
+ * end to end and report how many tenants and tenant-windows the
+ * engine settles per wall-clock second. Results append to
+ * BENCH_cloud.json for the performance trajectory. MITTS_BENCH_SCALE
+ * lengthens the run (duration scales linearly).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "bench_common.hh"
+#include "cloud/engine.hh"
+
+using namespace mitts;
+
+namespace
+{
+
+cloud::ScenarioConfig
+benchScenario(unsigned scale)
+{
+    cloud::ScenarioConfig sc;
+    sc.name = "bench-cloud";
+    sc.seed = 42;
+    sc.sockets = 4;
+    sc.coresPerSocket = 4;
+    sc.windowCycles = 10'000;
+    sc.durationCycles = 500'000ull * scale;
+    sc.arrivalsPerWindow = 1.0;
+    sc.meanResidencyWindows = 6.0;
+    sc.diurnalPeriod = 250'000;
+    sc.diurnalMin = 0.3;
+    sc.profiles = {"mcf", "libquantum", "gcc", "apache"};
+    return sc;
+}
+
+} // namespace
+
+int
+main()
+{
+    const cloud::ScenarioConfig sc = benchScenario(bench::scale());
+
+    bench::header(
+        "Cloud engine throughput (" + std::to_string(sc.sockets) +
+        " sockets x " + std::to_string(sc.coresPerSocket) +
+        " cores, " + std::to_string(sc.durationCycles) + " cycles)");
+
+    const auto t0 = std::chrono::steady_clock::now();
+    cloud::CloudEngine engine(sc);
+    engine.run();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double wall_s =
+        std::chrono::duration<double>(t1 - t0).count();
+
+    unsigned admitted = 0, departed = 0;
+    std::uint64_t tenant_windows = 0;
+    for (const cloud::TenantRecord &t : engine.records()) {
+        if (t.admitted)
+            ++admitted;
+        if (t.departed)
+            ++departed;
+        tenant_windows += t.windows;
+    }
+    const double arrived =
+        static_cast<double>(engine.records().size());
+    const double tenants_per_s =
+        wall_s > 0.0 ? arrived / wall_s : 0.0;
+    const double windows_per_s =
+        wall_s > 0.0 ? static_cast<double>(tenant_windows) / wall_s
+                     : 0.0;
+
+    bench::row("scenario",
+               {{"arrived", arrived},
+                {"admitted", static_cast<double>(admitted)},
+                {"departed", static_cast<double>(departed)},
+                {"tenant_windows",
+                 static_cast<double>(tenant_windows)}});
+    bench::row("wall", {{"seconds", wall_s},
+                        {"tenants_per_s", tenants_per_s},
+                        {"tenant_windows_per_s", windows_per_s}});
+
+    const std::string json_path = bench::jsonPath("BENCH_cloud.json");
+    if (std::FILE *json = std::fopen(json_path.c_str(), "w")) {
+        std::fprintf(
+            json,
+            "[\n  {\"bench\": \"cloud\", \"sockets\": %u, "
+            "\"cores_per_socket\": %u, \"duration_cycles\": %llu, "
+            "\"arrived\": %u, \"admitted\": %u, "
+            "\"tenant_windows\": %llu, \"wall_s\": %.4f, "
+            "\"tenants_per_s\": %.2f, "
+            "\"tenant_windows_per_s\": %.1f}\n]\n",
+            sc.sockets, sc.coresPerSocket,
+            static_cast<unsigned long long>(sc.durationCycles),
+            static_cast<unsigned>(engine.records().size()), admitted,
+            static_cast<unsigned long long>(tenant_windows), wall_s,
+            tenants_per_s, windows_per_s);
+        std::fclose(json);
+        std::printf("\nwrote %s\n", json_path.c_str());
+    }
+    return 0;
+}

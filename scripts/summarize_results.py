@@ -9,10 +9,18 @@ Given a windowed telemetry CSV (`--telemetry-out` of mitts_sim; a
 .csv file or a directory containing timeseries.csv), prints per-probe
 totals and rates for counters and min/mean/max for gauges.
 
+Given a cloud scenario output directory (`--scenario-out` of
+`mitts_sim --scenario`, or explicitly via `--scenario DIR`), joins
+billing.csv with the per-socket telemetry (grouping windows by the
+`sla.coreN.tenant_id` probe) and prints one row per tenant: windows
+observed, SLA violations, achieved bandwidth, worst p99 and the bill.
+
 Usage: scripts/summarize_results.py [bench_output.txt | DIR | .csv]
+       scripts/summarize_results.py --scenario DIR
 """
 
 import csv
+import glob
 import os
 import re
 import sys
@@ -68,9 +76,83 @@ def summarize_telemetry(path: str) -> int:
     return 0
 
 
+def summarize_scenario(out_dir: str) -> int:
+    """Per-tenant rollup of a `mitts_sim --scenario` output dir."""
+    billing_path = os.path.join(out_dir, "billing.csv")
+    try:
+        with open(billing_path, newline="") as f:
+            billing = {int(r["id"]): r for r in csv.DictReader(f)}
+    except OSError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 1
+
+    # Group telemetry windows by resident tenant. The SLA monitor
+    # exports, per core slot, a tenant_id gauge (-1 = free) plus
+    # windowed violation deltas and p99/GB/s gauges; a window's
+    # samples are attributed to the tenant resident during it.
+    tele = {}  # tenant id -> [windows, lat, bw, gbps_sum, p99_max]
+    sockets = sorted(glob.glob(os.path.join(out_dir, "socket*",
+                                            "timeseries.csv")))
+    for ts_path in sockets:
+        windows = {}  # (window_start, core) -> {field: value}
+        with open(ts_path, newline="") as f:
+            for row in csv.DictReader(f):
+                m = re.match(r"sla\.core(\d+)\.(\w+)", row["probe"])
+                if not m:
+                    continue
+                key = (int(row["window_start"]), int(m.group(1)))
+                windows.setdefault(key, {})[m.group(2)] = float(
+                    row["value"])
+        for vals in windows.values():
+            tid = int(vals.get("tenant_id", -1))
+            if tid < 0:
+                continue
+            t = tele.setdefault(tid, [0, 0.0, 0.0, 0.0, 0.0])
+            t[0] += 1
+            t[1] += vals.get("latency_violations", 0.0)
+            t[2] += vals.get("bandwidth_violations", 0.0)
+            t[3] += vals.get("gbps", 0.0)
+            t[4] = max(t[4], vals.get("p99_latency", 0.0))
+
+    print(f"== scenario: {out_dir} ==")
+    print(f"{'id':>4} {'name':<8} {'profile':<10} {'tier':<8} "
+          f"{'status':<8} {'win':>4} {'lat':>4} {'bw':>4} "
+          f"{'avg_gbps':>9} {'max_p99':>8} {'bill':>10}")
+    tot_lat = tot_bw = tot_bill = 0.0
+    for tid in sorted(billing):
+        b = billing[tid]
+        if b["status"] == "rejected":
+            continue
+        win, lat, bw, gbps_sum, p99_max = tele.get(
+            tid, [0, 0.0, 0.0, 0.0, 0.0])
+        avg_gbps = gbps_sum / win if win else 0.0
+        bill = float(b["bill"])
+        tot_lat += lat
+        tot_bw += bw
+        tot_bill += bill
+        print(f"{tid:>4} {b['name']:<8} {b['profile']:<10} "
+              f"{b['tier_final']:<8} {b['status']:<8} {win:>4} "
+              f"{int(lat):>4} {int(bw):>4} {avg_gbps:>9.3f} "
+              f"{p99_max:>8.0f} {bill:>10.4f}")
+    rejected = sum(
+        1 for b in billing.values() if b["status"] == "rejected")
+    print(f"\n{len(billing) - rejected} tenants placed, "
+          f"{rejected} rejected; "
+          f"{int(tot_lat)} latency / {int(tot_bw)} bandwidth "
+          f"violations; total billed {tot_bill:.4f}")
+    if not sockets:
+        print("(no per-socket telemetry found; windows/violations "
+              "columns are empty)")
+    return 0
+
+
 def main() -> int:
+    if len(sys.argv) > 2 and sys.argv[1] == "--scenario":
+        return summarize_scenario(sys.argv[2])
     path = sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt"
     if os.path.isdir(path):
+        if os.path.exists(os.path.join(path, "billing.csv")):
+            return summarize_scenario(path)
         candidate = os.path.join(path, "timeseries.csv")
         if os.path.exists(candidate):
             return summarize_telemetry(candidate)

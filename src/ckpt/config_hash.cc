@@ -172,6 +172,9 @@ configHash(const SystemConfig &cfg)
     h.u64(cfg.mc.writeDrainHigh);
     h.u64(cfg.mc.writeDrainLow);
     h.u64(cfg.mc.smoothingFifoDepth);
+    h.b(cfg.mc.latencyHistograms);
+    h.u64(cfg.mc.latencyHistBins);
+    h.f64(cfg.mc.latencyHistBinWidth);
 
     h.b(cfg.noc.enabled);
     h.u64(cfg.noc.width);
@@ -230,6 +233,12 @@ configHash(const SystemConfig &cfg)
 
     h.u64(cfg.seed);
     h.f64(cfg.cpuGhz);
+
+    // A trace factory cannot be hashed; record its presence so a
+    // plain config never validates against a factory-built system's
+    // checkpoint. The factory owner (the cloud engine) covers the
+    // factory's parameters with its own scenario hash.
+    h.b(static_cast<bool>(cfg.traceFactory));
 
     // cfg.sim is intentionally excluded (see header). Telemetry
     // options are behavioural (they decide what state exists) except

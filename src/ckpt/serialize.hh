@@ -45,8 +45,9 @@ class Group;
 namespace mitts::ckpt
 {
 
-/** Checkpoint format revision; bump on any layout change. */
-constexpr std::uint32_t kFormatVersion = 1;
+/** Checkpoint format revision; bump on any layout change.
+ *  v2: the core section gained the halted flag (cloud slots). */
+constexpr std::uint32_t kFormatVersion = 2;
 
 /** File magic ("MITTSCKP", 8 bytes, no terminator). */
 extern const char kMagic[8];

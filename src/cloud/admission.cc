@@ -1,0 +1,110 @@
+#include "cloud/admission.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "analytic/analytic_model.hh"
+#include "analytic/shaper_curve.hh"
+#include "base/logging.hh"
+#include "trace/app_profile.hh"
+
+namespace mitts::cloud
+{
+
+AdmissionControl::AdmissionControl(const SystemConfig &base,
+                                   const Marketplace &market,
+                                   double rho_cap)
+    : base_(base), market_(market), rhoCap_(rho_cap)
+{
+    // The hypothetical configs handed to the analytic model must be
+    // pure data: drop the socket's trace factory (closures are not
+    // part of the feasibility question, and the model never reads
+    // traces anyway).
+    base_.traceFactory = nullptr;
+    base_.apps.clear();
+    base_.customProfiles.clear();
+    base_.mittsConfigs.clear();
+    base_.gate = GateKind::Mitts;
+    base_.sharedShaperPerApp = false;
+    MITTS_ASSERT(rhoCap_ > 0.0 && rhoCap_ <= 1.0,
+                 "rho cap must be in (0, 1]");
+}
+
+double
+AdmissionControl::busCapacity() const
+{
+    return static_cast<double>(base_.mc.numChannels) /
+           static_cast<double>(base_.dram.tBURST);
+}
+
+double
+AdmissionControl::busLagCycles() const
+{
+    return static_cast<double>(base_.dram.tRP + base_.dram.tRCD +
+                               base_.dram.tCL + base_.dram.tBURST);
+}
+
+AdmissionDecision
+AdmissionControl::decide(const std::vector<SlotLoad> &residents,
+                         const SlotLoad &candidate) const
+{
+    AdmissionDecision d;
+
+    std::vector<SlotLoad> all = residents;
+    all.push_back(candidate);
+
+    // Check 1: shaped sustained rates fit under the derated bus.
+    const double cap = busCapacity();
+    double sum_rate = 0.0;
+    double sum_burst = 0.0;
+    double tightest_p99 = std::numeric_limits<double>::infinity();
+    for (const SlotLoad &s : all) {
+        const Tier &tier = market_.tier(s.tierIdx);
+        const analytic::ShaperCurve curve =
+            analytic::shaperCurve(tier.config);
+        sum_rate += curve.sustainedRate;
+        sum_burst += curve.burst;
+        tightest_p99 = std::min(tightest_p99, tier.slaP99Cycles);
+    }
+    if (sum_rate > rhoCap_ * cap) {
+        d.reason = "rate: shaped demand exceeds bus capacity";
+        return d;
+    }
+
+    // Check 2: aggregate FIFO bound vs the tightest p99 promise.
+    // Valid because check 1 guarantees sum(r) <= C.
+    d.aggDelayBoundCycles = busLagCycles() + sum_burst / cap;
+    if (d.aggDelayBoundCycles > tightest_p99) {
+        d.reason = "delay: aggregate burst bound breaks an SLA";
+        return d;
+    }
+
+    // Check 3: analytic fast model on the hypothetical occupancy.
+    SystemConfig cfg = base_;
+    for (const SlotLoad &s : all) {
+        cfg.apps.push_back(s.profile);
+        AppProfile prof = appProfile(s.profile);
+        prof.numThreads = 1; // one slot = one core
+        cfg.customProfiles.push_back(prof);
+        cfg.mittsConfigs.push_back(
+            market_.tier(s.tierIdx).config);
+    }
+    const analytic::AnalyticResult res =
+        analytic::AnalyticModel().evaluate(cfg);
+    d.busUtilization = res.busUtilization;
+    const analytic::AnalyticAppResult &cand = res.apps.back();
+    d.analyticMeanLatency = cand.meanLatencyCycles;
+    d.analyticBandwidthGBps = cand.bandwidthGBps;
+    const double cand_p99 =
+        market_.tier(candidate.tierIdx).slaP99Cycles;
+    if (cand.meanLatencyCycles > cand_p99) {
+        d.reason = "model: predicted latency breaks candidate SLA";
+        return d;
+    }
+
+    d.admit = true;
+    d.reason = "ok";
+    return d;
+}
+
+} // namespace mitts::cloud

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Closed-form admission control for the cloud engine. Before an
+ * arriving tenant lands on a socket, feasibility is checked without
+ * simulating a cycle, combining two analytic tiers:
+ *
+ *  1. Rate: the shaped sustained rates of all residents plus the
+ *     candidate must fit under a derated bus capacity
+ *     (rho-cap * numChannels / tBURST blocks per cycle).
+ *  2. Delay: the aggregate FIFO network-calculus bound
+ *     D = T_lag + sum(burst_i) / C (valid whenever check 1 holds)
+ *     must respect the tightest p99 SLA bound among residents and
+ *     candidate — admitting a bulk tenant must not wreck an
+ *     incumbent burst tenant's latency promise.
+ *  3. Model: the analytic fast-model tier (src/analytic/) is
+ *     evaluated on the hypothetical occupancy; the candidate's
+ *     predicted mean memory latency must sit under its own p99
+ *     bound with a safety margin.
+ *
+ * A rejected tenant carries the failing check in `reason`, so the
+ * billing report can show *why* capacity was refused.
+ */
+
+#ifndef MITTS_CLOUD_ADMISSION_HH
+#define MITTS_CLOUD_ADMISSION_HH
+
+#include <string>
+#include <vector>
+
+#include "cloud/marketplace.hh"
+#include "system/config.hh"
+
+namespace mitts::cloud
+{
+
+/** One occupied (or hypothetical) slot, as admission sees it. */
+struct SlotLoad
+{
+    std::string profile; ///< registry profile name
+    unsigned tierIdx = 0;
+};
+
+struct AdmissionDecision
+{
+    bool admit = false;
+    std::string reason; ///< failing check, or "ok"
+    /** Aggregate FIFO delay bound over the hypothetical occupancy. */
+    double aggDelayBoundCycles = 0.0;
+    /** Analytic-model prediction for the candidate. */
+    double analyticMeanLatency = 0.0;
+    double analyticBandwidthGBps = 0.0;
+    double busUtilization = 0.0;
+};
+
+class AdmissionControl
+{
+  public:
+    /** `base` supplies the socket's memory system (DRAM timing,
+     *  channels, bin spec, clock); only resident-independent fields
+     *  are read. `rho_cap` derates the bus capacity. */
+    AdmissionControl(const SystemConfig &base,
+                     const Marketplace &market,
+                     double rho_cap = 0.95);
+
+    /**
+     * Would adding `candidate` to a socket already carrying
+     * `residents` keep every SLA feasible? Pure function of its
+     * arguments (same decision on every thread count / replay).
+     */
+    AdmissionDecision decide(const std::vector<SlotLoad> &residents,
+                             const SlotLoad &candidate) const;
+
+    /** Bus capacity in blocks/cycle (numChannels / tBURST). */
+    double busCapacity() const;
+    /** Scheduling + array lag of one access: tRP+tRCD+tCL+tBURST. */
+    double busLagCycles() const;
+
+  private:
+    SystemConfig base_;
+    const Marketplace &market_;
+    double rhoCap_;
+};
+
+} // namespace mitts::cloud
+
+#endif // MITTS_CLOUD_ADMISSION_HH

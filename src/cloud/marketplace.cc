@@ -1,0 +1,104 @@
+#include "cloud/marketplace.hh"
+
+#include "analytic/shaper_curve.hh"
+#include "base/logging.hh"
+
+namespace mitts::cloud
+{
+
+namespace
+{
+
+/** All credits in the slowest bin: pure bulk bandwidth. */
+BinConfig
+bulkConfig(const BinSpec &spec, double gbps, double cpu_ghz)
+{
+    const auto total = static_cast<std::uint32_t>(
+        BinConfig::creditsForBandwidth(spec, gbps, cpu_ghz));
+    return BinConfig::singleBin(spec, spec.numBins - 1, total);
+}
+
+/** A quarter of the credits in bin 0 (back-to-back), the rest in
+ *  the slowest: the same average bandwidth with a real burst
+ *  allowance. A quarter keeps the tier's own burst-delay
+ *  contribution under its p99 promise — a tier whose solo
+ *  admission-check bound exceeds its own SLA could never be
+ *  admitted. */
+BinConfig
+burstConfig(const BinSpec &spec, double gbps, double cpu_ghz)
+{
+    const auto total = BinConfig::creditsForBandwidth(spec, gbps,
+                                                      cpu_ghz);
+    BinConfig cfg(spec);
+    cfg.credits[0] = static_cast<std::uint32_t>(total / 4);
+    cfg.credits[spec.numBins - 1] =
+        static_cast<std::uint32_t>(total - total / 4);
+    cfg.clamp();
+    return cfg;
+}
+
+/** Credits spread evenly over all bins (premium mixed traffic). */
+BinConfig
+spreadConfig(const BinSpec &spec, double gbps, double cpu_ghz)
+{
+    const auto total = BinConfig::creditsForBandwidth(spec, gbps,
+                                                      cpu_ghz);
+    return BinConfig::uniform(
+        spec,
+        static_cast<std::uint32_t>(total / spec.numBins));
+}
+
+} // namespace
+
+Marketplace::Marketplace(const BinSpec &spec,
+                         const PricingModel &pricing)
+    : spec_(spec), pricing_(pricing)
+{
+    const double ghz = pricing_.cpuGhz;
+    // Menu (name, shape, p99 bound in cycles, bandwidth-floor
+    // fraction of the shaped sustained rate). The floors are derated
+    // because the shaper admission rate is an upper bound: bus
+    // contention and the workload's own gaps eat into it.
+    addTier("bulk-s", bulkConfig(spec_, 0.8, ghz), 1500.0, 0.60);
+    addTier("bulk-l", bulkConfig(spec_, 2.0, ghz), 1500.0, 0.60);
+    addTier("burst-s", burstConfig(spec_, 0.8, ghz), 600.0, 0.60);
+    addTier("burst-l", burstConfig(spec_, 2.0, ghz), 750.0, 0.60);
+    addTier("premium", spreadConfig(spec_, 3.2, ghz), 800.0, 0.70);
+
+    // Up/downgrades stay inside a traffic-shape family.
+    upgrade_ = {1, -1, 3, 4, -1};
+    downgrade_ = {-1, 0, -1, 2, 3};
+    MITTS_ASSERT(upgrade_.size() == tiers_.size() &&
+                     downgrade_.size() == tiers_.size(),
+                 "tier family maps out of date");
+}
+
+void
+Marketplace::addTier(const std::string &name, const BinConfig &cfg,
+                     double sla_p99, double sla_min_frac)
+{
+    Tier t;
+    t.name = name;
+    t.config = cfg;
+    t.pricePerPeriod = pricing_.tenantPrice(cfg, 1);
+    const analytic::ShaperCurve curve = analytic::shaperCurve(cfg);
+    t.sustainedGBps = curve.sustainedRate *
+                      static_cast<double>(kBlockBytes) *
+                      pricing_.cpuGhz;
+    t.burstBlocks = curve.burst;
+    t.slaP99Cycles = sla_p99;
+    t.slaMinGBps = sla_min_frac * t.sustainedGBps;
+    tiers_.push_back(std::move(t));
+}
+
+int
+Marketplace::tierIndex(const std::string &name) const
+{
+    for (unsigned i = 0; i < tiers_.size(); ++i) {
+        if (tiers_[i].name == name)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+} // namespace mitts::cloud

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The pricing marketplace (paper Sec. IV-G): a fixed menu of
+ * burst/bulk tiers, each mapping to a BinConfig priced by the
+ * PricingModel and carrying the SLA the tenant buys with it.
+ *
+ * Bulk tiers place every credit in the slowest bin — cheap bandwidth
+ * with no burst allowance and a loose tail-latency promise. Burst
+ * tiers split credits between bin 0 and the slowest bin — the same
+ * average bandwidth costs more (the Fig. 17 burst penalty) but the
+ * purchased p99 bound is tight. Premium buys both.
+ */
+
+#ifndef MITTS_CLOUD_MARKETPLACE_HH
+#define MITTS_CLOUD_MARKETPLACE_HH
+
+#include <string>
+#include <vector>
+
+#include "iaas/pricing.hh"
+#include "shaper/bin_config.hh"
+
+namespace mitts::cloud
+{
+
+/** One purchasable service level. */
+struct Tier
+{
+    std::string name;
+    BinConfig config;
+    /** Price per replenishment period per core (tenantPrice). */
+    double pricePerPeriod = 0.0;
+    /** SLA: p99 demand-read latency bound in cycles (0 = none). */
+    double slaP99Cycles = 0.0;
+    /** SLA: min sustained read bandwidth when demand-limited
+     *  (GB/s; 0 = none). */
+    double slaMinGBps = 0.0;
+    /** Long-run rate the shaper admits (GB/s, from the arrival
+     *  curve; what the SLA bandwidth floor is derated from). */
+    double sustainedGBps = 0.0;
+    /** Burst term b of the arrival curve (blocks at one instant). */
+    double burstBlocks = 0.0;
+};
+
+/**
+ * The tier menu over one BinSpec. Tier order is the upgrade order
+ * within a family (bulk-s -> bulk-l, burst-s -> burst-l -> premium);
+ * up/downgrades stay inside the family so an upgraded tenant keeps
+ * the traffic shape it chose.
+ */
+class Marketplace
+{
+  public:
+    Marketplace(const BinSpec &spec, const PricingModel &pricing);
+
+    unsigned numTiers() const
+    {
+        return static_cast<unsigned>(tiers_.size());
+    }
+    const Tier &tier(unsigned i) const { return tiers_.at(i); }
+    const std::vector<Tier> &tiers() const { return tiers_; }
+
+    /** Index of `name`, or -1. */
+    int tierIndex(const std::string &name) const;
+
+    /** Next tier up within the family (-1 = already at the top). */
+    int upgradeOf(unsigned i) const { return upgrade_.at(i); }
+    /** Next tier down within the family (-1 = already bottom). */
+    int downgradeOf(unsigned i) const { return downgrade_.at(i); }
+
+    const BinSpec &spec() const { return spec_; }
+    const PricingModel &pricing() const { return pricing_; }
+
+  private:
+    void addTier(const std::string &name, const BinConfig &cfg,
+                 double sla_p99, double sla_min_frac);
+
+    BinSpec spec_;
+    PricingModel pricing_;
+    std::vector<Tier> tiers_;
+    std::vector<int> upgrade_;
+    std::vector<int> downgrade_;
+};
+
+} // namespace mitts::cloud
+
+#endif // MITTS_CLOUD_MARKETPLACE_HH

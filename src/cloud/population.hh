@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Deterministic tenant population: the full arrival list is generated
+ * up front from the scenario seed, so the process state that must
+ * survive a checkpoint is a single cursor (how many arrivals the
+ * engine has consumed). Arrival intensity follows the diurnal curve;
+ * residency is exponential in windows.
+ */
+
+#ifndef MITTS_CLOUD_POPULATION_HH
+#define MITTS_CLOUD_POPULATION_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+#include "cloud/scenario.hh"
+
+namespace mitts::cloud
+{
+
+/** One tenant drawn from the population process. */
+struct TenantSpec
+{
+    unsigned id = 0;        ///< arrival index (stable, global)
+    std::string name;       ///< "t0000", "t0001", ...
+    Tick arriveAt = 0;      ///< window-aligned arrival cycle
+    Tick residencyCycles = 0; ///< window multiple, >= 1 window
+    unsigned profileIdx = 0;  ///< into ScenarioConfig::profiles
+    unsigned tierIdx = 0;     ///< requested Marketplace tier
+};
+
+class TenantPopulation
+{
+  public:
+    /** Generates every arrival in [0, duration). `num_tiers` bounds
+     *  the tier draw (weights beyond it are ignored). */
+    TenantPopulation(const ScenarioConfig &sc, unsigned num_tiers);
+
+    const std::vector<TenantSpec> &arrivals() const
+    {
+        return arrivals_;
+    }
+
+    /**
+     * Diurnal load factor in [diurnalMin, 1] at cycle `t`: a raised
+     * cosine starting at the trough (t = 0 is "night"), peaking at
+     * half the period. Flat 1.0 when diurnalPeriod is 0.
+     */
+    static double diurnalFactor(const ScenarioConfig &sc, Tick t);
+
+  private:
+    std::vector<TenantSpec> arrivals_;
+};
+
+} // namespace mitts::cloud
+
+#endif // MITTS_CLOUD_POPULATION_HH

@@ -23,6 +23,8 @@ Core::Core(std::string name, CoreId id, const CoreConfig &cfg,
 void
 Core::tick(Tick now)
 {
+    if (halted_)
+        return;
     if (now < stallUntil_)
         return;
     nonMemBudget_ = std::min(nonMemBudget_ + cfg_.nonMemIpc,
@@ -53,6 +55,11 @@ Core::tick(Tick now)
 Tick
 Core::nextWakeTick(Tick now) const
 {
+    // A halted slot is fully silent until the engine unhalts it
+    // (which only happens between executed cycles, so a fresh wake
+    // query follows every unhalt).
+    if (halted_)
+        return kTickNever;
     // A software stall is fully silent (tick returns before any
     // accounting), so sleep to its end; this also covers the cycle
     // where stallUntil_ == now + 1 (the next tick is a full one).
@@ -64,6 +71,9 @@ Core::nextWakeTick(Tick now) const
 void
 Core::onFastForward(Tick from, Tick to)
 {
+    // Halted slots skip silently (tick does no accounting either).
+    if (halted_)
+        return;
     // A software stall is silent; otherwise idle_ is fresh (a skip
     // can only start after a full tick classified the core).
     if (from < stallUntil_ || idle_ == IdleState::Active)
@@ -233,6 +243,7 @@ Core::saveState(ckpt::Writer &w) const
     w.b(havePendingOp_);
     w.u64(gapLeft_);
     w.u64(stallUntil_);
+    w.b(halted_);
     w.u8(static_cast<std::uint8_t>(idle_));
     w.u64(robStallStart_);
     ckpt::saveGroup(w, stats_);
@@ -262,6 +273,7 @@ Core::loadState(ckpt::Reader &r)
     havePendingOp_ = r.b();
     gapLeft_ = static_cast<std::uint32_t>(r.u64());
     stallUntil_ = r.u64();
+    halted_ = r.b();
     idle_ = static_cast<IdleState>(r.u8());
     robStallStart_ = r.u64();
     ckpt::loadGroup(r, stats_);

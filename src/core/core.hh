@@ -73,6 +73,29 @@ class Core : public Clocked, public L1Client,
         stallUntil_ = std::max(stallUntil_, now) + cycles;
     }
 
+    /**
+     * Park / unpark the core (a cloud slot with no resident tenant).
+     * A halted core fetches and retires nothing and claims kTickNever
+     * so whole-socket idle stretches skip ahead; in-flight load
+     * completions still land in the window (loadComplete is a
+     * callback) and retire after the next unhalt. Only mutate between
+     * executed cycles (the engine acts at window boundaries).
+     */
+    void setHalted(bool halted) { halted_ = halted; }
+    bool halted() const { return halted_; }
+
+    /**
+     * Discard the buffered not-yet-dispatched trace op (slot
+     * recycling: the trace source underneath was swapped, so the
+     * stale op must not leak into the next tenant's stream).
+     */
+    void
+    flushTraceCursor()
+    {
+        havePendingOp_ = false;
+        gapLeft_ = 0;
+    }
+
     stats::Group &statsGroup() { return stats_; }
 
     /**
@@ -136,6 +159,7 @@ class Core : public Clocked, public L1Client,
     std::uint32_t gapLeft_ = 0;
 
     Tick stallUntil_ = 0;
+    bool halted_ = false;
     IdleState idle_ = IdleState::Active; ///< as of the last full tick
 
     // Telemetry (null/empty unless registerTelemetry was called).

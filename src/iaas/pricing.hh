@@ -94,11 +94,16 @@ struct PricingModel
         return pricePerGBps * coreEquivalentGBps;
     }
 
-    /** Core + bandwidth price for a single-core tenant. */
+    /**
+     * Core + bandwidth price of a tenant. Per-core credits are
+     * purchased per shaper (Tenant::purchase applies `cfg` to every
+     * core's shaper), so the bandwidth term scales with the core
+     * count exactly like the rental term.
+     */
     double
     tenantPrice(const BinConfig &cfg, unsigned num_cores = 1) const
     {
-        return corePrice() * num_cores + configPrice(cfg);
+        return (corePrice() + configPrice(cfg)) * num_cores;
     }
 
     /** Performance-per-cost (perf = e.g. IPC or 1/cycles). */

@@ -31,9 +31,9 @@ double
 Tenant::currentRate() const
 {
     // Per-period price: bandwidth charges plus the core rental,
-    // normalized to one replenishment period.
-    return pricing_.configPrice(current_) * numCores() +
-           pricing_.corePrice() * numCores();
+    // normalized to one replenishment period. Delegates to
+    // PricingModel::tenantPrice so the two stay one convention.
+    return pricing_.tenantPrice(current_, numCores());
 }
 
 void
@@ -53,6 +53,33 @@ Tenant::bill(Tick now)
 {
     accrue(now);
     return charges_;
+}
+
+void
+Tenant::saveState(ckpt::Writer &w) const
+{
+    w.u64(current_.spec.numBins);
+    w.u64(current_.spec.intervalLength);
+    w.u64(current_.spec.replenishPeriod);
+    w.u64(current_.spec.maxCredits);
+    w.u8(static_cast<std::uint8_t>(current_.spec.policy));
+    w.vecU32(current_.credits);
+    w.u64(accruedTo_);
+    w.f64(charges_);
+}
+
+void
+Tenant::loadState(ckpt::Reader &r)
+{
+    BinSpec spec;
+    spec.numBins = static_cast<unsigned>(r.u64());
+    spec.intervalLength = r.u64();
+    spec.replenishPeriod = r.u64();
+    spec.maxCredits = static_cast<std::uint32_t>(r.u64());
+    spec.policy = static_cast<ReplenishPolicy>(r.u8());
+    current_ = BinConfig(spec, r.vecU32());
+    accruedTo_ = r.u64();
+    charges_ = r.f64();
 }
 
 AutoScaler::AutoScaler(std::string name, Tenant &tenant,

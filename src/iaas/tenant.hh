@@ -30,7 +30,7 @@ namespace mitts
  * accrue per replenishment period for the configuration held during
  * that period, so reconfiguration changes the bill going forward.
  */
-class Tenant
+class Tenant : public ckpt::Serializable
 {
   public:
     Tenant(std::string name, const PricingModel &pricing,
@@ -47,6 +47,10 @@ class Tenant
     /** Money owed so far (core rental + bandwidth). */
     double bill(Tick now);
 
+    /** Charges accrued so far, without advancing the accrual clock
+     *  (pure read for telemetry probes; excludes the open period). */
+    double accruedCharges() const { return charges_; }
+
     /** Price per period of the currently held configuration. */
     double currentRate() const;
 
@@ -55,6 +59,12 @@ class Tenant
     {
         return static_cast<unsigned>(shapers_.size());
     }
+
+    /** Checkpoint the held configuration and the accrual state; the
+     *  shapers serialize themselves (their owner's sections), so
+     *  loadState deliberately does not touch them. */
+    void saveState(ckpt::Writer &w) const override;
+    void loadState(ckpt::Reader &r) override;
 
   private:
     std::string name_;

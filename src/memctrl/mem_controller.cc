@@ -36,6 +36,10 @@ MemController::initPerCore(unsigned num_cores)
             "core" + std::to_string(c) + "_completed"));
         latencyPerCore_.push_back(&stats_.addAverage(
             "core" + std::to_string(c) + "_mem_latency"));
+        if (cfg_.latencyHistograms)
+            latencyHistPerCore_.push_back(&stats_.addHistogram(
+                "core" + std::to_string(c) + "_mem_latency_hist",
+                cfg_.latencyHistBins, cfg_.latencyHistBinWidth));
     }
 }
 
@@ -267,9 +271,13 @@ MemController::completionCallback(ReqPtr req, Tick done)
     auto *per_core_lat = core_tracked
                              ? latencyPerCore_[req->core]
                              : nullptr;
+    auto *per_core_hist =
+        core_tracked && cfg_.latencyHistograms
+            ? latencyHistPerCore_[req->core]
+            : nullptr;
     auto *total_lat = &totalLatency_;
     return [req = std::move(req), done, sched, llc, completed_ctr,
-            per_core, per_core_lat, total_lat] {
+            per_core, per_core_lat, per_core_hist, total_lat] {
         req->doneAt = done;
         completed_ctr->inc();
         if (per_core)
@@ -278,6 +286,8 @@ MemController::completionCallback(ReqPtr req, Tick done)
         total_lat->sample(lat);
         if (per_core_lat)
             per_core_lat->sample(lat);
+        if (per_core_hist)
+            per_core_hist->sample(lat);
         if (sched)
             sched->onComplete(*req, done);
         if (llc)

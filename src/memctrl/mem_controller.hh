@@ -57,6 +57,15 @@ struct McConfig
      * it (requests enter the queue directly).
      */
     unsigned smoothingFifoDepth = 0;
+    /**
+     * Track a per-core demand-read latency histogram (off by default:
+     * it adds state and checkpoint sections). The cloud SLA monitor
+     * derives windowed p99 latency from bucket deltas, so the bin
+     * width bounds the percentile resolution.
+     */
+    bool latencyHistograms = false;
+    unsigned latencyHistBins = 96;
+    double latencyHistBinWidth = 16.0; ///< cycles per bucket
 };
 
 class MemController : public Clocked, public MemSink
@@ -104,6 +113,15 @@ class MemController : public Clocked, public MemSink
     std::uint64_t latencySamples(CoreId core) const
     {
         return latencyPerCore_.at(core)->count();
+    }
+
+    /** Per-core latency histogram (nullptr unless
+     *  cfg.latencyHistograms; see McConfig). */
+    const stats::Histogram *
+    latencyHistogram(CoreId core) const
+    {
+        return cfg_.latencyHistograms ? latencyHistPerCore_.at(core)
+                                      : nullptr;
     }
 
     stats::Group &statsGroup() { return stats_; }
@@ -171,6 +189,7 @@ class MemController : public Clocked, public MemSink
     stats::Average &totalLatency_;
     std::vector<stats::Counter *> completedPerCore_;
     std::vector<stats::Average *> latencyPerCore_;
+    std::vector<stats::Histogram *> latencyHistPerCore_;
 };
 
 } // namespace mitts

@@ -7,6 +7,8 @@
 #define MITTS_SYSTEM_CONFIG_HH
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -29,6 +31,7 @@
 #include "shaper/mitts_shaper.hh"
 #include "sim/simulation.hh"
 #include "telemetry/telemetry.hh"
+#include "trace/trace_source.hh"
 
 namespace mitts
 {
@@ -68,6 +71,22 @@ struct SystemConfig
      *  override the registry lookup — the hook for user-defined
      *  workloads and calibration sweeps. */
     std::vector<AppProfile> customProfiles;
+
+    /**
+     * Optional trace-source factory, called once per core at
+     * construction instead of building the default SyntheticTrace.
+     * The hook for dynamic workloads (the cloud engine's per-slot
+     * CloudTrace). Arguments: core id, app index, the app's profile,
+     * the app's base address, the per-core master-RNG seed and the
+     * thread index within the app. Like System::eventFactory, a
+     * closure cannot be serialized: checkpoints record only its
+     * presence (ckpt/config_hash.cc) and the factory owner must
+     * rebuild the same factory before restoring.
+     */
+    std::function<std::unique_ptr<TraceSource>(
+        CoreId, unsigned, const AppProfile &, Addr, std::uint64_t,
+        unsigned)>
+        traceFactory;
 
     CoreConfig core;
     L1Config l1;

@@ -103,8 +103,16 @@ System::System(const SystemConfig &cfg) : cfg_(cfg), sim_(cfg_.sim)
             c - static_cast<unsigned>(coresOfApp_[app].front());
         const Addr base = static_cast<Addr>(app + 1) << 30;
 
-        traces_.push_back(std::make_unique<SyntheticTrace>(
-            prof, base, master.next(), thread));
+        const std::uint64_t trace_seed = master.next();
+        if (cfg_.traceFactory)
+            traces_.push_back(cfg_.traceFactory(
+                static_cast<CoreId>(c), app, prof, base, trace_seed,
+                thread));
+        else
+            traces_.push_back(std::make_unique<SyntheticTrace>(
+                prof, base, trace_seed, thread));
+        MITTS_ASSERT(traces_.back(),
+                     "trace factory returned null");
 
         l1s_.push_back(std::make_unique<L1Cache>(
             "l1." + std::to_string(c), cfg_.l1,

@@ -67,6 +67,9 @@ class System : public AppMonitor
 
     Simulation &sim() { return sim_; }
     Core &core(CoreId c) { return *cores_[c]; }
+    /** The trace source feeding core `c` (a SyntheticTrace by
+     *  default; whatever cfg.traceFactory built otherwise). */
+    TraceSource &trace(CoreId c) { return *traces_[c]; }
     L1Cache &l1(CoreId c) { return *l1s_[c]; }
     SharedLlc &llc() { return *llc_; }
     MeshNoc *noc() { return noc_.get(); }
@@ -169,7 +172,7 @@ class System : public AppMonitor
     std::vector<unsigned> appOfCore_;
     std::vector<std::vector<CoreId>> coresOfApp_;
 
-    std::vector<std::unique_ptr<SyntheticTrace>> traces_;
+    std::vector<std::unique_ptr<TraceSource>> traces_;
     std::vector<std::unique_ptr<L1Cache>> l1s_;
     std::vector<std::unique_ptr<Core>> cores_;
     std::unique_ptr<SharedLlc> llc_;

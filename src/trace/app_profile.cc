@@ -399,6 +399,12 @@ appProfile(const std::string &name)
     return it->second;
 }
 
+bool
+hasAppProfile(const std::string &name)
+{
+    return table().count(name) != 0;
+}
+
 std::vector<std::string>
 allProfileNames()
 {

@@ -107,6 +107,9 @@ struct AppProfile
  */
 const AppProfile &appProfile(const std::string &name);
 
+/** Whether `name` is registered (validation without the fatal()). */
+bool hasAppProfile(const std::string &name);
+
 /** All registered profile names (for tests and tools). */
 std::vector<std::string> allProfileNames();
 

@@ -264,5 +264,63 @@ TEST_F(TenantFixture, CheckpointRoundTripRestoresCooldownAndSchedule)
     EXPECT_THROW(norules.loadState(r2), ckpt::Error);
 }
 
+// --------------------------------------------------------------
+// Billing edge cases (marketplace settlement depends on these).
+
+TEST(TenantMultiCore, CurrentRateMatchesTenantPrice)
+{
+    // The rate the accountant accrues and the price sheet's quote
+    // must agree for any core count: tenantPrice charges the
+    // purchased credits per shaper, exactly like purchase() applies
+    // them per shaper.
+    PricingModel pricing;
+    MittsShaper a("a", BinConfig::uniform(spec(), 8));
+    MittsShaper b("b", BinConfig::uniform(spec(), 8));
+    MittsShaper c("c", BinConfig::uniform(spec(), 8));
+    Tenant tri("tri", pricing, {&a, &b, &c});
+    EXPECT_NEAR(tri.currentRate(),
+                pricing.tenantPrice(tri.currentConfig(), 3), 1e-9);
+
+    tri.purchase(BinConfig::uniform(spec(), 32), 0);
+    EXPECT_NEAR(tri.currentRate(),
+                pricing.tenantPrice(tri.currentConfig(), 3), 1e-9);
+}
+
+TEST_F(TenantFixture, MidPeriodPurchaseProratesBothConfigs)
+{
+    // Reconfigure halfway through a 1000-cycle period: the bill is
+    // half a period at each rate, not a full period of either.
+    const double cheap_rate = tenant.currentRate();
+    tenant.purchase(BinConfig::uniform(spec(), 64), 500);
+    const double rich_rate = tenant.currentRate();
+    EXPECT_GT(rich_rate, cheap_rate);
+    EXPECT_NEAR(tenant.bill(1'000),
+                0.5 * cheap_rate + 0.5 * rich_rate, 1e-9);
+}
+
+TEST_F(TenantFixture, BillIsIdempotentAtTheSameTick)
+{
+    const double once = tenant.bill(3'333);
+    EXPECT_NEAR(tenant.bill(3'333), once, 1e-12);
+    EXPECT_NEAR(tenant.bill(3'333), once, 1e-12);
+    EXPECT_NEAR(tenant.accruedCharges(), once, 1e-12);
+}
+
+TEST_F(TenantFixture, AccrueNeverRunsBackwards)
+{
+    tenant.accrue(2'000);
+    const double charges = tenant.accruedCharges();
+    EXPECT_GT(charges, 0.0);
+
+    // An earlier timestamp must not re-charge or rewind the clock.
+    tenant.accrue(1'000);
+    EXPECT_NEAR(tenant.accruedCharges(), charges, 1e-12);
+    EXPECT_NEAR(tenant.bill(1'500), charges, 1e-12);
+
+    // Moving forward resumes from 2000, not from the stale reads.
+    EXPECT_NEAR(tenant.bill(3'000),
+                charges + tenant.currentRate(), 1e-9);
+}
+
 } // namespace
 } // namespace mitts

@@ -17,13 +17,17 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "analytic/analytic_model.hh"
 #include "ckpt/serialize.hh"
+#include "cloud/engine.hh"
+#include "cloud/scenario.hh"
 #include "system/runner.hh"
 #include "system/system.hh"
 #include "trace/app_profile.hh"
@@ -66,6 +70,15 @@ usage(int code)
   --checkpoint-every N  also checkpoint at every N-cycle boundary
   --restore FILE     resume from a checkpoint written by an identically
                      configured run (pass the same flags again)
+  --scenario FILE    run a cloud multi-tenant scenario (src/cloud/);
+                     combines only with the scenario flags below plus
+                     --stats and --no-skip
+  --scenario-out D   write billing.csv / summary.txt (and per-socket
+                     telemetry when the scenario enables it) to D
+                     instead of stdout
+  --scenario-until N stop the scenario at cycle N (window multiple)
+  with --scenario, --checkpoint-out/--checkpoint-every/--restore take
+  directories: one socketN.mitts per socket plus cloud.mitts
   --list-apps        print the workload registry and exit
   --version          print version and checkpoint format, then exit
   --help             this text
@@ -82,7 +95,8 @@ exit codes:
      --prefilter without --tune, --backend analytic with any
      cycle-accurate-only flag: --cycles --stats --no-skip
      --telemetry-out --sample-interval --trace-events
-     --checkpoint-out --checkpoint-every --restore --tune), or an
+     --checkpoint-out --checkpoint-every --restore --tune,
+     --scenario with any single-system flag), or an
      invalid/corrupt/mismatched checkpoint
 
 every rejected combination prints a one-line reason on stderr.
@@ -201,11 +215,164 @@ parseSched(const std::string &s)
     fatal("unknown scheduler '", s, "'");
 }
 
+/**
+ * Dedicated flag loop for --scenario runs. The scenario file owns the
+ * machine shape and workloads, so every single-system flag is a
+ * conflict (exit 2), not a silent no-op.
+ */
+int
+runScenarioMode(int argc, char **argv)
+{
+    std::string scen_path, out_dir, ckpt_out, restore_dir;
+    Tick ckpt_every = 0, until = 0;
+    SimulationConfig sim_cfg;
+    bool dump_stats = false;
+
+    auto need = [&](int &i) -> std::string {
+        if (i + 1 >= argc)
+            usageError(std::string(argv[i]) + " needs a value");
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help") {
+            usage(0);
+        } else if (arg == "--scenario") {
+            scen_path = need(i);
+        } else if (arg == "--scenario-out") {
+            out_dir = need(i);
+        } else if (arg == "--scenario-until") {
+            until = parsePositiveU64("--scenario-until", need(i));
+        } else if (arg == "--no-skip") {
+            sim_cfg.skipAhead = false;
+        } else if (arg == "--stats") {
+            dump_stats = true;
+        } else if (arg == "--checkpoint-out") {
+            ckpt_out = need(i);
+        } else if (arg == "--checkpoint-every") {
+            ckpt_every =
+                parsePositiveU64("--checkpoint-every", need(i));
+        } else if (arg == "--restore") {
+            restore_dir = need(i);
+        } else {
+            usageError("--scenario cannot be combined with " + arg);
+        }
+    }
+    if (ckpt_every > 0 && ckpt_out.empty())
+        usageError("--checkpoint-every needs --checkpoint-out");
+
+    cloud::ScenarioConfig sc;
+    try {
+        sc = cloud::parseScenarioFile(scen_path);
+    } catch (const cloud::ScenarioError &e) {
+        std::fprintf(stderr, "mitts_sim: %s\n", e.what());
+        return 1;
+    }
+    if (until > 0 && until % sc.windowCycles != 0)
+        usageError("--scenario-until must be a multiple of the "
+                   "scenario window (" +
+                   std::to_string(sc.windowCycles) + ")");
+    if (ckpt_every > 0 && ckpt_every % sc.windowCycles != 0)
+        usageError("--checkpoint-every must be a multiple of the "
+                   "scenario window (" +
+                   std::to_string(sc.windowCycles) + ")");
+
+    std::unique_ptr<cloud::CloudEngine> eng;
+    try {
+        eng = std::make_unique<cloud::CloudEngine>(sc, out_dir,
+                                                   sim_cfg);
+    } catch (const cloud::ScenarioError &e) {
+        std::fprintf(stderr, "mitts_sim: %s\n", e.what());
+        return 1;
+    }
+
+    if (!restore_dir.empty()) {
+        try {
+            eng->restoreCheckpoint(restore_dir);
+        } catch (const ckpt::Error &e) {
+            std::fprintf(stderr,
+                         "mitts_sim: cannot restore '%s': %s\n",
+                         restore_dir.c_str(), e.what());
+            return 2;
+        }
+        std::printf("restored %s at cycle %llu\n",
+                    restore_dir.c_str(),
+                    static_cast<unsigned long long>(eng->now()));
+    }
+
+    const Tick target = until > 0 ? until : sc.durationCycles;
+    if (target < eng->now())
+        usageError("--scenario-until is before the restored cycle");
+    if (!ckpt_out.empty())
+        std::filesystem::create_directories(ckpt_out);
+    auto save_ckpt = [&](const std::string &tag) {
+        try {
+            eng->saveCheckpoint(ckpt_out + "/ckpt-" + tag);
+        } catch (const ckpt::Error &e) {
+            std::fprintf(stderr,
+                         "mitts_sim: checkpoint failed: %s\n",
+                         e.what());
+            std::exit(2);
+        }
+    };
+    Tick next_ckpt = kTickNever;
+    if (ckpt_every > 0)
+        next_ckpt = (eng->now() / ckpt_every + 1) * ckpt_every;
+    while (eng->now() < target) {
+        eng->runUntil(std::min(target, next_ckpt));
+        if (eng->now() >= next_ckpt) {
+            save_ckpt(std::to_string(eng->now()));
+            next_ckpt += ckpt_every;
+        }
+    }
+    if (!ckpt_out.empty()) {
+        save_ckpt("final");
+        std::printf("checkpoint: %s/ckpt-final\n", ckpt_out.c_str());
+    }
+    eng->finalizeTelemetry();
+
+    if (out_dir.empty()) {
+        std::ostringstream os;
+        eng->writeSummary(os);
+        os << "\n";
+        eng->writeBillingCsv(os);
+        std::fputs(os.str().c_str(), stdout);
+    } else {
+        std::filesystem::create_directories(out_dir);
+        std::ofstream bill(out_dir + "/billing.csv");
+        eng->writeBillingCsv(bill);
+        std::ofstream summ(out_dir + "/summary.txt");
+        eng->writeSummary(summ);
+        std::ostringstream echo;
+        eng->writeSummary(echo);
+        std::fputs(echo.str().c_str(), stdout);
+        std::printf("billing:  %s/billing.csv\n", out_dir.c_str());
+    }
+    if (dump_stats) {
+        std::ostringstream ss;
+        eng->dumpStats(ss);
+        if (out_dir.empty()) {
+            std::printf("\n---- statistics ----\n");
+            std::fputs(ss.str().c_str(), stdout);
+        } else {
+            std::ofstream sf(out_dir + "/stats.txt");
+            sf << ss.str();
+            std::printf("stats:    %s/stats.txt\n", out_dir.c_str());
+        }
+    }
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--scenario") == 0)
+            return runScenarioMode(argc, argv);
+    }
+
     SystemConfig cfg;
     std::uint64_t instr_target = 200'000;
     Tick fixed_cycles = 0;
