@@ -50,6 +50,23 @@ saturatedMix()
         {"mcf", "libquantum", "omnetpp", "astar"});
 }
 
+SystemConfig
+mixedPhaseMix()
+{
+    // Alternating regimes: a small credit burst in a fast bin drains
+    // quickly (saturated phase), then the cores sit blocked until the
+    // replenishment period (idle phase). Exercises the skip decision
+    // and the wake-claim cache on every phase transition rather than
+    // steady-state at either extreme.
+    SystemConfig cfg = SystemConfig::multiProgram(
+        {"mcf", "libquantum", "omnetpp", "astar"});
+    cfg.gate = GateKind::Mitts;
+    std::vector<std::uint32_t> credits(cfg.binSpec.numBins, 0);
+    credits[2] = 12;
+    cfg.mittsConfigs.assign(4, BinConfig(cfg.binSpec, credits));
+    return cfg;
+}
+
 struct Result
 {
     double wallSec = 0.0;
@@ -92,6 +109,7 @@ main()
     const std::vector<Mix> mixes = {
         {"idle_heavy", idleHeavyMix()},
         {"saturated", saturatedMix()},
+        {"mixed_phase", mixedPhaseMix()},
     };
 
     const std::string json_path =

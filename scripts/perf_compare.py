@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json files and report per-metric deltas.
+
+Each BENCH_*.json is a flat JSON array of row objects (see
+bench/bench_common.cc). Rows are matched by their non-numeric fields
+(bench name, mix, skip_ahead flag, ...); numeric fields are treated as
+metrics and reported as baseline -> fresh with a percentage delta.
+
+Only metrics with a known better-direction are checked against the
+regression threshold:
+
+    wall_s        lower is better
+    cycles_per_s  higher is better
+    speedup       higher is better
+
+Everything else (cycle counts, configuration echoes) is printed for
+context but never flagged. Exit status is non-zero when any checked
+metric regresses past the threshold, unless --warn-only is given —
+the CI bench step runs warn-only because shared runners are noisy.
+
+Usage:
+    perf_compare.py baseline.json fresh.json [--threshold PCT]
+                    [--warn-only]
+"""
+
+import argparse
+import json
+import sys
+
+# metric -> +1 (higher is better) or -1 (lower is better)
+DIRECTIONS = {
+    "wall_s": -1,
+    "wall_sec": -1,
+    "cycles_per_s": 1,
+    "speedup": 1,
+}
+
+# Identity-ish numeric fields that vary run to run but are not
+# performance (or are echoed configuration): shown, never flagged.
+NEVER_FLAG = {"cycles", "cycles_skipped", "iterations"}
+
+
+def row_key(row):
+    """Identity of a row: every non-numeric field, sorted."""
+    items = []
+    for k, v in sorted(row.items()):
+        if isinstance(v, bool) or not isinstance(v, (int, float)):
+            items.append((k, v))
+    return tuple(items)
+
+
+def fmt_key(key):
+    return " ".join(f"{k}={v}" for k, v in key)
+
+
+def load_rows(path):
+    with open(path) as f:
+        data = json.load(f)
+    if not isinstance(data, list):
+        raise SystemExit(f"{path}: expected a JSON array of rows")
+    rows = {}
+    for row in data:
+        key = row_key(row)
+        if key in rows:
+            raise SystemExit(f"{path}: duplicate row {fmt_key(key)}")
+        rows[key] = row
+    return rows
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Diff two BENCH_*.json files.")
+    ap.add_argument("baseline")
+    ap.add_argument("fresh")
+    ap.add_argument("--threshold", type=float, default=10.0,
+                    help="regression threshold in percent "
+                         "(default: %(default)s)")
+    ap.add_argument("--warn-only", action="store_true",
+                    help="report regressions but always exit 0")
+    args = ap.parse_args()
+
+    base = load_rows(args.baseline)
+    fresh = load_rows(args.fresh)
+
+    regressions = []
+    for key in sorted(base):
+        if key not in fresh:
+            print(f"-- only in baseline: {fmt_key(key)}")
+            continue
+        print(f"== {fmt_key(key)}")
+        b, f = base[key], fresh[key]
+        for metric in sorted(set(b) | set(f)):
+            bv, fv = b.get(metric), f.get(metric)
+            if isinstance(bv, bool) or not isinstance(
+                    bv, (int, float)) or not isinstance(fv, (int, float)):
+                continue
+            delta = (100.0 * (fv - bv) / bv) if bv else 0.0
+            line = (f"   {metric:<16} {bv:>14.4g} -> {fv:>14.4g}  "
+                    f"({delta:+.1f}%)")
+            direction = DIRECTIONS.get(metric)
+            flagged = (direction is not None
+                       and metric not in NEVER_FLAG
+                       and direction * delta < -args.threshold)
+            if flagged:
+                line += "  REGRESSION"
+                regressions.append(
+                    f"{fmt_key(key)}: {metric} {delta:+.1f}%")
+            print(line)
+    for key in sorted(fresh):
+        if key not in base:
+            print(f"++ only in fresh: {fmt_key(key)}")
+
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) past "
+              f"{args.threshold:.0f}%:")
+        for r in regressions:
+            print(f"  {r}")
+        if not args.warn_only:
+            return 1
+        print("(--warn-only: exiting 0)")
+    else:
+        print(f"\nno regressions past {args.threshold:.0f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

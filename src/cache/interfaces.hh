@@ -7,7 +7,7 @@
 #define MITTS_CACHE_INTERFACES_HH
 
 #include "base/types.hh"
-#include "mem/request.hh"
+#include "mem/request_pool.hh"
 
 namespace mitts
 {

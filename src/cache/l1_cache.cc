@@ -6,8 +6,9 @@ namespace mitts
 {
 
 L1Cache::L1Cache(std::string name, const L1Config &cfg, CoreId core,
-                 EventQueue &events)
-    : Clocked(std::move(name)), cfg_(cfg), core_(core), events_(events),
+                 RequestPool &pool, EventQueue &events)
+    : Clocked(std::move(name)), cfg_(cfg), core_(core), pool_(pool),
+      events_(events),
       array_(cfg.sizeBytes, cfg.assoc),
       mshrs_(cfg.mshrs, cfg.mshrTargets),
       stats_(this->name()),
@@ -67,9 +68,9 @@ L1Cache::access(Addr addr, bool is_write, SeqNum seq, Tick now)
         m.waitingLoads.push_back(seq);
 
     // Write-allocate: a store miss fetches the line with a read.
-    ReqPtr req = makeRequest(seq, addr,
-                             is_write ? MemOp::Write : MemOp::Read,
-                             core_, now);
+    ReqPtr req = pool_.make(seq, addr,
+                            is_write ? MemOp::Write : MemOp::Read,
+                            core_, now);
     req->l1MissAt = now;
     sendQueue_.push_back(std::move(req));
     return L1Result::MissQueued;
@@ -193,8 +194,8 @@ void
 L1Cache::sendWriteback(Addr block_addr, Tick now)
 {
     writebacks_.inc();
-    ReqPtr wb = makeRequest(nextWbSeq_++, block_addr, MemOp::Writeback,
-                            core_, now);
+    ReqPtr wb = pool_.make(nextWbSeq_++, block_addr, MemOp::Writeback,
+                           core_, now);
     writebackQueue_.push_back(std::move(wb));
 }
 

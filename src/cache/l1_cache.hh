@@ -14,7 +14,7 @@
 #include "cache/cache_array.hh"
 #include "cache/interfaces.hh"
 #include "cache/mshr.hh"
-#include "mem/request.hh"
+#include "mem/request_pool.hh"
 #include "sim/clocked.hh"
 #include "sim/event_queue.hh"
 
@@ -43,7 +43,7 @@ class L1Cache : public Clocked, public ckpt::Serializable
 {
   public:
     L1Cache(std::string name, const L1Config &cfg, CoreId core,
-            EventQueue &events);
+            RequestPool &pool, EventQueue &events);
 
     /** Wire up the consumer of load completions (the core). */
     void setClient(L1Client *client) { client_ = client; }
@@ -97,6 +97,7 @@ class L1Cache : public Clocked, public ckpt::Serializable
 
     L1Config cfg_;
     CoreId core_;
+    RequestPool &pool_;
     EventQueue &events_;
     CacheArray array_;
     MshrFile mshrs_;

@@ -9,8 +9,9 @@ namespace mitts
 {
 
 SharedLlc::SharedLlc(std::string name, const LlcConfig &cfg,
-                     unsigned num_cores, EventQueue &events)
-    : Clocked(std::move(name)), cfg_(cfg), events_(events),
+                     unsigned num_cores, RequestPool &pool,
+                     EventQueue &events)
+    : Clocked(std::move(name)), cfg_(cfg), pool_(pool), events_(events),
       array_(cfg.sizeBytes, cfg.assoc), banks_(cfg.numBanks),
       l1s_(num_cores, nullptr), gates_(num_cores, nullptr),
       stats_(this->name()),
@@ -150,10 +151,10 @@ SharedLlc::processBank(Bank &bank, Tick now)
             Victim v = array_.insert(block, true);
             if (v.valid && v.dirty) {
                 writebacks_.inc();
-                wbQueue_.push_back(makeRequest(nextWbSeq_++,
-                                               v.blockAddr,
-                                               MemOp::Writeback, kNoCore,
-                                               now));
+                wbQueue_.push_back(pool_.make(nextWbSeq_++,
+                                              v.blockAddr,
+                                              MemOp::Writeback, kNoCore,
+                                              now));
             }
         }
         bank.queue.pop_front();
@@ -213,9 +214,9 @@ SharedLlc::fillFromMem(const ReqPtr &req, Tick now)
         Victim v = array_.insert(block, false);
         if (v.valid && v.dirty) {
             writebacks_.inc();
-            wbQueue_.push_back(makeRequest(nextWbSeq_++, v.blockAddr,
-                                           MemOp::Writeback, kNoCore,
-                                           now));
+            wbQueue_.push_back(pool_.make(nextWbSeq_++, v.blockAddr,
+                                          MemOp::Writeback, kNoCore,
+                                          now));
         }
     }
 

@@ -19,7 +19,7 @@
 #include "cache/cache_array.hh"
 #include "cache/interfaces.hh"
 #include "cache/l1_cache.hh"
-#include "mem/request.hh"
+#include "mem/request_pool.hh"
 #include "noc/mesh.hh"
 #include "sim/clocked.hh"
 #include "sim/event_queue.hh"
@@ -55,7 +55,7 @@ class SharedLlc : public Clocked, public MemSink,
 {
   public:
     SharedLlc(std::string name, const LlcConfig &cfg, unsigned num_cores,
-              EventQueue &events);
+              RequestPool &pool, EventQueue &events);
 
     void setL1(CoreId core, L1Cache *l1) { l1s_.at(core) = l1; }
     void setGate(CoreId core, SourceGate *g) { gates_.at(core) = g; }
@@ -126,6 +126,7 @@ class SharedLlc : public Clocked, public MemSink,
     void notifyGate(const ReqPtr &req, bool hit, Tick now);
 
     LlcConfig cfg_;
+    RequestPool &pool_;
     EventQueue &events_;
     CacheArray array_;
     std::vector<Bank> banks_;

@@ -170,13 +170,17 @@ Writer::request(const ReqPtr &req)
         u64(0);
         return;
     }
-    auto it = reqIds_.find(req.get());
-    if (it != reqIds_.end()) {
-        u64(it->second);
+    // A live request's pool slot is stable for the whole snapshot, so
+    // the slot-indexed table is an exact identity map — no hashing.
+    const std::uint32_t slot = req.id().slot;
+    if (slot >= slotIds_.size())
+        slotIds_.resize(slot + 1, 0);
+    if (slotIds_[slot] != 0) {
+        u64(slotIds_[slot]);
         return;
     }
-    const std::uint64_t id = reqIds_.size() + 1;
-    reqIds_.emplace(req.get(), id);
+    const std::uint64_t id = nextReqId_++;
+    slotIds_[slot] = id;
     u64(id);
     // First occurrence: inline the payload.
     u64(req->seq);
@@ -193,6 +197,7 @@ Writer::request(const ReqPtr &req)
     u64(req->dramIssueAt);
     u64(req->doneAt);
     b(req->llcHit);
+    b(req->schedMarked);
 }
 
 std::string
@@ -441,7 +446,10 @@ Reader::request()
         return reqs_[id - 1];
     if (id != reqs_.size() + 1)
         throw Error("request intern id out of sequence");
-    auto r = std::make_shared<MemRequest>();
+    if (!pool_)
+        throw Error("Reader::request without a bound RequestPool "
+                    "(call bindPool before restoring requests)");
+    ReqPtr r = pool_->makeBlank();
     r->seq = u64();
     r->addr = u64();
     r->blockAddr = u64();
@@ -456,6 +464,7 @@ Reader::request()
     r->dramIssueAt = u64();
     r->doneAt = u64();
     r->llcHit = b();
+    r->schedMarked = b();
     reqs_.push_back(r);
     return r;
 }

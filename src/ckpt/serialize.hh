@@ -18,11 +18,14 @@
  * bad magic, unknown version, config-hash mismatch, CRC mismatch,
  * section-name mismatch, or a section that is under- or over-consumed.
  *
- * MemRequest objects are shared (one shared_ptr may sit in an LLC miss
- * list, a controller queue, and a pending completion event at once);
- * Writer::request / Reader::request intern them so aliasing survives
- * the round trip. Interning is positional — both sides must visit
- * requests in the same order, which the fixed section order guarantees.
+ * MemRequest objects are shared (one ReqPtr handle may sit in an LLC
+ * miss list, a controller queue, and a pending completion event at
+ * once); Writer::request / Reader::request intern them so aliasing
+ * survives the round trip. Interning is positional — both sides must
+ * visit requests in the same order, which the fixed section order
+ * guarantees — and keyed by the request's stable RequestPool slot on
+ * the write side. The Reader allocates restored requests from the
+ * pool bound via bindPool().
  */
 
 #ifndef MITTS_CKPT_SERIALIZE_HH
@@ -31,11 +34,10 @@
 #include <cstdint>
 #include <stdexcept>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "base/types.hh"
-#include "mem/request.hh"
+#include "mem/request_pool.hh"
 
 namespace mitts::stats
 {
@@ -46,8 +48,9 @@ namespace mitts::ckpt
 {
 
 /** Checkpoint format revision; bump on any layout change.
- *  v2: the core section gained the halted flag (cloud slots). */
-constexpr std::uint32_t kFormatVersion = 2;
+ *  v2: the core section gained the halted flag (cloud slots).
+ *  v3: request payloads carry schedMarked (PAR-BS flat state). */
+constexpr std::uint32_t kFormatVersion = 3;
 
 /** File magic ("MITTSCKP", 8 bytes, no terminator). */
 extern const char kMagic[8];
@@ -115,11 +118,11 @@ class Writer
 
     std::vector<std::pair<std::string, std::string>> sections_;
     bool open_ = false;
-    // Positional interning: ids are assigned in serialization order
-    // and only ever looked up, never iterated, compared or hashed
-    // into the image.
-    // detlint-allow(R3): pointer key is a lookup handle, not an order
-    std::unordered_map<const MemRequest *, std::uint64_t> reqIds_;
+    // Positional interning: ids are assigned in serialization order.
+    // Indexed by RequestPool slot (stable for a live request); a
+    // stored value of 0 means "not yet interned".
+    std::vector<std::uint64_t> slotIds_;
+    std::uint64_t nextReqId_ = 1;
 };
 
 /** Deserializer over a fully validated checkpoint image. */
@@ -132,6 +135,13 @@ class Reader
     /** Read `path` and validate. Throws Error on any problem. */
     static Reader fromFile(const std::string &path,
                            std::uint64_t expected_config_hash);
+
+    /**
+     * Bind the arena that deserialized requests are allocated from.
+     * Must be called before the first request() read; readers that
+     * never encounter a non-null request don't need one.
+     */
+    void bindPool(RequestPool &pool) { pool_ = &pool; }
 
     /** Enter the next section, which must be named `name`. */
     void beginSection(const std::string &name);
@@ -174,6 +184,7 @@ class Reader
     std::size_t pos_ = 0;   ///< cursor within the open section
     std::size_t end_ = 0;   ///< one past the open section's payload
     bool open_ = false;
+    RequestPool *pool_ = nullptr;
     std::vector<ReqPtr> reqs_;
 };
 

@@ -9,7 +9,10 @@ namespace mitts
 {
 
 Dram::Dram(const DramConfig &cfg)
-    : cfg_(cfg), banks_(cfg.numBanks),
+    : cfg_(cfg), bankRowOpen_(cfg.numBanks, 0),
+      bankRow_(cfg.numBanks, 0), bankBusyUntil_(cfg.numBanks, 0),
+      bankActivateAt_(cfg.numBanks, 0),
+      bankWriteRecoverUntil_(cfg.numBanks, 0),
       recentActivates_(4, 0),
       nextRefreshAt_(cfg.refreshEnabled ? cfg.tREFI : kTickNever),
       stats_("dram"),
@@ -47,8 +50,8 @@ Dram::registerTelemetry(telemetry::Telemetry &t,
     probes_.add(prefix + ".banks_busy", ProbeKind::Gauge,
                 [this](Tick now) {
                     unsigned busy = 0;
-                    for (const auto &b : banks_)
-                        busy += now < b.busyUntil ? 1 : 0;
+                    for (const Tick until : bankBusyUntil_)
+                        busy += now < until ? 1 : 0;
                     return static_cast<double>(busy);
                 });
     if (t.trace()) {
@@ -58,13 +61,12 @@ Dram::registerTelemetry(telemetry::Telemetry &t,
 }
 
 RowState
-Dram::rowState(Addr block_addr) const
+Dram::rowState(const DramCoord &c) const
 {
-    const DramCoord c = mapAddress(block_addr, cfg_);
-    const Bank &b = banks_[c.bank];
-    if (!b.rowOpen)
+    if (!bankRowOpen_[c.bank])
         return RowState::Closed;
-    return b.row == c.row ? RowState::Hit : RowState::Conflict;
+    return bankRow_[c.bank] == c.row ? RowState::Hit
+                                     : RowState::Conflict;
 }
 
 bool
@@ -109,14 +111,13 @@ Dram::earliestActivate(Tick from, Tick precharge) const
 }
 
 Tick
-Dram::earliestIssueTick(Addr block_addr, bool is_write, Tick now) const
+Dram::earliestIssueTick(const DramCoord &c, bool is_write,
+                        Tick now) const
 {
     (void)is_write;
     Tick t = std::max(now + 1, refBlockUntil_);
-    const DramCoord c = mapAddress(block_addr, cfg_);
-    const Bank &b = banks_[c.bank];
-    t = std::max(t, b.busyUntil);
-    switch (rowState(block_addr)) {
+    t = std::max(t, bankBusyUntil_[c.bank]);
+    switch (rowState(c)) {
       case RowState::Hit:
         if (busFreeAt_ > cfg_.tCL)
             t = std::max(t, busFreeAt_ - cfg_.tCL);
@@ -125,8 +126,8 @@ Dram::earliestIssueTick(Addr block_addr, bool is_write, Tick now) const
         t = earliestActivate(t, 0);
         break;
       case RowState::Conflict:
-        t = std::max(t, b.activateAt + cfg_.tRAS);
-        t = std::max(t, b.writeRecoverUntil);
+        t = std::max(t, bankActivateAt_[c.bank] + cfg_.tRAS);
+        t = std::max(t, bankWriteRecoverUntil_[c.bank]);
         t = earliestActivate(t, cfg_.tRP);
         break;
     }
@@ -134,18 +135,16 @@ Dram::earliestIssueTick(Addr block_addr, bool is_write, Tick now) const
 }
 
 bool
-Dram::canIssue(Addr block_addr, bool is_write, Tick now) const
+Dram::canIssue(const DramCoord &c, bool is_write, Tick now) const
 {
     (void)is_write;
     if (now < refBlockUntil_)
         return false;
 
-    const DramCoord c = mapAddress(block_addr, cfg_);
-    const Bank &b = banks_[c.bank];
-    if (now < b.busyUntil)
+    if (now < bankBusyUntil_[c.bank])
         return false;
 
-    switch (rowState(block_addr)) {
+    switch (rowState(c)) {
       case RowState::Hit:
         // Bound the bus backlog so queueing happens in the scheduler's
         // view, not hidden inside the bus reservation.
@@ -153,9 +152,9 @@ Dram::canIssue(Addr block_addr, bool is_write, Tick now) const
       case RowState::Closed:
         return activateAllowed(now);
       case RowState::Conflict:
-        if (now < b.activateAt + cfg_.tRAS)
+        if (now < bankActivateAt_[c.bank] + cfg_.tRAS)
             return false;
-        if (now < b.writeRecoverUntil)
+        if (now < bankWriteRecoverUntil_[c.bank])
             return false;
         return activateAllowed(now + cfg_.tRP);
     }
@@ -163,24 +162,23 @@ Dram::canIssue(Addr block_addr, bool is_write, Tick now) const
 }
 
 Tick
-Dram::issue(Addr block_addr, bool is_write, Tick now)
+Dram::issue(const DramCoord &c, bool is_write, Tick now)
 {
-    MITTS_ASSERT(canIssue(block_addr, is_write, now),
+    MITTS_ASSERT(canIssue(c, is_write, now),
                  "issue() without canIssue()");
-    const DramCoord c = mapAddress(block_addr, cfg_);
-    Bank &b = banks_[c.bank];
+    const unsigned bank = c.bank;
 
     Tick cas = now;
-    switch (rowState(block_addr)) {
+    switch (rowState(c)) {
       case RowState::Hit:
         rowHits_.inc();
         break;
       case RowState::Closed:
         rowMisses_.inc();
         recordActivate(now);
-        b.activateAt = now;
-        b.rowOpen = true;
-        b.row = c.row;
+        bankActivateAt_[bank] = now;
+        bankRowOpen_[bank] = 1;
+        bankRow_[bank] = c.row;
         cas = now + cfg_.tRCD;
         break;
       case RowState::Conflict: {
@@ -189,8 +187,8 @@ Dram::issue(Addr block_addr, bool is_write, Tick now)
             trace_->instant(traceTrack_, "dram", "row_conflict", now);
         const Tick act = now + cfg_.tRP;
         recordActivate(act);
-        b.activateAt = act;
-        b.row = c.row;
+        bankActivateAt_[bank] = act;
+        bankRow_[bank] = c.row;
         cas = act + cfg_.tRCD;
         break;
       }
@@ -200,9 +198,10 @@ Dram::issue(Addr block_addr, bool is_write, Tick now)
     const Tick data_start = std::max(cas + access_lat, busFreeAt_);
     const Tick data_end = data_start + cfg_.tBURST;
     busFreeAt_ = data_end;
-    b.busyUntil = cas; // bank command slot freed once CAS is issued
+    // Bank command slot frees once the CAS is issued.
+    bankBusyUntil_[bank] = cas;
     if (is_write)
-        b.writeRecoverUntil = data_end + cfg_.tWR;
+        bankWriteRecoverUntil_[bank] = data_end + cfg_.tWR;
     return data_end;
 }
 
@@ -214,9 +213,10 @@ Dram::tick(Tick now)
     // Close all rows and block the channel for tRFC. Banks finishing
     // in-flight bursts keep their busyUntil if later.
     refBlockUntil_ = now + cfg_.tRFC;
-    for (auto &b : banks_) {
-        b.rowOpen = false;
-        b.busyUntil = std::max(b.busyUntil, refBlockUntil_);
+    for (unsigned b = 0; b < cfg_.numBanks; ++b) {
+        bankRowOpen_[b] = 0;
+        bankBusyUntil_[b] =
+            std::max(bankBusyUntil_[b], refBlockUntil_);
     }
     nextRefreshAt_ += cfg_.tREFI;
     refreshes_.inc();
@@ -228,13 +228,15 @@ Dram::tick(Tick now)
 void
 Dram::saveState(ckpt::Writer &w) const
 {
-    w.u64(banks_.size());
-    for (const auto &b : banks_) {
-        w.b(b.rowOpen);
-        w.u64(b.row);
-        w.u64(b.busyUntil);
-        w.u64(b.activateAt);
-        w.u64(b.writeRecoverUntil);
+    // Per-bank fields stay interleaved in the stream (the layout
+    // predates the SoA split) so checkpoints remain byte-compatible.
+    w.u64(bankRowOpen_.size());
+    for (std::size_t b = 0; b < bankRowOpen_.size(); ++b) {
+        w.b(bankRowOpen_[b] != 0);
+        w.u64(bankRow_[b]);
+        w.u64(bankBusyUntil_[b]);
+        w.u64(bankActivateAt_[b]);
+        w.u64(bankWriteRecoverUntil_[b]);
     }
     w.u64(busFreeAt_);
     w.vecU64(recentActivates_);
@@ -250,14 +252,14 @@ Dram::saveState(ckpt::Writer &w) const
 void
 Dram::loadState(ckpt::Reader &r)
 {
-    if (r.u64() != banks_.size())
+    if (r.u64() != bankRowOpen_.size())
         throw ckpt::Error("DRAM bank count mismatch");
-    for (auto &b : banks_) {
-        b.rowOpen = r.b();
-        b.row = r.u64();
-        b.busyUntil = r.u64();
-        b.activateAt = r.u64();
-        b.writeRecoverUntil = r.u64();
+    for (std::size_t b = 0; b < bankRowOpen_.size(); ++b) {
+        bankRowOpen_[b] = r.b() ? 1 : 0;
+        bankRow_[b] = r.u64();
+        bankBusyUntil_[b] = r.u64();
+        bankActivateAt_[b] = r.u64();
+        bankWriteRecoverUntil_[b] = r.u64();
     }
     busFreeAt_ = r.u64();
     recentActivates_ = r.vecU64();

@@ -46,9 +46,19 @@ class Dram : public ckpt::Serializable
     const DramConfig &config() const { return cfg_; }
 
     /** Row-buffer state the access would see right now. */
-    RowState rowState(Addr block_addr) const;
+    RowState rowState(const DramCoord &c) const;
+    RowState
+    rowState(Addr block_addr) const
+    {
+        return rowState(mapAddress(block_addr, cfg_));
+    }
 
     /** True iff the access would be a row-buffer hit. */
+    bool
+    isRowHit(const DramCoord &c) const
+    {
+        return rowState(c) == RowState::Hit;
+    }
     bool
     isRowHit(Addr block_addr) const
     {
@@ -59,14 +69,26 @@ class Dram : public ckpt::Serializable
      * May a transaction to this address legally start at `now`?
      * Enforces bank busy, tRAS/tWR before precharge, tRRD/tFAW
      * activate spacing, refresh blocking, and bounded bus backlog.
+     * The DramCoord overloads take a pre-decomposed address (the
+     * controller's SoA queue caches it at enqueue).
      */
-    bool canIssue(Addr block_addr, bool is_write, Tick now) const;
+    bool canIssue(const DramCoord &c, bool is_write, Tick now) const;
+    bool
+    canIssue(Addr block_addr, bool is_write, Tick now) const
+    {
+        return canIssue(mapAddress(block_addr, cfg_), is_write, now);
+    }
 
     /**
      * Start the transaction (caller must have checked canIssue).
      * @return tick at which the data burst completes.
      */
-    Tick issue(Addr block_addr, bool is_write, Tick now);
+    Tick issue(const DramCoord &c, bool is_write, Tick now);
+    Tick
+    issue(Addr block_addr, bool is_write, Tick now)
+    {
+        return issue(mapAddress(block_addr, cfg_), is_write, now);
+    }
 
     /** Advance refresh logic; call once per CPU cycle. */
     void tick(Tick now);
@@ -85,8 +107,14 @@ class Dram : public ckpt::Serializable
      * Exact: every canIssue constraint is a monotone lower bound on
      * the issue tick.
      */
-    Tick earliestIssueTick(Addr block_addr, bool is_write,
+    Tick earliestIssueTick(const DramCoord &c, bool is_write,
                            Tick now) const;
+    Tick
+    earliestIssueTick(Addr block_addr, bool is_write, Tick now) const
+    {
+        return earliestIssueTick(mapAddress(block_addr, cfg_),
+                                 is_write, now);
+    }
 
     stats::Group &statsGroup() { return stats_; }
 
@@ -107,21 +135,23 @@ class Dram : public ckpt::Serializable
     void loadState(ckpt::Reader &r) override;
 
   private:
-    struct Bank
-    {
-        bool rowOpen = false;
-        std::uint64_t row = 0;
-        Tick busyUntil = 0;        ///< earliest next command
-        Tick activateAt = 0;       ///< for tRAS
-        Tick writeRecoverUntil = 0;///< earliest precharge after write
-    };
-
     bool activateAllowed(Tick at) const;
     void recordActivate(Tick at);
     Tick earliestActivate(Tick from, Tick precharge) const;
 
     DramConfig cfg_;
-    std::vector<Bank> banks_;
+    // Per-bank row-buffer state, structure-of-arrays: the controller's
+    // quiescence scan probes earliestIssueTick() for every queued
+    // transaction each wake evaluation, and that scan touches only
+    // busyUntil/rowOpen/row for most banks — parallel vectors keep
+    // those probes on dense cache lines instead of striding over
+    // five-field structs.
+    std::vector<std::uint8_t> bankRowOpen_;
+    std::vector<std::uint64_t> bankRow_;
+    std::vector<Tick> bankBusyUntil_;   ///< earliest next command
+    std::vector<Tick> bankActivateAt_;  ///< for tRAS
+    std::vector<Tick> bankWriteRecoverUntil_; ///< earliest precharge
+                                              ///< after a write burst
     Tick busFreeAt_ = 0;
     std::vector<Tick> recentActivates_; ///< ring of last 4 ACT times
     std::size_t actHead_ = 0;

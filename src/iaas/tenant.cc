@@ -104,6 +104,7 @@ AutoScaler::schedule(ScheduledReconfig entry)
                         const ScheduledReconfig &b) {
                          return a.at < b.at;
                      });
+    markWakeDirty(); // the schedule head may now be earlier
 }
 
 void
@@ -174,6 +175,7 @@ AutoScaler::loadState(ckpt::Reader &r)
     for (auto &rule : rules_)
         rule.lastFiredAt = r.u64();
     ckpt::loadGroup(r, stats_);
+    markWakeDirty();
 }
 
 void

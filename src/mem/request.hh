@@ -3,17 +3,25 @@
  * The memory request that travels core -> L1 -> (shaper) -> LLC ->
  * memory controller -> DRAM and back. Timestamps at each hop feed the
  * statistics and the MITTS bookkeeping.
+ *
+ * Requests live in a RequestPool slab arena (mem/request_pool.hh) and
+ * are handed around as ReqPtr reference-counted handles; the pool
+ * metadata at the tail of the struct belongs to the arena, not the
+ * transaction. Nothing outside the pool may construct a MemRequest
+ * (detlint R7 enforces this).
  */
 
 #ifndef MITTS_MEM_REQUEST_HH
 #define MITTS_MEM_REQUEST_HH
 
-#include <memory>
+#include <cstdint>
 
 #include "base/types.hh"
 
 namespace mitts
 {
+
+class RequestPool;
 
 /** Kind of memory access. */
 enum class MemOp
@@ -43,28 +51,32 @@ struct MemRequest
 
     bool llcHit = false;     ///< filled by the LLC lookup
 
+    /** PAR-BS batch mark: scheduler state carried flat on the request
+     *  (zsim-style) instead of a hashed side table. */
+    bool schedMarked = false;
+
     /** Demand requests need responses; writebacks do not. */
     bool isDemand() const { return op != MemOp::Writeback; }
     bool isRead() const { return op == MemOp::Read; }
+    /** DRAM data-direction: writes and writebacks drive the bus. */
+    bool isDramWrite() const { return op != MemOp::Read; }
+
+    // --- RequestPool slab metadata (owned by the arena) -----------
+    // Copying is banned (a pooled request's identity is its slot);
+    // moves exist only so tests/benches can build free-standing stack
+    // requests from helper functions. Pooled requests are never moved
+    // — they live and die at their slot address.
+    MemRequest() = default;
+    MemRequest(const MemRequest &) = delete;
+    MemRequest &operator=(const MemRequest &) = delete;
+    MemRequest(MemRequest &&) = default;
+    MemRequest &operator=(MemRequest &&) = default;
+
+    RequestPool *pool_ = nullptr;   ///< owning arena (set once)
+    std::uint32_t poolSlot_ = 0;    ///< stable slot index
+    std::uint32_t poolGen_ = 0;     ///< bumped on every recycle
+    std::uint32_t poolRefs_ = 0;    ///< live ReqPtr handles
 };
-
-using ReqPtr = std::shared_ptr<MemRequest>;
-
-/** Build a demand request. */
-inline ReqPtr
-makeRequest(SeqNum seq, Addr addr, MemOp op, CoreId core, Tick now,
-            int thread = 0)
-{
-    auto r = std::make_shared<MemRequest>();
-    r->seq = seq;
-    r->addr = addr;
-    r->blockAddr = addr & ~static_cast<Addr>(kBlockBytes - 1);
-    r->op = op;
-    r->core = core;
-    r->thread = thread;
-    r->createdAt = now;
-    return r;
-}
 
 } // namespace mitts
 

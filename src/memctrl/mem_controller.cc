@@ -26,6 +26,8 @@ MemController::MemController(std::string name, const McConfig &cfg,
         drams_.push_back(std::make_unique<Dram>(dram_cfg));
     queues_.resize(cfg.numChannels);
     draining_.assign(cfg.numChannels, false);
+    scanMin_.assign(cfg.numChannels, 0);
+    scanValid_.assign(cfg.numChannels, 0);
 }
 
 void
@@ -107,27 +109,35 @@ MemController::push(ReqPtr req, Tick now)
 
     if (cfg_.smoothingFifoDepth > 0) {
         smoothingFifo_.push_back(std::move(req));
+        markWakeDirty();
         return;
     }
     req->mcEnqueueAt = now;
     if (sched_)
         sched_->onEnqueue(*req, now);
-    queues_[channelOf(req->blockAddr)].push_back(std::move(req));
+    const unsigned channel = channelOf(req->blockAddr);
+    queues_[channel].push(std::move(req), drams_[channel]->config());
+    invalidateChannel(channel);
 }
 
 void
 MemController::tick(Tick now)
 {
-    for (auto &dram : drams_)
-        dram->tick(now);
+    for (unsigned c = 0; c < cfg_.numChannels; ++c) {
+        // A firing refresh rewrites bank timing state.
+        if (now >= drams_[c]->nextRefreshTick())
+            invalidateChannel(c);
+        drams_[c]->tick(now);
+    }
     if (sched_)
         sched_->tick(now);
 
     // Drain the smoothing FIFO into the transaction queues in order —
     // this is what serializes simultaneous multi-core bursts.
     while (!smoothingFifo_.empty()) {
-        auto &q =
-            queues_[channelOf(smoothingFifo_.front()->blockAddr)];
+        const unsigned channel =
+            channelOf(smoothingFifo_.front()->blockAddr);
+        auto &q = queues_[channel];
         if (q.size() >= cfg_.queueDepth)
             break;
         ReqPtr req = std::move(smoothingFifo_.front());
@@ -135,7 +145,8 @@ MemController::tick(Tick now)
         req->mcEnqueueAt = now;
         if (sched_)
             sched_->onEnqueue(*req, now);
-        q.push_back(std::move(req));
+        q.push(std::move(req), drams_[channel]->config());
+        invalidateChannel(channel);
     }
 
     for (unsigned c = 0; c < cfg_.numChannels; ++c)
@@ -157,10 +168,9 @@ MemController::nextWakeTick(Tick now) const
         // fixed point for the current queue mix. (The mix last
         // changed after the latch was evaluated — an issue follows
         // the update inside the same tick.)
-        if (!queues_[c].empty() && cfg_.writeDrainHigh > 0) {
-            unsigned wr = 0;
-            for (const auto &r : queues_[c])
-                wr += r->isDemand() ? 0 : 1;
+        const TxnQueue &q = queues_[c];
+        if (!q.empty() && cfg_.writeDrainHigh > 0) {
+            const unsigned wr = q.writebacks();
             bool next = draining_[c];
             if (wr >= cfg_.writeDrainHigh)
                 next = true;
@@ -171,12 +181,28 @@ MemController::nextWakeTick(Tick now) const
         }
         // No queued transaction can issue before its DRAM timing
         // constraints clear; all of them are exact lower bounds, and
-        // in-flight bursts complete through scheduled events.
-        for (const auto &r : queues_[c]) {
-            wake = std::min(wake,
-                            drams_[c]->earliestIssueTick(
-                                r->blockAddr, !r->isRead(), now));
+        // in-flight bursts complete through scheduled events. The
+        // scan runs over the queue's flat coordinate column and is
+        // cached per channel: with the queue and bank timing state
+        // unchanged since the last scan, the old bound (combined
+        // with the final now+1 clamp) equals a fresh one. Each
+        // per-transaction bound is itself clamped to now+1, so the
+        // scan stops early once it reaches that floor.
+        if (!scanValid_[c]) {
+            const Dram &dram = *drams_[c];
+            Tick qmin = kTickNever;
+            for (std::size_t i = 0; i < q.size(); ++i) {
+                qmin = std::min(qmin,
+                                dram.earliestIssueTick(q.coord(i),
+                                                       q.isWrite(i),
+                                                       now));
+                if (qmin <= now + 1)
+                    break;
+            }
+            scanMin_[c] = qmin;
+            scanValid_[c] = 1;
         }
+        wake = std::min(wake, scanMin_[c]);
     }
     if (sched_)
         wake = std::min(wake, sched_->nextWakeTick(now));
@@ -184,20 +210,19 @@ MemController::nextWakeTick(Tick now) const
 }
 
 int
-MemController::pickOldestWrite(const std::vector<ReqPtr> &queue,
+MemController::pickOldestWrite(const TxnQueue &queue,
                                const Dram &dram, Tick now) const
 {
     int best = -1;
     Tick best_at = kTickNever;
     for (std::size_t i = 0; i < queue.size(); ++i) {
-        const auto &r = queue[i];
-        if (r->isDemand())
+        if (queue.isDemand(i))
             continue;
-        if (!dram.canIssue(r->blockAddr, true, now))
+        if (!dram.canIssue(queue.coord(i), true, now))
             continue;
-        if (r->mcEnqueueAt < best_at) {
+        if (queue.enqueueAt(i) < best_at) {
             best = static_cast<int>(i);
-            best_at = r->mcEnqueueAt;
+            best_at = queue.enqueueAt(i);
         }
     }
     return best;
@@ -217,20 +242,24 @@ MemController::scheduleChannel(unsigned channel, Tick now)
     // reads, so they are batched once they threaten to fill the
     // queue.
     if (cfg_.writeDrainHigh > 0) {
-        unsigned writes = 0;
-        for (const auto &r : queue)
-            writes += r->isDemand() ? 0 : 1;
+        const unsigned writes = queue.writebacks();
+        bool next = draining_[channel];
         if (writes >= cfg_.writeDrainHigh)
-            draining_[channel] = true;
+            next = true;
         else if (writes <= cfg_.writeDrainLow)
-            draining_[channel] = false;
+            next = false;
+        if (next != draining_[channel]) {
+            draining_[channel] = next;
+            markWakeDirty(); // latch feeds the wake fixed point
+        }
         if (draining_[channel]) {
             const int wpick = pickOldestWrite(queue, dram, now);
             if (wpick >= 0) {
-                ReqPtr req = queue[wpick];
-                queue.erase(queue.begin() + wpick);
+                const DramCoord coord = queue.coord(wpick);
+                ReqPtr req = queue.take(wpick);
                 req->dramIssueAt = now;
-                dram.issue(req->blockAddr, true, now);
+                dram.issue(coord, true, now);
+                invalidateChannel(channel);
                 return;
             }
         }
@@ -242,14 +271,16 @@ MemController::scheduleChannel(unsigned channel, Tick now)
     MITTS_ASSERT(static_cast<std::size_t>(pick) < queue.size(),
                  "scheduler picked out of range");
 
-    ReqPtr req = queue[pick];
-    MITTS_ASSERT(dram.canIssue(req->blockAddr, !req->isRead(), now),
+    const DramCoord coord = queue.coord(pick);
+    const bool is_write = queue.isWrite(pick);
+    MITTS_ASSERT(dram.canIssue(coord, is_write, now),
                  "scheduler picked non-ready transaction");
-    queue.erase(queue.begin() + pick);
+    ReqPtr req = queue.take(pick);
 
     req->dramIssueAt = now;
     queueLatency_.sample(static_cast<double>(now - req->mcEnqueueAt));
-    const Tick done = dram.issue(req->blockAddr, !req->isRead(), now);
+    const Tick done = dram.issue(coord, is_write, now);
+    invalidateChannel(channel);
 
     if (req->isDemand()) {
         events_.schedule(done, completionCallback(req, done),
@@ -301,8 +332,8 @@ MemController::saveState(ckpt::Writer &w) const
     w.u64(queues_.size());
     for (const auto &q : queues_) {
         w.u64(q.size());
-        for (const auto &r : q)
-            w.request(r);
+        for (std::size_t i = 0; i < q.size(); ++i)
+            w.request(q.req(i));
     }
     std::vector<bool> draining(draining_.begin(), draining_.end());
     w.vecBool(draining);
@@ -320,11 +351,12 @@ MemController::loadState(ckpt::Reader &r)
     const std::uint64_t nq = r.u64();
     if (nq != queues_.size())
         throw ckpt::Error("MC channel count mismatch");
-    for (auto &q : queues_) {
+    for (unsigned c = 0; c < queues_.size(); ++c) {
+        auto &q = queues_[c];
         q.clear();
         const std::uint64_t n = r.u64();
         for (std::uint64_t i = 0; i < n; ++i)
-            q.push_back(r.request());
+            q.push(r.request(), drams_[c]->config());
     }
     const auto draining = r.vecBool();
     if (draining.size() != draining_.size())
@@ -337,6 +369,8 @@ MemController::loadState(ckpt::Reader &r)
     for (const auto &dram : drams_)
         dram->loadState(r);
     ckpt::loadGroup(r, stats_);
+    for (unsigned c = 0; c < cfg_.numChannels; ++c)
+        invalidateChannel(c);
 }
 
 } // namespace mitts

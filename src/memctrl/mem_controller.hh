@@ -14,7 +14,8 @@
 #include "base/stats.hh"
 #include "cache/interfaces.hh"
 #include "dram/dram.hh"
-#include "mem/request.hh"
+#include "mem/request_pool.hh"
+#include "mem/txn_queue.hh"
 #include "sched/mem_scheduler.hh"
 #include "sim/clocked.hh"
 #include "sim/event_queue.hh"
@@ -83,6 +84,18 @@ class MemController : public Clocked, public MemSink
 
     void tick(Tick now) override;
     Tick nextWakeTick(Tick now) const override;
+
+    /**
+     * The controller's wake claim is a function of queue contents,
+     * DRAM timing state, the drain latches and the scheduler's own
+     * (deadline-style) claim — all of which change only via push()
+     * or an executed tick that actually does something, and every
+     * such site marks the claim dirty. That makes the claim
+     * cacheable: the Simulation stops re-polling the per-transaction
+     * timing scan every executed cycle (the dominant saturated-path
+     * overhead) and reads it from the wake wheel instead.
+     */
+    bool wakeClaimCacheable() const override { return true; }
 
     Dram &dram(unsigned channel = 0) { return *drams_[channel]; }
     const Dram &dram(unsigned channel = 0) const
@@ -165,8 +178,17 @@ class MemController : public Clocked, public MemSink
 
   private:
     void scheduleChannel(unsigned channel, Tick now);
-    int pickOldestWrite(const std::vector<ReqPtr> &queue,
-                        const Dram &dram, Tick now) const;
+    int pickOldestWrite(const TxnQueue &queue, const Dram &dram,
+                        Tick now) const;
+
+    /** A channel's queue or DRAM timing state changed: drop its
+     *  cached scan bound and the controller-level wake claim. */
+    void
+    invalidateChannel(unsigned channel)
+    {
+        scanValid_[channel] = 0;
+        markWakeDirty();
+    }
 
     McConfig cfg_;
     EventQueue &events_;
@@ -174,10 +196,23 @@ class MemController : public Clocked, public MemSink
     MemScheduler *sched_ = nullptr;
     SharedLlc *llc_ = nullptr;
 
-    /** Scheduler-visible transaction queues, one per channel. */
-    std::vector<std::vector<ReqPtr>> queues_;
+    /** Scheduler-visible transaction queues, one per channel, held as
+     *  structure-of-arrays so the per-cycle scans stay on flat
+     *  columns (mem/txn_queue.hh). */
+    std::vector<TxnQueue> queues_;
     std::vector<bool> draining_; ///< per-channel write-drain mode
     std::deque<ReqPtr> smoothingFifo_;///< optional global MITTS FIFO
+
+    /**
+     * Cached per-channel earliest-issue lower bound (the min of
+     * earliestIssueTick over the channel's queue). Valid until the
+     * queue or the channel's DRAM timing state changes; the final
+     * max(.., now+1) clamp in nextWakeTick makes an old clamp-limited
+     * value equal to a fresh scan. Derived state — never serialized,
+     * dropped on restore.
+     */
+    mutable std::vector<Tick> scanMin_;
+    mutable std::vector<std::uint8_t> scanValid_;
 
     telemetry::ProbeOwner probes_;
 

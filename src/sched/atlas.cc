@@ -58,20 +58,19 @@ AtlasScheduler::requantize()
 }
 
 int
-AtlasScheduler::pick(const std::vector<ReqPtr> &queue,
-                     const Dram &dram, Tick now)
+AtlasScheduler::pick(const TxnQueue &queue, const Dram &dram,
+                     Tick now)
 {
     // Starvation guard: the oldest over-threshold request wins.
     int oldest = -1;
     Tick oldest_at = kTickNever;
     for (std::size_t i = 0; i < queue.size(); ++i) {
-        const auto &r = queue[i];
-        if (!dram.canIssue(r->blockAddr, !r->isRead(), now))
+        if (!dram.canIssue(queue.coord(i), queue.isWrite(i), now))
             continue;
-        if (now - r->mcEnqueueAt >= cfg_.starvationThreshold &&
-            r->mcEnqueueAt < oldest_at) {
+        if (now - queue.enqueueAt(i) >= cfg_.starvationThreshold &&
+            queue.enqueueAt(i) < oldest_at) {
             oldest = static_cast<int>(i);
-            oldest_at = r->mcEnqueueAt;
+            oldest_at = queue.enqueueAt(i);
         }
     }
     if (oldest >= 0)

@@ -37,7 +37,7 @@ class AtlasScheduler : public RankedFrfcfs
 
     std::string name() const override { return "atlas"; }
 
-    int pick(const std::vector<ReqPtr> &queue, const Dram &dram,
+    int pick(const TxnQueue &queue, const Dram &dram,
              Tick now) override;
     void tick(Tick now) override;
     void onComplete(const MemRequest &req, Tick now) override;

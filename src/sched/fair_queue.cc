@@ -27,8 +27,8 @@ FairQueueScheduler::virtualFinishOf(CoreId core, Tick now,
 }
 
 int
-FairQueueScheduler::pick(const std::vector<ReqPtr> &queue,
-                         const Dram &dram, Tick now)
+FairQueueScheduler::pick(const TxnQueue &queue, const Dram &dram,
+                         Tick now)
 {
     // Service cost approximated by the burst time; a row miss costs
     // more but charging uniformly matches Nesbit's idealized server.
@@ -41,29 +41,29 @@ FairQueueScheduler::pick(const std::vector<ReqPtr> &queue,
     Tick best_wb_arrival = kTickNever;
 
     for (std::size_t i = 0; i < queue.size(); ++i) {
-        const auto &r = queue[i];
-        if (!dram.canIssue(r->blockAddr, !r->isRead(), now))
+        if (!dram.canIssue(queue.coord(i), queue.isWrite(i), now))
             continue;
-        if (r->core == kNoCore) {
+        const CoreId req_core = queue.core(i);
+        if (req_core == kNoCore) {
             // Writebacks are background traffic: issue only when no
             // demand transaction is ready.
-            if (r->mcEnqueueAt < best_wb_arrival) {
+            if (queue.enqueueAt(i) < best_wb_arrival) {
                 best_wb = static_cast<int>(i);
-                best_wb_arrival = r->mcEnqueueAt;
+                best_wb_arrival = queue.enqueueAt(i);
             }
             continue;
         }
-        const double vft = virtualFinishOf(r->core, now, cost);
+        const double vft = virtualFinishOf(req_core, now, cost);
         if (best == -1 || vft < best_vft ||
-            (vft == best_vft && r->mcEnqueueAt < best_arrival)) {
+            (vft == best_vft && queue.enqueueAt(i) < best_arrival)) {
             best = static_cast<int>(i);
             best_vft = vft;
-            best_arrival = r->mcEnqueueAt;
+            best_arrival = queue.enqueueAt(i);
         }
     }
 
     if (best >= 0) {
-        const CoreId core = queue[best]->core;
+        const CoreId core = queue.core(best);
         // System virtual time advances to the start tag of the packet
         // being serviced (start-time fair queueing).
         systemVt_ = std::max(systemVt_, virtualClock_[core]);

@@ -39,7 +39,7 @@ class FairQueueScheduler : public MemScheduler
         return kTickNever;
     }
 
-    int pick(const std::vector<ReqPtr> &queue, const Dram &dram,
+    int pick(const TxnQueue &queue, const Dram &dram,
              Tick now) override;
 
     void saveState(ckpt::Writer &w) const override;

@@ -4,8 +4,7 @@ namespace mitts
 {
 
 int
-RankedFrfcfs::pick(const std::vector<ReqPtr> &queue, const Dram &dram,
-                   Tick now)
+RankedFrfcfs::pick(const TxnQueue &queue, const Dram &dram, Tick now)
 {
     int best = -1;
     int best_rank = 0;
@@ -13,31 +12,31 @@ RankedFrfcfs::pick(const std::vector<ReqPtr> &queue, const Dram &dram,
     Tick best_arrival = kTickNever;
 
     for (std::size_t i = 0; i < queue.size(); ++i) {
-        const auto &r = queue[i];
-        if (!dram.canIssue(r->blockAddr, !r->isRead(), now))
+        if (!dram.canIssue(queue.coord(i), queue.isWrite(i), now))
             continue;
 
         // Boosted core outranks everything; writebacks (core == -1)
         // use the minimum rank.
+        const CoreId core = queue.core(i);
         int rank;
-        if (r->core == boosted_ && boosted_ != kNoCore)
+        if (core == boosted_ && boosted_ != kNoCore)
             rank = 1 << 30;
-        else if (r->core == kNoCore)
+        else if (core == kNoCore)
             rank = -(1 << 30);
         else
-            rank = rankOf(r->core);
+            rank = rankOf(core);
 
-        const bool hit = dram.isRowHit(r->blockAddr);
+        const bool hit = dram.isRowHit(queue.coord(i));
         const bool better =
             best == -1 || rank > best_rank ||
             (rank == best_rank &&
              (hit != best_hit ? hit
-                              : r->mcEnqueueAt < best_arrival));
+                              : queue.enqueueAt(i) < best_arrival));
         if (better) {
             best = static_cast<int>(i);
             best_rank = rank;
             best_hit = hit;
-            best_arrival = r->mcEnqueueAt;
+            best_arrival = queue.enqueueAt(i);
         }
     }
     return best;

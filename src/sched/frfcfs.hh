@@ -24,7 +24,7 @@ class RankedFrfcfs : public MemScheduler
   public:
     std::string name() const override { return "fr-fcfs"; }
 
-    int pick(const std::vector<ReqPtr> &queue, const Dram &dram,
+    int pick(const TxnQueue &queue, const Dram &dram,
              Tick now) override;
 
     /**
@@ -92,8 +92,7 @@ class FcfsScheduler : public MemScheduler
     }
 
     int
-    pick(const std::vector<ReqPtr> &queue, const Dram &dram,
-         Tick now) override
+    pick(const TxnQueue &queue, const Dram &dram, Tick now) override
     {
         return firstReady(queue, dram, now);
     }

@@ -18,7 +18,8 @@
 #include "base/types.hh"
 #include "ckpt/serialize.hh"
 #include "dram/dram.hh"
-#include "mem/request.hh"
+#include "mem/request_pool.hh"
+#include "mem/txn_queue.hh"
 
 namespace mitts
 {
@@ -52,8 +53,10 @@ class MemScheduler
     /**
      * Choose the index of the transaction to issue, or -1 to idle.
      * Only entries for which dram.canIssue(...) holds may be chosen.
+     * The queue is a structure-of-arrays view with per-entry DRAM
+     * coordinates precomputed at enqueue (mem/txn_queue.hh).
      */
-    virtual int pick(const std::vector<ReqPtr> &queue, const Dram &dram,
+    virtual int pick(const TxnQueue &queue, const Dram &dram,
                      Tick now) = 0;
 
     /** A transaction entered the controller queue. */
@@ -100,17 +103,15 @@ class MemScheduler
   protected:
     /** Oldest queue entry that can issue now; -1 if none. */
     static int
-    firstReady(const std::vector<ReqPtr> &queue, const Dram &dram,
-               Tick now)
+    firstReady(const TxnQueue &queue, const Dram &dram, Tick now)
     {
         int best = -1;
         Tick best_arrival = kTickNever;
         for (std::size_t i = 0; i < queue.size(); ++i) {
-            const auto &r = queue[i];
-            if (!dram.canIssue(r->blockAddr, !r->isRead(), now))
+            if (!dram.canIssue(queue.coord(i), queue.isWrite(i), now))
                 continue;
-            if (r->mcEnqueueAt < best_arrival) {
-                best_arrival = r->mcEnqueueAt;
+            if (queue.enqueueAt(i) < best_arrival) {
+                best_arrival = queue.enqueueAt(i);
                 best = static_cast<int>(i);
             }
         }

@@ -12,23 +12,26 @@ ParbsScheduler::ParbsScheduler(unsigned num_cores,
 {
 }
 
-void
-ParbsScheduler::formBatch(const std::vector<ReqPtr> &queue)
+std::size_t
+ParbsScheduler::formBatch(const TxnQueue &queue)
 {
-    marked_.clear();
+    std::size_t marked = 0;
     std::vector<unsigned> load(numCores_, 0);
 
     // Mark up to batchCap oldest requests per core. The queue is in
     // arrival order, so a forward scan marks the oldest first.
-    for (const auto &r : queue) {
-        if (r->core < 0) {
-            marked_.insert(keyOf(*r)); // writebacks ride along
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+        const CoreId core = queue.core(i);
+        if (core < 0) {
+            queue.req(i)->schedMarked = true; // writebacks ride along
+            ++marked;
             continue;
         }
-        auto &n = load[r->core];
+        auto &n = load[core];
         if (n < cfg_.batchCap) {
             ++n;
-            marked_.insert(keyOf(*r));
+            queue.req(i)->schedMarked = true;
+            ++marked;
         }
     }
 
@@ -44,52 +47,47 @@ ParbsScheduler::formBatch(const std::vector<ReqPtr> &queue)
                      });
     for (unsigned i = 0; i < numCores_; ++i)
         ranks_[order[i]] = static_cast<int>(numCores_ - i);
+    return marked;
 }
 
 int
-ParbsScheduler::pick(const std::vector<ReqPtr> &queue,
-                     const Dram &dram, Tick now)
+ParbsScheduler::pick(const TxnQueue &queue, const Dram &dram,
+                     Tick now)
 {
     if (queue.empty())
         return -1;
 
-    // Drop marks for requests that have left the queue; re-batch when
-    // the current batch is fully serviced.
-    if (!marked_.empty()) {
-        std::unordered_set<std::uint64_t> still;
-        for (const auto &r : queue) {
-            const auto key = keyOf(*r);
-            if (marked_.count(key))
-                still.insert(key);
-        }
-        marked_ = std::move(still);
-    }
-    if (marked_.empty())
-        formBatch(queue);
+    // Marks leave the queue with their requests, so the live batch is
+    // whatever is still flagged; re-batch once it is fully serviced.
+    std::size_t marked = 0;
+    for (std::size_t i = 0; i < queue.size(); ++i)
+        marked += queue.req(i)->schedMarked ? 1 : 0;
+    if (marked == 0)
+        marked = formBatch(queue);
+    batchRemaining_ = marked;
 
     int best = -1;
     int best_rank = 0;
     bool best_hit = false;
     Tick best_arrival = kTickNever;
     for (std::size_t i = 0; i < queue.size(); ++i) {
-        const auto &r = queue[i];
-        if (!marked_.count(keyOf(*r)))
+        if (!queue.req(i)->schedMarked)
             continue; // batch boundary: newer requests wait
-        if (!dram.canIssue(r->blockAddr, !r->isRead(), now))
+        if (!dram.canIssue(queue.coord(i), queue.isWrite(i), now))
             continue;
-        const int rank =
-            r->core < 0 ? -(1 << 30) : ranks_[r->core];
-        const bool hit = dram.isRowHit(r->blockAddr);
+        const CoreId core = queue.core(i);
+        const int rank = core < 0 ? -(1 << 30) : ranks_[core];
+        const bool hit = dram.isRowHit(queue.coord(i));
         const bool better =
             best == -1 || rank > best_rank ||
             (rank == best_rank &&
              (hit != best_hit ? hit
-                              : r->mcEnqueueAt < best_arrival));
+                              : queue.enqueueAt(i) < best_arrival));
         if (better) {
             best = static_cast<int>(i);
             best_rank = rank;
             best_hit = hit;
-            best_arrival = r->mcEnqueueAt;
+            best_arrival = queue.enqueueAt(i);
         }
     }
     return best;
@@ -98,10 +96,10 @@ ParbsScheduler::pick(const std::vector<ReqPtr> &queue,
 void
 ParbsScheduler::saveState(ckpt::Writer &w) const
 {
-    // Unordered set: serialize sorted so the image is deterministic.
-    std::vector<std::uint64_t> keys(marked_.begin(), marked_.end());
-    std::sort(keys.begin(), keys.end());
-    w.vecU64(keys);
+    // Batch membership is serialized with the requests themselves
+    // (MemRequest::schedMarked in the controller queue images); only
+    // the ranking table and the last observed batch size are local.
+    w.u64(batchRemaining_);
     w.u64(ranks_.size());
     for (int v : ranks_)
         w.i64(v);
@@ -110,9 +108,7 @@ ParbsScheduler::saveState(ckpt::Writer &w) const
 void
 ParbsScheduler::loadState(ckpt::Reader &r)
 {
-    const std::vector<std::uint64_t> keys = r.vecU64();
-    marked_.clear();
-    marked_.insert(keys.begin(), keys.end());
+    batchRemaining_ = r.u64();
     if (r.u64() != numCores_)
         throw ckpt::Error("par-bs core count mismatch");
     for (auto &v : ranks_)

@@ -15,7 +15,6 @@
 #ifndef MITTS_SCHED_PARBS_HH
 #define MITTS_SCHED_PARBS_HH
 
-#include <unordered_set>
 #include <vector>
 
 #include "sched/mem_scheduler.hh"
@@ -36,7 +35,7 @@ class ParbsScheduler : public MemScheduler
 
     std::string name() const override { return "par-bs"; }
 
-    int pick(const std::vector<ReqPtr> &queue, const Dram &dram,
+    int pick(const TxnQueue &queue, const Dram &dram,
              Tick now) override;
 
     /** Batching happens inside pick(); tick is a no-op. */
@@ -47,28 +46,26 @@ class ParbsScheduler : public MemScheduler
         return kTickNever;
     }
 
-    /** Requests still marked in the current batch (testing). */
-    std::size_t batchRemaining() const { return marked_.size(); }
+    /** Requests still marked in the current batch as of the last
+     *  pick() (testing). */
+    std::size_t batchRemaining() const { return batchRemaining_; }
 
     void saveState(ckpt::Writer &w) const override;
     void loadState(ckpt::Reader &r) override;
 
   private:
-    void formBatch(const std::vector<ReqPtr> &queue);
+    /** Mark the current queue contents; returns the batch size. */
+    std::size_t formBatch(const TxnQueue &queue);
 
     unsigned numCores_;
     ParbsConfig cfg_;
-    /** Sequence keys (core<<48 ^ seq) of marked requests. */
-    std::unordered_set<std::uint64_t> marked_;
+    /** Marked entries observed in the queue at the last pick().
+     *  Batch membership itself rides flat on each request
+     *  (MemRequest::schedMarked), so marks leave the queue with the
+     *  requests — no side table to prune. */
+    std::size_t batchRemaining_ = 0;
     /** Within-batch rank per core (higher = served earlier). */
     std::vector<int> ranks_;
-
-    static std::uint64_t
-    keyOf(const MemRequest &r)
-    {
-        return (static_cast<std::uint64_t>(r.core + 1) << 48) ^
-               r.seq;
-    }
 };
 
 } // namespace mitts

@@ -1,6 +1,7 @@
 #include "shaper/mitts_shaper.hh"
 
 #include <algorithm>
+#include <bit>
 #include <sstream>
 
 #include "telemetry/telemetry.hh"
@@ -36,6 +37,19 @@ MittsShaper::MittsShaper(std::string name, const BinConfig &cfg,
           "shaped_inter_arrival", cfg.spec.numBins,
           static_cast<double>(cfg.spec.intervalLength)))
 {
+    rebuildCreditMask();
+}
+
+void
+MittsShaper::rebuildCreditMask()
+{
+    creditMask_ = 0;
+    if (!maskValid())
+        return;
+    for (unsigned i = 0; i < credits_.size(); ++i) {
+        if (credits_[i] > 0)
+            creditMask_ |= std::uint64_t{1} << i;
+    }
 }
 
 void
@@ -48,6 +62,7 @@ MittsShaper::setConfig(const BinConfig &cfg, Tick now)
     cfg_.clamp();
     recomputeEffective();
     credits_ = effCredits_;
+    rebuildCreditMask();
     rollingAcc_.assign(cfg_.spec.numBins, 0.0);
     if (!same_geometry) {
         // Geometry change invalidates outstanding bookkeeping.
@@ -130,6 +145,7 @@ MittsShaper::setCongestionScale(double scale)
     // Clamp live counters so an in-progress period also scales down.
     for (unsigned i = 0; i < cfg_.spec.numBins; ++i)
         credits_[i] = std::min(credits_[i], effCredits_[i]);
+    rebuildCreditMask();
 }
 
 void
@@ -156,6 +172,8 @@ MittsShaper::replenishIfDue(Tick now)
                 rollingAcc_[i] -= whole;
                 credits_[i] = std::min(effectiveK(i),
                                        credits_[i] + whole);
+                if (credits_[i] > 0 && maskValid())
+                    creditMask_ |= std::uint64_t{1} << i;
             }
         }
         return;
@@ -170,6 +188,7 @@ MittsShaper::replenishIfDue(Tick now)
     const Tick periods_behind = (now - nextReplenishAt_) / period + 1;
     nextReplenishAt_ += periods_behind * period;
     credits_ = effCredits_;
+    rebuildCreditMask();
     replenishes_.inc(periods_behind);
     if (trace_)
         trace_->instant(traceTrack_, "shaper", "replenish", now);
@@ -178,6 +197,16 @@ MittsShaper::replenishIfDue(Tick now)
 int
 MittsShaper::eligibleBin(unsigned bin) const
 {
+    if (maskValid()) {
+        // Highest set bit at or below `bin`.
+        const std::uint64_t below =
+            creditMask_ &
+            (bin >= 63 ? ~std::uint64_t{0}
+                       : (std::uint64_t{1} << (bin + 1)) - 1);
+        if (below == 0)
+            return -1;
+        return 63 - std::countl_zero(below);
+    }
     for (int i = static_cast<int>(bin); i >= 0; --i) {
         if (credits_[static_cast<unsigned>(i)] > 0)
             return i;
@@ -206,9 +235,20 @@ MittsShaper::nextIssueTick(Tick now) const
     // now' - lastIssueAt_ >= j * L. Refunds and congestion rescaling
     // happen on executed cycles and trigger recomputation.
     Tick wake = std::max(nextReplenishAt_, now + 1);
-    for (unsigned j = 0; j < cfg_.spec.numBins; ++j) {
-        if (credits_[j] == 0)
-            continue;
+    // Smallest credited bin index wakes earliest.
+    int j = -1;
+    if (maskValid()) {
+        if (creditMask_ != 0)
+            j = std::countr_zero(creditMask_);
+    } else {
+        for (unsigned i = 0; i < cfg_.spec.numBins; ++i) {
+            if (credits_[i] > 0) {
+                j = static_cast<int>(i);
+                break;
+            }
+        }
+    }
+    if (j >= 0) {
         Tick at = now + 1;
         if (lastIssueAt_ != kTickNever) {
             at = std::max(lastIssueAt_ +
@@ -217,7 +257,6 @@ MittsShaper::nextIssueTick(Tick now) const
                           now + 1);
         }
         wake = std::min(wake, at);
-        break; // smallest credited bin index wakes earliest
     }
     return wake;
 }
@@ -251,7 +290,9 @@ MittsShaper::tryIssue(MemRequest &req, Tick now)
 
     if (method_ == HybridMethod::ConservativeRefund) {
         // Deduct now, refund on LLC hit.
-        --credits_[static_cast<unsigned>(take)];
+        if (--credits_[static_cast<unsigned>(take)] == 0 &&
+            maskValid())
+            creditMask_ &= ~(std::uint64_t{1} << take);
         deductions_.inc();
         pendingBin_[pendingKey(req)] = static_cast<unsigned>(take);
     } else {
@@ -282,6 +323,8 @@ MittsShaper::onLlcResponse(const MemRequest &req, bool hit, Tick now)
             const unsigned bin = it->second;
             if (credits_[bin] < effectiveK(bin)) {
                 ++credits_[bin];
+                if (maskValid())
+                    creditMask_ |= std::uint64_t{1} << bin;
                 refunds_.inc();
             }
         }
@@ -317,15 +360,26 @@ MittsShaper::deductForMiss(Tick inter_arrival)
         // above the observed inter-arrival instead (smallest i > bin
         // with credits) — the cheapest over-spaced credit whose
         // interval still covers this spacing — or record the loss.
-        for (unsigned i = bin + 1; i < cfg_.spec.numBins; ++i) {
-            if (credits_[i] > 0) {
-                take = static_cast<int>(i);
-                break;
+        if (maskValid()) {
+            const std::uint64_t above =
+                bin >= 63 ? 0
+                          : creditMask_ &
+                                ~((std::uint64_t{1} << (bin + 1)) - 1);
+            if (above != 0)
+                take = std::countr_zero(above);
+        } else {
+            for (unsigned i = bin + 1; i < cfg_.spec.numBins; ++i) {
+                if (credits_[i] > 0) {
+                    take = static_cast<int>(i);
+                    break;
+                }
             }
         }
     }
     if (take >= 0) {
-        --credits_[static_cast<unsigned>(take)];
+        if (--credits_[static_cast<unsigned>(take)] == 0 &&
+            maskValid())
+            creditMask_ &= ~(std::uint64_t{1} << take);
         deductions_.inc();
     } else {
         dryDeductions_.inc();
@@ -414,6 +468,7 @@ MittsShaper::loadState(ckpt::Reader &r)
     if (credits_.size() != spec.numBins ||
         effCredits_.size() != spec.numBins)
         throw ckpt::Error("shaper bin count mismatch");
+    rebuildCreditMask();
     congestionScale_ = r.f64();
     nextReplenishAt_ = r.u64();
     lastReplenishAt_ = r.u64();

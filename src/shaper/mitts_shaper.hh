@@ -131,12 +131,26 @@ class MittsShaper : public SourceGate, public ckpt::Serializable
         return effCredits_[i];
     }
 
+    /** True when the bin count fits the one-word occupancy mask. */
+    bool maskValid() const { return cfg_.spec.numBins <= 64; }
+    /** Recompute creditMask_ from credits_ (bulk credit updates). */
+    void rebuildCreditMask();
+
     BinConfig cfg_;
     HybridMethod method_;
     bool enabled_ = true;
 
     std::vector<std::uint32_t> credits_; ///< n_i registers
     std::vector<std::uint32_t> effCredits_; ///< K_i x congestion scale
+    /**
+     * Occupancy index over credits_: bit i set iff credits_[i] > 0,
+     * maintained at every credit mutation. eligibleBin() and the
+     * smallest-credited-bin probe in nextIssueTick() — both on the
+     * per-request hot path — become single bit-scan instructions
+     * instead of linear walks. Only maintained while numBins <= 64
+     * (the paper uses 10); larger geometries fall back to the scans.
+     */
+    std::uint64_t creditMask_ = 0;
     std::vector<double> rollingAcc_;     ///< Rolling policy remainders
     double congestionScale_ = 1.0;
     Tick nextReplenishAt_;

@@ -16,7 +16,7 @@
 #include "base/logging.hh"
 #include "base/types.hh"
 #include "ckpt/serialize.hh"
-#include "mem/request.hh"
+#include "mem/request_pool.hh"
 
 namespace mitts
 {

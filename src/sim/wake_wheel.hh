@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Per-epoch bucket wheel over component wake claims.
+ *
+ * The Simulation registers each cacheable component's wake claim here
+ * instead of re-polling nextWakeTick() every executed cycle. Claims
+ * inside the current 64-cycle epoch occupy one bucket each; a one-word
+ * occupancy bitmask is the hierarchical min, so "earliest claim at or
+ * after now+1" is a masked count-trailing-zeros. Claims beyond the
+ * epoch sit in a far set whose min is maintained incrementally and
+ * recomputed lazily (O(slots)) only when the minimum itself is
+ * removed. Advancing into a new epoch rebuilds the buckets from the
+ * flat claim array — O(slots) once per >= 64 executed cycles.
+ *
+ * All claim values are absolute ticks. Claims <= the querying cycle
+ * are the caller's responsibility (the Simulation re-polls any claim
+ * that has fired before consulting the wheel), so buckets below the
+ * query floor are simply masked off.
+ */
+
+#ifndef MITTS_SIM_WAKE_WHEEL_HH
+#define MITTS_SIM_WAKE_WHEEL_HH
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace mitts
+{
+
+class WakeWheel
+{
+  public:
+    static constexpr Tick kWindow = 64;
+
+    /** Number of claim slots (one per cacheable component). */
+    std::size_t size() const { return claim_.size(); }
+
+    /** Append a slot; starts with no claim (kTickNever). */
+    std::size_t
+    addSlot()
+    {
+        claim_.push_back(kTickNever);
+        return claim_.size() - 1;
+    }
+
+    /** Current claim held for `slot`. */
+    Tick claim(std::size_t slot) const { return claim_[slot]; }
+
+    /** Replace `slot`'s claim with `c` (kTickNever = never wakes). */
+    void
+    set(std::size_t slot, Tick c)
+    {
+        const Tick old = claim_[slot];
+        if (old == c)
+            return;
+        drop(old);
+        claim_[slot] = c;
+        place(c);
+    }
+
+    /**
+     * Earliest claim >= floor across all slots. `floor` must satisfy
+     * base <= floor (callers advance the wheel monotonically); the
+     * wheel re-bases itself once floor leaves the current epoch.
+     */
+    Tick
+    earliest(Tick floor)
+    {
+        if (floor >= base_ + kWindow)
+            rebase(floor);
+        // Hierarchical min, level 1: the occupancy word, masked to
+        // buckets at or after the floor.
+        const unsigned k = static_cast<unsigned>(floor - base_);
+        const std::uint64_t live =
+            occupied_ & (k == 0 ? ~std::uint64_t{0}
+                                : ~((std::uint64_t{1} << k) - 1));
+        Tick near = kTickNever;
+        if (live != 0)
+            near = base_ + std::countr_zero(live);
+        return std::min(near, farMin());
+    }
+
+    /** Forget everything (checkpoint restore; claims are re-polled). */
+    void
+    reset()
+    {
+        std::fill(claim_.begin(), claim_.end(), kTickNever);
+        occupied_ = 0;
+        count_.assign(count_.size(), 0);
+        base_ = 0;
+        farCount_ = 0;
+        farMin_ = kTickNever;
+        farMinStale_ = false;
+    }
+
+  private:
+    void
+    place(Tick c)
+    {
+        if (c == kTickNever)
+            return;
+        if (c >= base_ && c < base_ + kWindow) {
+            const unsigned b = static_cast<unsigned>(c - base_);
+            if (count_.size() < kWindow)
+                count_.assign(kWindow, 0);
+            if (count_[b]++ == 0)
+                occupied_ |= std::uint64_t{1} << b;
+        } else {
+            // Below base_ counts as far too: it can only happen right
+            // after reset()/rebase races and is corrected on the next
+            // re-poll; keeping it in the far min is conservative.
+            ++farCount_;
+            farMin_ = std::min(farMin_, c);
+        }
+    }
+
+    void
+    drop(Tick c)
+    {
+        if (c == kTickNever)
+            return;
+        if (c >= base_ && c < base_ + kWindow) {
+            const unsigned b = static_cast<unsigned>(c - base_);
+            if (--count_[b] == 0)
+                occupied_ &= ~(std::uint64_t{1} << b);
+        } else {
+            --farCount_;
+            if (c == farMin_)
+                farMinStale_ = true; // lazy recompute
+        }
+    }
+
+    Tick
+    farMin()
+    {
+        if (farMinStale_) {
+            farMin_ = kTickNever;
+            if (farCount_ > 0) {
+                for (const Tick c : claim_) {
+                    if (c != kTickNever &&
+                        !(c >= base_ && c < base_ + kWindow))
+                        farMin_ = std::min(farMin_, c);
+                }
+            }
+            farMinStale_ = false;
+        }
+        return farCount_ > 0 ? farMin_ : kTickNever;
+    }
+
+    void
+    rebase(Tick floor)
+    {
+        base_ = floor;
+        occupied_ = 0;
+        count_.assign(kWindow, 0);
+        farCount_ = 0;
+        farMin_ = kTickNever;
+        farMinStale_ = false;
+        for (const Tick c : claim_)
+            place(c);
+    }
+
+    std::vector<Tick> claim_;         ///< per-slot absolute claims
+    Tick base_ = 0;                   ///< first tick of the epoch
+    std::uint64_t occupied_ = 0;      ///< bit b: bucket base_+b live
+    std::vector<std::uint16_t> count_;///< claims per bucket
+    std::size_t farCount_ = 0;        ///< claims outside the epoch
+    Tick farMin_ = kTickNever;
+    bool farMinStale_ = false;
+};
+
+} // namespace mitts
+
+#endif // MITTS_SIM_WAKE_WHEEL_HH

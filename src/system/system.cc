@@ -77,7 +77,7 @@ System::System(const SystemConfig &cfg) : cfg_(cfg), sim_(cfg_.sim)
 
     // Shared LLC.
     llc_ = std::make_unique<SharedLlc>("llc", cfg_.llc, numCores_,
-                                       sim_.events());
+                                       pool_, sim_.events());
     llc_->setDownstream(mc_.get());
     mc_->setLlc(llc_.get());
     if (cfg_.noc.enabled) {
@@ -116,7 +116,7 @@ System::System(const SystemConfig &cfg) : cfg_(cfg), sim_(cfg_.sim)
 
         l1s_.push_back(std::make_unique<L1Cache>(
             "l1." + std::to_string(c), cfg_.l1,
-            static_cast<CoreId>(c), sim_.events()));
+            static_cast<CoreId>(c), pool_, sim_.events()));
 
         cores_.push_back(std::make_unique<Core>(
             "core." + std::to_string(c), static_cast<CoreId>(c),
@@ -569,6 +569,7 @@ System::restoreCheckpoint(const std::string &path)
             "restore requires a freshly constructed system");
 
     ckpt::Reader r = ckpt::Reader::fromFile(path, checkpointHash());
+    r.bindPool(pool_);
 
     r.beginSection("system");
     if (r.u64() != numCores_)

@@ -66,6 +66,8 @@ class System : public AppMonitor
     }
 
     Simulation &sim() { return sim_; }
+    /** Arena all this system's MemRequests are allocated from. */
+    RequestPool &pool() { return pool_; }
     Core &core(CoreId c) { return *cores_[c]; }
     /** The trace source feeding core `c` (a SyntheticTrace by
      *  default; whatever cfg.traceFactory built otherwise). */
@@ -163,6 +165,12 @@ class System : public AppMonitor
 
     SystemConfig cfg_;
     unsigned numCores_ = 0;
+
+    /** Declared before sim_ and every component: queues, events and
+     *  miss lists hold ReqPtr handles whose release touches the pool,
+     *  so the pool must be destroyed last. */
+    RequestPool pool_;
+
     Simulation sim_;
 
     /** Declared before the components so the probe registry outlives

@@ -190,6 +190,7 @@ TimeSeriesSampler::loadState(ckpt::Reader &r)
     nextBoundary_ = r.u64();
     windowsClosed_ = static_cast<std::size_t>(r.u64());
     headerWritten_ = r.b();
+    markWakeDirty();
 }
 
 } // namespace mitts::telemetry

@@ -1,0 +1,34 @@
+// The sanctioned idiom: requests are born via RequestPool::make and
+// held through reference-counted ReqPtr handles (compact RequestId
+// for flat tables), never allocated ad hoc.
+namespace mitts
+{
+
+struct MemRequest
+{
+    unsigned long seq = 0;
+};
+
+class ReqPtr
+{
+  public:
+    MemRequest *get() const { return p_; }
+
+  private:
+    MemRequest *p_ = nullptr;
+};
+
+class RequestPool
+{
+  public:
+    ReqPtr make(unsigned long seq);
+};
+
+void
+ok(RequestPool &pool)
+{
+    ReqPtr r = pool.make(42);
+    (void)r;
+}
+
+} // namespace mitts

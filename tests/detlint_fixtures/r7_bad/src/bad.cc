@@ -1,0 +1,27 @@
+// Ad-hoc MemRequest allocation outside the RequestPool arena: every
+// variant bypasses stable slots, generation checks and checkpoint
+// interning.
+#include <memory>
+
+namespace mitts
+{
+
+struct MemRequest
+{
+    unsigned long seq = 0;
+};
+
+void
+bad()
+{
+    std::shared_ptr<MemRequest> s = std::make_shared<MemRequest>();
+    std::shared_ptr<const MemRequest> cs = s;
+    auto u = std::make_unique<MemRequest>();
+    MemRequest *raw = new MemRequest;
+    delete raw;
+    (void)s;
+    (void)cs;
+    (void)u;
+}
+
+} // namespace mitts

@@ -140,12 +140,13 @@ class RecordingClient : public L1Client
 struct L1Fixture : public ::testing::Test
 {
     L1Fixture()
-        : l1("l1.test", L1Config{}, 0, events)
+        : l1("l1.test", L1Config{}, 0, pool, events)
     {
         l1.setClient(&client);
         l1.setDownstream(&sink);
     }
 
+    RequestPool pool;
     EventQueue events;
     RecordingSink sink;
     RecordingClient client;
@@ -278,10 +279,13 @@ struct LlcFixture : public ::testing::Test
         LlcConfig cfg;
         cfg.sizeBytes = 64 * 1024;
         cfg.numBanks = 2;
-        llc = std::make_unique<SharedLlc>("llc.test", cfg, 2, events);
+        llc = std::make_unique<SharedLlc>("llc.test", cfg, 2, pool,
+                                          events);
         llc->setDownstream(&mc);
-        l1a = std::make_unique<L1Cache>("l1.a", L1Config{}, 0, events);
-        l1b = std::make_unique<L1Cache>("l1.b", L1Config{}, 1, events);
+        l1a = std::make_unique<L1Cache>("l1.a", L1Config{}, 0, pool,
+                                        events);
+        l1b = std::make_unique<L1Cache>("l1.b", L1Config{}, 1, pool,
+                                        events);
         llc->setL1(0, l1a.get());
         llc->setL1(1, l1b.get());
     }
@@ -289,11 +293,12 @@ struct LlcFixture : public ::testing::Test
     ReqPtr
     demand(Addr addr, CoreId core, SeqNum seq, Tick now)
     {
-        auto r = makeRequest(seq, addr, MemOp::Read, core, now);
+        auto r = pool.make(seq, addr, MemOp::Read, core, now);
         r->l1MissAt = now;
         return r;
     }
 
+    RequestPool pool;
     EventQueue events;
     RecordingSink mc;
     std::unique_ptr<SharedLlc> llc;
@@ -363,7 +368,7 @@ TEST_F(LlcFixture, BanksByAddress)
 
 TEST_F(LlcFixture, WritebackInstallsDirty)
 {
-    auto wb = makeRequest(100, 0x8000, MemOp::Writeback, 0, 0);
+    auto wb = pool.make(100, 0x8000, MemOp::Writeback, 0, 0);
     llc->push(wb, 0);
     llc->tick(1);
     EXPECT_TRUE(mc.pushed.empty()); // absorbed
@@ -463,7 +468,7 @@ TEST_F(LlcFixture, OutstandingMissCapStallsBank)
     cfg.sizeBytes = 64 * 1024;
     cfg.numBanks = 1;
     cfg.maxOutstandingMisses = 2;
-    auto small = std::make_unique<SharedLlc>("llc.cap", cfg, 1,
+    auto small = std::make_unique<SharedLlc>("llc.cap", cfg, 1, pool,
                                              events);
     small->setDownstream(&mc);
 

@@ -75,8 +75,9 @@ TEST(CkptFormat, PrimitiveRoundTrip)
 
 TEST(CkptFormat, RequestInterningPreservesAliasing)
 {
-    ReqPtr a = makeRequest(1, 0x1000, MemOp::Read, 0, 5);
-    ReqPtr b = makeRequest(2, 0x2000, MemOp::Writeback, kNoCore, 9);
+    RequestPool pool;
+    ReqPtr a = pool.make(1, 0x1000, MemOp::Read, 0, 5);
+    ReqPtr b = pool.make(2, 0x2000, MemOp::Writeback, kNoCore, 9);
     a->llcHit = true;
     a->doneAt = 77;
 
@@ -88,7 +89,9 @@ TEST(CkptFormat, RequestInterningPreservesAliasing)
     w.request(nullptr);
     w.endSection();
 
+    RequestPool restorePool;
     ckpt::Reader r(w.finish(0), 0);
+    r.bindPool(restorePool);
     r.beginSection("reqs");
     ReqPtr ra = r.request();
     ReqPtr rb = r.request();

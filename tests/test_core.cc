@@ -37,7 +37,8 @@ struct CoreFixture : public ::testing::Test
     build(std::vector<TraceOp> ops)
     {
         trace = std::make_unique<ScriptedTrace>(std::move(ops));
-        l1 = std::make_unique<L1Cache>("l1", L1Config{}, 0, events);
+        l1 = std::make_unique<L1Cache>("l1", L1Config{}, 0, pool,
+                                       events);
         l1->setDownstream(&sink);
         core = std::make_unique<Core>("core", 0, CoreConfig{},
                                       trace.get(), l1.get());
@@ -55,6 +56,7 @@ struct CoreFixture : public ::testing::Test
         }
     }
 
+    RequestPool pool;
     EventQueue events;
     HoldSink sink;
     std::unique_ptr<ScriptedTrace> trace;

@@ -39,7 +39,7 @@ struct McFixture : public ::testing::Test
     ReqPtr
     demand(Addr addr, CoreId core, SeqNum seq)
     {
-        auto r = makeRequest(seq, addr, MemOp::Read, core, 0);
+        auto r = pool.make(seq, addr, MemOp::Read, core, 0);
         r->l1MissAt = 0;
         return r;
     }
@@ -54,6 +54,7 @@ struct McFixture : public ::testing::Test
     }
 
     DramConfig dram_cfg;
+    RequestPool pool;
     EventQueue events;
     FrfcfsScheduler sched;
     std::unique_ptr<MemController> mc;
@@ -84,7 +85,7 @@ TEST_F(McFixture, ReadsCompleteAndCountPerCore)
 TEST_F(McFixture, WritebacksDrainWithoutCompletion)
 {
     build(32, 0);
-    auto wb = makeRequest(5, 0x40, MemOp::Writeback, kNoCore, 0);
+    auto wb = pool.make(5, 0x40, MemOp::Writeback, kNoCore, 0);
     mc->push(wb, 0);
     run(0, 300);
     EXPECT_EQ(mc->completed(), 0u); // writes produce no fills

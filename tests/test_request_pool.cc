@@ -1,0 +1,207 @@
+/**
+ * @file
+ * RequestPool slab arena: free-list recycling and generation checks,
+ * checkpoint round-trip of a pool with free-list holes, and handle
+ * aliasing (miss-list / MC-queue / pending-event views of one
+ * request) surviving save/restore.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ckpt/serialize.hh"
+#include "mem/request_pool.hh"
+
+namespace mitts
+{
+namespace
+{
+
+// --- free list + generations -------------------------------------------
+
+TEST(RequestPool, RecycleReusesSlotWithBumpedGeneration)
+{
+    RequestPool pool;
+    RequestId first;
+    {
+        ReqPtr r = pool.make(1, 0x1000, MemOp::Read, 0, 10);
+        first = r.id();
+        EXPECT_TRUE(pool.alive(first));
+        EXPECT_EQ(pool.liveCount(), 1u);
+    }
+    // Handle dropped: the slot is free-listed and the incarnation dead.
+    EXPECT_FALSE(pool.alive(first));
+    EXPECT_EQ(pool.liveCount(), 0u);
+
+    // LIFO recycling hands the same slot back with a new generation.
+    ReqPtr again = pool.make(2, 0x2000, MemOp::Read, 1, 20);
+    EXPECT_EQ(again.id().slot, first.slot);
+    EXPECT_NE(again.id().gen, first.gen);
+    EXPECT_FALSE(pool.alive(first));
+    EXPECT_TRUE(pool.alive(again.id()));
+
+    // The recycled request was scrubbed, not inherited.
+    EXPECT_EQ(again->seq, 2u);
+    EXPECT_EQ(again->addr, 0x2000u);
+    EXPECT_EQ(again->core, 1);
+    EXPECT_EQ(again->createdAt, 20u);
+    EXPECT_FALSE(again->llcHit);
+}
+
+TEST(RequestPool, CopiesShareOneIncarnation)
+{
+    RequestPool pool;
+    ReqPtr a = pool.make(7, 0x40, MemOp::Read, 0, 1);
+    ReqPtr b = a;          // copy: same request
+    ReqPtr c = std::move(a); // move: still one live request
+    EXPECT_EQ(pool.liveCount(), 1u);
+    EXPECT_EQ(b.get(), c.get());
+    b.reset();
+    EXPECT_TRUE(pool.alive(c.id()));
+    c.reset();
+    EXPECT_EQ(pool.liveCount(), 0u);
+}
+
+TEST(RequestPoolDeathTest, StaleIdIsCaughtByCheckedAccessor)
+{
+    RequestPool pool;
+    RequestId stale;
+    {
+        ReqPtr r = pool.make(1, 0x80, MemOp::Read, 0, 1);
+        stale = r.id();
+    }
+    // Re-occupy the slot with a new incarnation; the old id must not
+    // silently alias it.
+    ReqPtr fresh = pool.make(2, 0xC0, MemOp::Read, 1, 2);
+    ASSERT_EQ(fresh.id().slot, stale.slot);
+    EXPECT_DEATH((void)pool.at(stale), "stale or invalid RequestId");
+}
+
+TEST(RequestPoolDeathTest, NeverAllocatedSlotIsInvalid)
+{
+    RequestPool pool;
+    EXPECT_DEATH((void)pool.at(RequestId{12345, 0}),
+                 "stale or invalid RequestId");
+}
+
+TEST(RequestPool, DiagnosticsTrackPeakAndAllocations)
+{
+    RequestPool pool;
+    std::vector<ReqPtr> keep;
+    for (int i = 0; i < 5; ++i)
+        keep.push_back(
+            pool.make(static_cast<SeqNum>(i), 0x100u * (i + 1),
+                      MemOp::Read, 0, i));
+    keep.resize(2);
+    ReqPtr extra = pool.make(99, 0x9000, MemOp::Read, 0, 50);
+    EXPECT_EQ(pool.peakLive(), 5u);
+    EXPECT_EQ(pool.liveCount(), 3u);
+    EXPECT_EQ(pool.totalAllocated(), 6u);
+    EXPECT_EQ(pool.capacity(), RequestPool::kChunkSize);
+}
+
+// --- checkpoint round-trip ---------------------------------------------
+
+TEST(RequestPool, CheckpointRoundTripsPoolWithHoles)
+{
+    RequestPool pool;
+    // Allocate five, drop the middle ones: the live set has free-list
+    // holes between its slots, like a steady-state run's arena.
+    std::vector<ReqPtr> reqs;
+    for (int i = 0; i < 5; ++i)
+        reqs.push_back(
+            pool.make(static_cast<SeqNum>(100 + i),
+                      0x1000u * (i + 1),
+                      i % 2 ? MemOp::Writeback : MemOp::Read,
+                      static_cast<CoreId>(i), 10u * i, i));
+    reqs[1].reset();
+    reqs[3].reset();
+    reqs[0]->llcHit = true;
+    reqs[2]->dramIssueAt = 777;
+
+    ckpt::Writer w;
+    w.beginSection("reqs");
+    for (const auto &r : reqs)
+        w.request(r); // null handles write the 0 id
+    w.endSection();
+
+    RequestPool restored_pool;
+    ckpt::Reader r(w.finish(0xABCD), 0xABCD);
+    r.bindPool(restored_pool);
+    r.beginSection("reqs");
+    std::vector<ReqPtr> restored;
+    for (int i = 0; i < 5; ++i)
+        restored.push_back(r.request());
+    r.endSection();
+
+    EXPECT_FALSE(restored[1]);
+    EXPECT_FALSE(restored[3]);
+    EXPECT_EQ(restored_pool.liveCount(), 3u);
+    for (int i : {0, 2, 4}) {
+        ASSERT_TRUE(restored[i]);
+        EXPECT_EQ(restored[i]->seq, 100u + i);
+        EXPECT_EQ(restored[i]->addr, 0x1000u * (i + 1));
+        EXPECT_EQ(restored[i]->op,
+                  i % 2 ? MemOp::Writeback : MemOp::Read);
+        EXPECT_EQ(restored[i]->core, i);
+        EXPECT_EQ(restored[i]->createdAt, 10u * i);
+    }
+    EXPECT_TRUE(restored[0]->llcHit);
+    EXPECT_EQ(restored[2]->dramIssueAt, 777u);
+}
+
+TEST(RequestPool, AliasedViewsStayCoherentThroughSaveRestore)
+{
+    RequestPool pool;
+    ReqPtr req = pool.make(42, 0x2000, MemOp::Read, 1, 100);
+
+    // Three owner views of the same in-flight request, as the system
+    // holds them: the LLC miss list, the MC transaction queue, and a
+    // pending completion event.
+    std::vector<ReqPtr> miss_list{req};
+    std::vector<ReqPtr> mc_queue{req};
+    ReqPtr pending_event = req;
+    req.reset();
+
+    ckpt::Writer w;
+    w.beginSection("llc");
+    w.request(miss_list[0]);
+    w.endSection();
+    w.beginSection("mc");
+    w.request(mc_queue[0]);
+    w.endSection();
+    w.beginSection("events");
+    w.request(pending_event);
+    w.endSection();
+
+    RequestPool restored_pool;
+    ckpt::Reader r(w.finish(0x42), 0x42);
+    r.bindPool(restored_pool);
+    r.beginSection("llc");
+    ReqPtr llc_view = r.request();
+    r.endSection();
+    r.beginSection("mc");
+    ReqPtr mc_view = r.request();
+    r.endSection();
+    r.beginSection("events");
+    ReqPtr ev_view = r.request();
+    r.endSection();
+
+    // Interning restored one request, not three clones.
+    EXPECT_EQ(restored_pool.liveCount(), 1u);
+    ASSERT_TRUE(llc_view);
+    EXPECT_EQ(llc_view.get(), mc_view.get());
+    EXPECT_EQ(llc_view.get(), ev_view.get());
+
+    // A write through one view is seen by the others — exactly the
+    // completion-marking pattern the simulator relies on.
+    mc_view->doneAt = 555;
+    EXPECT_EQ(llc_view->doneAt, 555u);
+    EXPECT_EQ(ev_view->doneAt, 555u);
+    EXPECT_EQ(llc_view->seq, 42u);
+    EXPECT_EQ(llc_view->addr, 0x2000u);
+}
+
+} // namespace
+} // namespace mitts

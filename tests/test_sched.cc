@@ -30,12 +30,29 @@ namespace mitts
 namespace
 {
 
+RequestPool &
+testPool()
+{
+    static RequestPool pool;
+    return pool;
+}
+
 ReqPtr
 txn(Addr addr, CoreId core, Tick enq, SeqNum seq = 0)
 {
-    auto r = makeRequest(seq, addr, MemOp::Read, core, enq);
+    auto r = testPool().make(seq, addr, MemOp::Read, core, enq);
     r->mcEnqueueAt = enq;
     return r;
+}
+
+/** SoA view of a request list, as the controller hands schedulers. */
+TxnQueue
+toQueue(const std::vector<ReqPtr> &reqs, const Dram &dram)
+{
+    TxnQueue q;
+    for (const auto &r : reqs)
+        q.push(r, dram.config());
+    return q;
 }
 
 struct SchedFixture : public ::testing::Test
@@ -65,7 +82,7 @@ TEST_F(SchedFixture, FcfsPicksOldest)
 {
     FcfsScheduler sched;
     std::vector<ReqPtr> q{txn(0x0, 0, 10), txn(0x40, 1, 5)};
-    EXPECT_EQ(sched.pick(q, dram, 100), 1);
+    EXPECT_EQ(sched.pick(toQueue(q, dram), dram, 100), 1);
 }
 
 TEST_F(SchedFixture, FrfcfsPrefersRowHit)
@@ -78,7 +95,7 @@ TEST_F(SchedFixture, FrfcfsPrefersRowHit)
         txn(sameBankOtherRow(0x0), 0, 1), // older but row conflict
         txn(0x40, 1, 10),                 // row hit
     };
-    EXPECT_EQ(sched.pick(q, dram, now), 1);
+    EXPECT_EQ(sched.pick(toQueue(q, dram), dram, now), 1);
 }
 
 TEST_F(SchedFixture, FrfcfsFallsBackToOldest)
@@ -87,7 +104,7 @@ TEST_F(SchedFixture, FrfcfsFallsBackToOldest)
     std::vector<ReqPtr> q{txn(0x0, 0, 10),
                           txn(dram.config().rowBytes, 1, 5)};
     // No open rows: both closed, pick older.
-    EXPECT_EQ(sched.pick(q, dram, 100), 1);
+    EXPECT_EQ(sched.pick(toQueue(q, dram), dram, 100), 1);
 }
 
 TEST_F(SchedFixture, BoostedCoreWins)
@@ -101,9 +118,9 @@ TEST_F(SchedFixture, BoostedCoreWins)
     };
     sched.setBoostedCore(1);
     // Boost outranks the row hit once the conflict is issueable.
-    EXPECT_EQ(sched.pick(q, dram, now), 1);
+    EXPECT_EQ(sched.pick(toQueue(q, dram), dram, now), 1);
     sched.setBoostedCore(kNoCore);
-    EXPECT_EQ(sched.pick(q, dram, now), 0);
+    EXPECT_EQ(sched.pick(toQueue(q, dram), dram, now), 0);
 }
 
 TEST_F(SchedFixture, WritebacksLoseToDemand)
@@ -114,7 +131,7 @@ TEST_F(SchedFixture, WritebacksLoseToDemand)
         txn(dram.config().rowBytes, 3, 50),
     };
     q[0]->op = MemOp::Writeback;
-    EXPECT_EQ(sched.pick(q, dram, 100), 1);
+    EXPECT_EQ(sched.pick(toQueue(q, dram), dram, 100), 1);
 }
 
 TEST_F(SchedFixture, NothingReadyReturnsMinusOne)
@@ -123,7 +140,7 @@ TEST_F(SchedFixture, NothingReadyReturnsMinusOne)
     dram.issue(0x0, false, 0);
     std::vector<ReqPtr> q{txn(sameBankOtherRow(0x0), 0, 1)};
     // Conflict blocked by tRAS right after the activate.
-    EXPECT_EQ(sched.pick(q, dram, 1), -1);
+    EXPECT_EQ(sched.pick(toQueue(q, dram), dram, 1), -1);
 }
 
 TEST_F(SchedFixture, FairQueueAlternatesBetweenCores)
@@ -135,11 +152,11 @@ TEST_F(SchedFixture, FairQueueAlternatesBetweenCores)
         txn(0x0, 0, 0), txn(0x1000, 0, 1),
         txn(dram.config().rowBytes, 1, 2),
     };
-    const int first = sched.pick(q, dram, 100);
+    const int first = sched.pick(toQueue(q, dram), dram, 100);
     ASSERT_GE(first, 0);
     const CoreId c1 = q[first]->core;
     q.erase(q.begin() + first);
-    const int second = sched.pick(q, dram, 200);
+    const int second = sched.pick(toQueue(q, dram), dram, 200);
     ASSERT_GE(second, 0);
     EXPECT_NE(q[second]->core, c1);
 }
@@ -170,7 +187,7 @@ TEST_F(SchedFixture, TcmSeparatesClusters)
     // Latency-cluster core outranks the bandwidth hog.
     std::vector<ReqPtr> q{txn(0x0, 1, 1),
                           txn(dram.config().rowBytes, 0, 50)};
-    EXPECT_EQ(sched.pick(q, dram, 2000), 1);
+    EXPECT_EQ(sched.pick(toQueue(q, dram), dram, 2000), 1);
 }
 
 TEST(SlowdownEstimator, TracksServiceRates)
@@ -226,7 +243,7 @@ TEST(Mise, PrioritizesMostSlowedDown)
     // After an interval, core 0 outranks core 1 for equal rows.
     std::vector<ReqPtr> q{txn(dcfg.rowBytes, 1, 1),
                           txn(2 * dcfg.rowBytes, 0, 50)};
-    EXPECT_EQ(sched.pick(q, dram, 3000), 1);
+    EXPECT_EQ(sched.pick(toQueue(q, dram), dram, 3000), 1);
     EXPECT_GT(sched.estimator().slowdown(0),
               sched.estimator().slowdown(1));
 }
@@ -341,7 +358,7 @@ TEST_F(SchedFixture, AtlasRanksLeastAttainedServiceHighest)
         txn(sameBankOtherRow(0x0), 0, now - 5), // conflict, light
     };
     // Wait until the conflict is issueable.
-    EXPECT_EQ(sched.pick(q, dram, now), 1);
+    EXPECT_EQ(sched.pick(toQueue(q, dram), dram, now), 1);
 }
 
 TEST_F(SchedFixture, AtlasStarvationGuard)
@@ -356,7 +373,7 @@ TEST_F(SchedFixture, AtlasStarvationGuard)
         txn(0x40, 0, now - 10),                   // fresh row hit
         txn(sameBankOtherRow(0x0), 1, now - 2000) // starved
     };
-    EXPECT_EQ(sched.pick(q, dram, now), 1);
+    EXPECT_EQ(sched.pick(toQueue(q, dram), dram, now), 1);
 }
 
 
@@ -368,7 +385,7 @@ TEST_F(SchedFixture, ParbsServesBatchBeforeNewArrivals)
 
     // First pick forms a batch from the current queue.
     std::vector<ReqPtr> q{txn(0x0, 0, 1, 1), txn(0x40, 0, 2, 2)};
-    const int first = sched.pick(q, dram, 500);
+    const int first = sched.pick(toQueue(q, dram), dram, 500);
     ASSERT_GE(first, 0);
     q.erase(q.begin() + first);
     EXPECT_GT(sched.batchRemaining(), 0u);
@@ -376,7 +393,7 @@ TEST_F(SchedFixture, ParbsServesBatchBeforeNewArrivals)
     // A newer arrival (not marked) must wait behind the batch even
     // if it is a row hit.
     q.push_back(txn(0x80, 1, 600, 3)); // same open row as served req
-    const int second = sched.pick(q, dram, 700);
+    const int second = sched.pick(toQueue(q, dram), dram, 700);
     ASSERT_GE(second, 0);
     EXPECT_EQ(q[second]->seq, q[0]->seq); // the remaining batch req
 }
@@ -392,7 +409,7 @@ TEST_F(SchedFixture, ParbsShortestJobFirstRanking)
     for (SeqNum i = 0; i < 4; ++i)
         q.push_back(txn(i * 0x40000, 0, i, i));
     q.push_back(txn(0x900000, 1, 10, 10));
-    const int pick = sched.pick(q, dram, 500);
+    const int pick = sched.pick(toQueue(q, dram), dram, 500);
     ASSERT_GE(pick, 0);
     EXPECT_EQ(q[pick]->core, 1);
 }
@@ -404,7 +421,7 @@ TEST_F(SchedFixture, ParbsCapLimitsBatchShare)
     ParbsScheduler sched(2, cfg);
     std::vector<ReqPtr> q{txn(0x0, 0, 1, 1), txn(0x40000, 0, 2, 2),
                           txn(0x80000, 1, 3, 3)};
-    sched.pick(q, dram, 500);
+    sched.pick(toQueue(q, dram), dram, 500);
     // Batch holds one request per core (2), not all three.
     EXPECT_LE(sched.batchRemaining(), 2u);
 }

@@ -344,7 +344,12 @@ TEST(VerifySkip, ExecutesClaimedQuiescentRegions)
     EXPECT_EQ(sim.cyclesSkipped(), 0u);
 }
 
-/** Claims a distant wake once, then reneges: an under-report. */
+/**
+ * Claims a distant wake at the skip decision (polled with now == 0),
+ * then reneges inside the region: an under-report. Keyed on `now`
+ * rather than a call counter so the lie is the same however many
+ * times the decision point polls (batched pass + oracle).
+ */
 class Liar : public Clocked
 {
   public:
@@ -353,11 +358,8 @@ class Liar : public Clocked
     Tick
     nextWakeTick(Tick now) const override
     {
-        return ++calls_ == 1 ? now + 100 : now + 5;
+        return now == 0 ? now + 100 : now + 5;
     }
-
-  private:
-    mutable unsigned calls_ = 0;
 };
 
 TEST(VerifySkipDeathTest, CatchesUnderReportedWake)

@@ -27,6 +27,11 @@ run.  detlint checks them on every line of every PR:
       event-loop headers (sim/clocked.hh, sim/event_queue.hh).
       AnalyticModel results must be pure functions of the config,
       never stepped state.
+  R7  MemRequest objects are born only inside the RequestPool slab
+      arena: no shared_ptr<MemRequest>, make_shared<MemRequest>,
+      make_unique<MemRequest> or raw `new MemRequest` anywhere else.
+      Ad-hoc allocation would bypass the arena's stable slots,
+      generation checks and checkpoint interning.
 
 Suppression:
   * inline: `// detlint-allow(R2): <reason>` on the finding's line or
@@ -47,7 +52,7 @@ import re
 import subprocess
 import sys
 
-RULES = ("R1", "R2", "R3", "R4", "R5", "R6")
+RULES = ("R1", "R2", "R3", "R4", "R5", "R6", "R7")
 ALLOW_RE = re.compile(
     r"detlint-allow\(\s*(?P<rules>[A-Za-z0-9_,\s]+)\s*\)"
     r"(?P<colon>:?)\s*(?P<reason>.*)")
@@ -455,6 +460,32 @@ def check_r6(path, code, raw_lines, report):
                    "contract" % m.group(1))
 
 
+# --------------------------------------------------------------- R7
+
+# The arena itself is the one place allowed to materialize storage.
+R7_EXEMPT = (os.path.join("src", "mem", "request_pool.hh"),)
+R7_PATTERNS = [
+    (re.compile(r"\bshared_ptr\s*<\s*(?:const\s+)?MemRequest\b"),
+     "shared_ptr<MemRequest>; requests live in the RequestPool slab "
+     "arena. hint: hold a ReqPtr (mem/request_pool.hh)"),
+    (re.compile(r"\bmake_shared\s*<\s*(?:const\s+)?MemRequest\b"),
+     "make_shared<MemRequest>; requests are born only via "
+     "RequestPool::make"),
+    (re.compile(r"\bmake_unique\s*<\s*(?:const\s+)?MemRequest\s*>"),
+     "make_unique<MemRequest>; requests are born only via "
+     "RequestPool::make"),
+    (re.compile(r"\bnew\s+MemRequest\b"),
+     "raw `new MemRequest` outside the pool; requests are born only "
+     "via RequestPool::make"),
+]
+
+
+def check_r7(path, code, report):
+    for pat, what in R7_PATTERNS:
+        for m in pat.finditer(code):
+            report("R7", line_of(code, m.start()), what)
+
+
 # --------------------------------------------------------------- R5
 
 def check_r5(root, headers, report, cxx):
@@ -607,6 +638,8 @@ def main(argv):
                 r5_headers.append(path)
         check_r2(path, code, report)
         check_r3(path, code, report)
+        if rel not in R7_EXEMPT:
+            check_r7(path, code, report)
 
         # Apply suppressions: same line or the line above; then the
         # file-level allowlist.
