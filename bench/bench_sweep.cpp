@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Sweep-orchestrator throughput: grid units per wall-clock second,
+ * cold (every unit simulated) vs cached (every unit served from the
+ * result cache), sharded across 1 vs 4 worker processes.
+ *
+ * Every configuration's merged results.txt is byte-compared against
+ * the first run — a failed comparison aborts the bench, so the
+ * throughput numbers can never come from divergent sweeps. Results
+ * append to BENCH_sweep.json for the performance trajectory.
+ *
+ * Worker processes exec the mitts_sweep binary; its path is resolved
+ * relative to this bench binary (build/bench -> build/tools), or
+ * from MITTS_SWEEP_EXE. If it cannot be found the multi-worker rows
+ * fall back to inline (workers = 0) evaluation.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "base/logging.hh"
+#include "bench_common.hh"
+#include "orchestrate/orchestrator.hh"
+#include "orchestrate/sweep_spec.hh"
+
+using namespace mitts;
+using namespace mitts::orchestrate;
+
+namespace
+{
+
+SweepSpec
+benchSpec()
+{
+    SweepSpec spec;
+    spec.name = "bench-sweep";
+    spec.mode = SweepMode::Grid;
+    spec.apps = {"mcf", "libquantum", "omnetpp", "astar"};
+    spec.instr = 10'000 * bench::scale();
+    spec.schedAxis = {"frfcfs", "tcm", "atlas"};
+    spec.seedAxis = {1, 2, 3, 4};
+    validateSweep(spec);
+    return spec;
+}
+
+std::string
+workerExePath()
+{
+    if (const char *env = std::getenv("MITTS_SWEEP_EXE"))
+        return env;
+    std::error_code ec;
+    const auto self =
+        std::filesystem::read_symlink("/proc/self/exe", ec);
+    if (!ec) {
+        const auto candidate =
+            self.parent_path().parent_path() / "tools" /
+            "mitts_sweep";
+        if (std::filesystem::exists(candidate, ec))
+            return candidate.string();
+    }
+    return "";
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+struct Run
+{
+    const char *mode; ///< "cold" | "cached"
+    unsigned workers;
+    double wallSec = 0.0;
+    double unitsPerSec = 0.0;
+};
+
+} // namespace
+
+int
+main()
+{
+    const SweepSpec spec = benchSpec();
+    const std::uint64_t units = unitCount(spec);
+    const std::string exe = workerExePath();
+
+    const auto scratch = std::filesystem::temp_directory_path() /
+                         "mitts_bench_sweep";
+    std::filesystem::remove_all(scratch);
+
+    // Cold runs get a private cache; cached runs share one warmed by
+    // a throwaway pass so the first timed cached row is a full hit.
+    OrchestratorOptions warm_opts;
+    warm_opts.outDir = (scratch / "warmup").string();
+    warm_opts.cacheDir = (scratch / "cache_warm").string();
+    runSweep(spec, warm_opts);
+    const std::string reference =
+        readFile(warm_opts.outDir + "/results.txt");
+    MITTS_ASSERT(!reference.empty(), "warm-up sweep wrote nothing");
+
+    std::vector<Run> runs = {
+        {"cold", 1}, {"cold", 4}, {"cached", 1}, {"cached", 4}};
+
+    bench::header("Sweep orchestration: " + std::to_string(units) +
+                  " grid units, cold vs cached");
+    unsigned seq = 0;
+    for (auto &run : runs) {
+        OrchestratorOptions opts;
+        opts.workers = exe.empty() ? 0 : run.workers;
+        opts.workerExe = exe;
+        opts.outDir =
+            (scratch / ("out" + std::to_string(seq))).string();
+        opts.cacheDir =
+            std::string(run.mode) == "cold"
+                ? (scratch / ("cache" + std::to_string(seq))).string()
+                : warm_opts.cacheDir;
+        ++seq;
+
+        const auto t0 = std::chrono::steady_clock::now();
+        const OrchestratorCounters counters = runSweep(spec, opts);
+        const auto t1 = std::chrono::steady_clock::now();
+
+        run.wallSec = std::chrono::duration<double>(t1 - t0).count();
+        run.unitsPerSec =
+            static_cast<double>(units) / run.wallSec;
+        MITTS_ASSERT(readFile(opts.outDir + "/results.txt") ==
+                         reference,
+                     "sweep output diverged: mode=", run.mode,
+                     " workers=", run.workers);
+        if (std::string(run.mode) == "cached")
+            MITTS_ASSERT(counters.dispatched == 0,
+                         "cached sweep re-simulated ",
+                         counters.dispatched, " units");
+
+        bench::row(std::string(run.mode) + " w" +
+                       std::to_string(run.workers),
+                   {{"wall_s", run.wallSec},
+                    {"units/s", run.unitsPerSec}});
+    }
+
+    const std::string json_path = bench::jsonPath("BENCH_sweep.json");
+    std::FILE *json = std::fopen(json_path.c_str(), "w");
+    if (json) {
+        std::fprintf(json, "[\n");
+        bool first = true;
+        for (const auto &run : runs) {
+            std::fprintf(
+                json,
+                "%s  {\"bench\": \"sweep\", \"mode\": \"%s\", "
+                "\"workers\": \"w%u\", \"units\": %llu, "
+                "\"wall_s\": %.4f, \"units_per_s\": %.1f}",
+                first ? "" : ",\n", run.mode, run.workers,
+                static_cast<unsigned long long>(units), run.wallSec,
+                run.unitsPerSec);
+            first = false;
+        }
+        std::fprintf(json, "\n]\n");
+        std::fclose(json);
+        std::printf("\nwrote %s\n", json_path.c_str());
+    }
+
+    std::filesystem::remove_all(scratch);
+    return 0;
+}

@@ -12,15 +12,20 @@ regression threshold:
     wall_s        lower is better
     cycles_per_s  higher is better
     speedup       higher is better
+    units_per_s   higher is better
 
 Everything else (cycle counts, configuration echoes) is printed for
 context but never flagged. Exit status is non-zero when any checked
 metric regresses past the threshold, unless --warn-only is given —
 the CI bench step runs warn-only because shared runners are noisy.
 
+Operational errors (missing file, malformed JSON, duplicate rows) are
+reported as exactly one line on stderr, never a traceback, so CI logs
+stay readable.
+
 Usage:
     perf_compare.py baseline.json fresh.json [--threshold PCT]
-                    [--warn-only]
+                    [--warn-only] [--json]
 """
 
 import argparse
@@ -33,11 +38,18 @@ DIRECTIONS = {
     "wall_sec": -1,
     "cycles_per_s": 1,
     "speedup": 1,
+    "units_per_s": 1,
 }
 
 # Identity-ish numeric fields that vary run to run but are not
 # performance (or are echoed configuration): shown, never flagged.
 NEVER_FLAG = {"cycles", "cycles_skipped", "iterations"}
+
+
+def fail(msg):
+    """One-line operational error on stderr; exit 1, no traceback."""
+    print(f"perf_compare: {msg}", file=sys.stderr)
+    raise SystemExit(1)
 
 
 def row_key(row):
@@ -54,15 +66,20 @@ def fmt_key(key):
 
 
 def load_rows(path):
-    with open(path) as f:
-        data = json.load(f)
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except FileNotFoundError:
+        fail(f"{path}: no such file (did the bench step write it?)")
+    except json.JSONDecodeError as e:
+        fail(f"{path}: malformed JSON ({e})")
     if not isinstance(data, list):
-        raise SystemExit(f"{path}: expected a JSON array of rows")
+        fail(f"{path}: expected a JSON array of rows")
     rows = {}
     for row in data:
         key = row_key(row)
         if key in rows:
-            raise SystemExit(f"{path}: duplicate row {fmt_key(key)}")
+            fail(f"{path}: duplicate row {fmt_key(key)}")
         rows[key] = row
     return rows
 
@@ -77,18 +94,38 @@ def main():
                          "(default: %(default)s)")
     ap.add_argument("--warn-only", action="store_true",
                     help="report regressions but always exit 0")
+    ap.add_argument("--json", action="store_true",
+                    help="emit one machine-readable JSON document on "
+                         "stdout instead of the human report")
     args = ap.parse_args()
 
     base = load_rows(args.baseline)
     fresh = load_rows(args.fresh)
 
+    def say(line):
+        if not args.json:
+            print(line)
+
+    report = {
+        "baseline": args.baseline,
+        "fresh": args.fresh,
+        "threshold_pct": args.threshold,
+        "warn_only": args.warn_only,
+        "rows": [],
+        "only_in_baseline": [],
+        "only_in_fresh": [],
+        "regressions": [],
+    }
+
     regressions = []
     for key in sorted(base):
         if key not in fresh:
-            print(f"-- only in baseline: {fmt_key(key)}")
+            say(f"-- only in baseline: {fmt_key(key)}")
+            report["only_in_baseline"].append(fmt_key(key))
             continue
-        print(f"== {fmt_key(key)}")
+        say(f"== {fmt_key(key)}")
         b, f = base[key], fresh[key]
+        row_out = {"key": fmt_key(key), "metrics": {}}
         for metric in sorted(set(b) | set(f)):
             bv, fv = b.get(metric), f.get(metric)
             if isinstance(bv, bool) or not isinstance(
@@ -101,14 +138,30 @@ def main():
             flagged = (direction is not None
                        and metric not in NEVER_FLAG
                        and direction * delta < -args.threshold)
+            row_out["metrics"][metric] = {
+                "baseline": bv,
+                "fresh": fv,
+                "delta_pct": round(delta, 3),
+                "regression": flagged,
+            }
             if flagged:
                 line += "  REGRESSION"
                 regressions.append(
                     f"{fmt_key(key)}: {metric} {delta:+.1f}%")
-            print(line)
+            say(line)
+        report["rows"].append(row_out)
     for key in sorted(fresh):
         if key not in base:
-            print(f"++ only in fresh: {fmt_key(key)}")
+            say(f"++ only in fresh: {fmt_key(key)}")
+            report["only_in_fresh"].append(fmt_key(key))
+
+    report["regressions"] = regressions
+    failed = bool(regressions) and not args.warn_only
+    report["ok"] = not regressions
+
+    if args.json:
+        print(json.dumps(report, indent=2))
+        return 1 if failed else 0
 
     if regressions:
         print(f"\n{len(regressions)} regression(s) past "

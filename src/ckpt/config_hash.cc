@@ -134,10 +134,14 @@ hashDram(Fnv &h, const DramConfig &d)
     h.b(d.refreshEnabled);
 }
 
-} // namespace
-
+/**
+ * Shared body of configHash / prefixConfigHash. With
+ * `include_shaping` false the per-core credit values, static-gate
+ * intervals and bucket depth are skipped so configurations that
+ * differ only in shaping collapse onto one prefix key.
+ */
 std::uint64_t
-configHash(const SystemConfig &cfg)
+hashConfig(const SystemConfig &cfg, bool include_shaping)
 {
     Fnv h;
     h.u64(cfg.apps.size());
@@ -214,9 +218,11 @@ configHash(const SystemConfig &cfg)
     h.u64(static_cast<std::uint64_t>(cfg.gate));
     hashBinSpec(h, cfg.binSpec);
     h.u64(static_cast<std::uint64_t>(cfg.hybridMethod));
-    h.u64(cfg.mittsConfigs.size());
-    for (const auto &c : cfg.mittsConfigs)
-        hashBinConfig(h, c);
+    if (include_shaping) {
+        h.u64(cfg.mittsConfigs.size());
+        for (const auto &c : cfg.mittsConfigs)
+            hashBinConfig(h, c);
+    }
     h.b(cfg.sharedShaperPerApp);
     h.b(cfg.useSmoothingFifo);
     h.b(cfg.congestionFeedback);
@@ -226,10 +232,12 @@ configHash(const SystemConfig &cfg)
     h.f64(cfg.congestion.scaleStep);
     h.f64(cfg.congestion.minScale);
 
-    h.u64(cfg.staticIntervals.size());
-    for (double v : cfg.staticIntervals)
-        h.f64(v);
-    h.f64(cfg.staticBucketDepth);
+    if (include_shaping) {
+        h.u64(cfg.staticIntervals.size());
+        for (double v : cfg.staticIntervals)
+            h.f64(v);
+        h.f64(cfg.staticBucketDepth);
+    }
 
     h.u64(cfg.seed);
     h.f64(cfg.cpuGhz);
@@ -250,6 +258,20 @@ configHash(const SystemConfig &cfg)
     h.u64(cfg.telemetry.maxTraceEvents);
 
     return h.value();
+}
+
+} // namespace
+
+std::uint64_t
+configHash(const SystemConfig &cfg)
+{
+    return hashConfig(cfg, true);
+}
+
+std::uint64_t
+prefixConfigHash(const SystemConfig &cfg)
+{
+    return hashConfig(cfg, false);
 }
 
 } // namespace mitts::ckpt

@@ -26,6 +26,18 @@ namespace ckpt
 /** FNV-1a over the canonical field serialization of `cfg`. */
 std::uint64_t configHash(const SystemConfig &cfg);
 
+/**
+ * Like configHash, but with the per-core shaping values excluded:
+ * `mittsConfigs`, `staticIntervals` and `staticBucketDepth` do not
+ * enter the hash (the bin *spec* and gate kind still do). Two
+ * configurations that differ only in shaping share a prefix hash, so
+ * a warm-up checkpoint taken before shaping matters (e.g. under
+ * saturated bins) can key the shared prefix image of a whole sweep
+ * or GA generation (src/orchestrate/). Checkpoint files themselves
+ * always embed the full configHash.
+ */
+std::uint64_t prefixConfigHash(const SystemConfig &cfg);
+
 } // namespace ckpt
 } // namespace mitts
 

@@ -1,0 +1,157 @@
+#include "orchestrate/frame.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <unistd.h>
+
+namespace mitts::orchestrate
+{
+
+namespace
+{
+
+std::uint32_t
+decodeU32(const char *p)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(
+                 static_cast<unsigned char>(p[i]))
+             << (8 * i);
+    return v;
+}
+
+/** Read exactly n bytes; 0 = clean EOF at a boundary, -1 = EOF or
+ *  error mid-read, 1 = success. */
+int
+readFull(int fd, char *buf, std::size_t n, bool at_boundary)
+{
+    std::size_t got = 0;
+    while (got < n) {
+        const ssize_t r = ::read(fd, buf + got, n - got);
+        if (r == 0)
+            return (got == 0 && at_boundary) ? 0 : -1;
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            return -1;
+        }
+        got += static_cast<std::size_t>(r);
+    }
+    return 1;
+}
+
+} // namespace
+
+bool
+writeFrame(int fd, MsgType type, std::string_view payload)
+{
+    std::string buf;
+    buf.reserve(5 + payload.size());
+    putU32(buf, static_cast<std::uint32_t>(1 + payload.size()));
+    buf.push_back(static_cast<char>(type));
+    buf.append(payload.data(), payload.size());
+
+    std::size_t sent = 0;
+    while (sent < buf.size()) {
+        const ssize_t w =
+            ::write(fd, buf.data() + sent, buf.size() - sent);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        sent += static_cast<std::size_t>(w);
+    }
+    return true;
+}
+
+bool
+readFrame(int fd, Frame &out)
+{
+    char hdr[4];
+    const int r = readFull(fd, hdr, 4, true);
+    if (r == 0)
+        return false;
+    if (r < 0)
+        throw FrameError("pipe closed mid-frame header");
+    const std::uint32_t len = decodeU32(hdr);
+    if (len == 0 || len > kMaxFrameBytes)
+        throw FrameError("bad frame length " + std::to_string(len));
+
+    std::string body(len, '\0');
+    if (readFull(fd, body.data(), len, false) != 1)
+        throw FrameError("pipe closed mid-frame body");
+    out.type = static_cast<MsgType>(
+        static_cast<unsigned char>(body[0]));
+    out.payload = body.substr(1);
+    return true;
+}
+
+void
+FrameReader::feed(const char *data, std::size_t n)
+{
+    // Compact once the consumed prefix dominates the buffer.
+    if (off_ > 4096 && off_ * 2 > buf_.size()) {
+        buf_.erase(0, off_);
+        off_ = 0;
+    }
+    buf_.append(data, n);
+}
+
+std::optional<Frame>
+FrameReader::next()
+{
+    if (buf_.size() - off_ < 4)
+        return std::nullopt;
+    const std::uint32_t len = decodeU32(buf_.data() + off_);
+    if (len == 0 || len > kMaxFrameBytes)
+        throw FrameError("bad frame length " + std::to_string(len));
+    if (buf_.size() - off_ < 4 + static_cast<std::size_t>(len))
+        return std::nullopt;
+    Frame f;
+    f.type = static_cast<MsgType>(
+        static_cast<unsigned char>(buf_[off_ + 4]));
+    f.payload.assign(buf_, off_ + 5, len - 1);
+    off_ += 4 + static_cast<std::size_t>(len);
+    return f;
+}
+
+std::uint32_t
+getU32(const std::string &s, std::size_t &pos)
+{
+    if (s.size() - pos < 4 || pos > s.size())
+        throw FrameError("truncated payload (u32)");
+    const std::uint32_t v = decodeU32(s.data() + pos);
+    pos += 4;
+    return v;
+}
+
+std::uint64_t
+getU64(const std::string &s, std::size_t &pos)
+{
+    if (pos > s.size() || s.size() - pos < 8)
+        throw FrameError("truncated payload (u64)");
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(
+                 static_cast<unsigned char>(s[pos + static_cast<
+                     std::size_t>(i)]))
+             << (8 * i);
+    pos += 8;
+    return v;
+}
+
+std::string
+getStr(const std::string &s, std::size_t &pos)
+{
+    const std::uint64_t len = getU64(s, pos);
+    if (s.size() - pos < len)
+        throw FrameError("truncated payload (string)");
+    std::string v = s.substr(pos, len);
+    pos += len;
+    return v;
+}
+
+} // namespace mitts::orchestrate

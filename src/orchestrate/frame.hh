@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Length-prefixed framed message protocol between the sweep
+ * orchestrator and its worker processes.
+ *
+ * Wire format of one frame, all integers little-endian:
+ *
+ *     u32 length        (bytes that follow: 1 type byte + payload)
+ *     u8  type          (MsgType)
+ *     payload[length-1]
+ *
+ * Payloads are opaque byte strings; the helpers below pack the
+ * fixed-width integers the orchestrator and workers exchange
+ * (doubles travel as their IEEE-754 bit pattern, so a fitness value
+ * round-trips bit-exactly). The parent reads from nonblocking pipes
+ * through the incremental FrameReader; workers use the blocking
+ * readFrame. A frame longer than kMaxFrameBytes is a protocol error
+ * (a desynchronized stream would otherwise ask for gigabytes).
+ */
+
+#ifndef MITTS_ORCHESTRATE_FRAME_HH
+#define MITTS_ORCHESTRATE_FRAME_HH
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace mitts::orchestrate
+{
+
+/** Malformed or oversized frame (desynchronized peer). */
+class FrameError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+enum class MsgType : std::uint8_t
+{
+    Init = 1,     ///< parent -> worker: sweep spec + cache dir
+    Unit = 2,     ///< parent -> worker: grid unit index (u64)
+    Genome = 3,   ///< parent -> worker: job id + genome (u64, u32[])
+    Result = 4,   ///< worker -> parent: job id + result payload
+    Error = 5,    ///< worker -> parent: job id + diagnostic text
+    Shutdown = 6, ///< parent -> worker: exit cleanly
+};
+
+struct Frame
+{
+    MsgType type = MsgType::Shutdown;
+    std::string payload;
+};
+
+/** Upper bound on length; generous for any real result record. */
+constexpr std::uint32_t kMaxFrameBytes = 64u * 1024u * 1024u;
+
+/**
+ * Write one frame, retrying short writes and EINTR.
+ * @return false on a write error (typically EPIPE: peer died).
+ */
+bool writeFrame(int fd, MsgType type, std::string_view payload);
+
+/**
+ * Blocking read of one frame (worker side).
+ * @return false on clean EOF before the first byte; throws
+ *         FrameError on truncation mid-frame or an oversized length.
+ */
+bool readFrame(int fd, Frame &out);
+
+/**
+ * Incremental reassembly over a nonblocking pipe (parent side): feed
+ * whatever read() returned, then drain complete frames with next().
+ */
+class FrameReader
+{
+  public:
+    void feed(const char *data, std::size_t n);
+
+    /** Next complete frame, if one is buffered. Throws FrameError on
+     *  an oversized or zero-length frame header. */
+    std::optional<Frame> next();
+
+    /** Bytes buffered but not yet consumed (0 at a frame boundary —
+     *  nonzero at EOF means the peer died mid-frame). */
+    std::size_t pendingBytes() const { return buf_.size() - off_; }
+
+  private:
+    std::string buf_;
+    std::size_t off_ = 0;
+};
+
+// ---- payload packing helpers -------------------------------------
+
+inline void
+putU32(std::string &s, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        s.push_back(
+            static_cast<char>((v >> (8 * i)) & 0xFFu));
+}
+
+inline void
+putU64(std::string &s, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        s.push_back(
+            static_cast<char>((v >> (8 * i)) & 0xFFu));
+}
+
+inline void
+putStr(std::string &s, std::string_view v)
+{
+    putU64(s, v.size());
+    s.append(v.data(), v.size());
+}
+
+/** Cursor-based unpacking; every getter throws FrameError on a
+ *  payload too short for the requested field. */
+std::uint32_t getU32(const std::string &s, std::size_t &pos);
+std::uint64_t getU64(const std::string &s, std::size_t &pos);
+std::string getStr(const std::string &s, std::size_t &pos);
+
+} // namespace mitts::orchestrate
+
+#endif // MITTS_ORCHESTRATE_FRAME_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Append-only completion journal for a sweep run.
+ *
+ * One text line per completed unit, `done <index> <key-hex>`,
+ * flushed after every append. Payloads are NOT in the journal — they
+ * live in the result cache under the recorded key — so a journal
+ * line is a promise that the cache holds (or held) the unit's
+ * result. On resume the orchestrator replays the journal, re-looks
+ * each key up in the cache, and simply re-queues any unit whose
+ * entry has since vanished or rotted; a journal can therefore never
+ * make a sweep wrong, only faster. A torn final line (the process
+ * died mid-append) is detected and ignored.
+ */
+
+#ifndef MITTS_ORCHESTRATE_JOURNAL_HH
+#define MITTS_ORCHESTRATE_JOURNAL_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace mitts::orchestrate
+{
+
+class Journal
+{
+  public:
+    struct Entry
+    {
+        std::uint64_t index = 0;
+        std::uint64_t key = 0;
+    };
+
+    /** Load existing entries from `path` (missing file = empty) and
+     *  open it for appending. */
+    explicit Journal(std::string path);
+    ~Journal();
+
+    Journal(const Journal &) = delete;
+    Journal &operator=(const Journal &) = delete;
+
+    /** Entries recovered at construction (torn tail dropped). */
+    const std::vector<Entry> &recovered() const { return entries_; }
+
+    /** Record a completed unit; flushed before returning. */
+    void append(std::uint64_t index, std::uint64_t key);
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+    std::vector<Entry> entries_;
+    std::FILE *out_ = nullptr;
+};
+
+} // namespace mitts::orchestrate
+
+#endif // MITTS_ORCHESTRATE_JOURNAL_HH

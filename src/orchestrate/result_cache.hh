@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Persistent on-disk result cache for the sweep orchestrator.
+ *
+ * One entry per file, named by the 64-bit cache key:
+ *
+ *     "MITTSRES"  u32 version  u64 key
+ *     u64 descLen desc  u64 payloadLen payload
+ *     u32 crc32           (over every preceding byte)
+ *
+ * The key addresses the entry; the stored description is the
+ * collision check. lookup() re-verifies magic, version, key, CRC
+ * *and* that the stored description equals the caller's expected
+ * one — a key collision or a config change that somehow kept the key
+ * is rejected, not returned. Any malformed, truncated or
+ * CRC-corrupt entry is likewise treated as a miss (the orchestrator
+ * falls back to re-simulation and overwrites the entry). Stores are
+ * atomic (temp file + rename), so concurrent workers computing the
+ * same entry race benignly: both write identical bytes.
+ */
+
+#ifndef MITTS_ORCHESTRATE_RESULT_CACHE_HH
+#define MITTS_ORCHESTRATE_RESULT_CACHE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace mitts::orchestrate
+{
+
+/** Create `dir` (and parents) if missing; throws std::runtime_error
+ *  when a path component exists but is not a directory. */
+void makeDirs(const std::string &dir);
+
+class ResultCache
+{
+  public:
+    /** Opens (creating if needed) the cache directory. */
+    explicit ResultCache(std::string dir);
+
+    /**
+     * Payload stored under `key`, or nullopt on miss. A present but
+     * unreadable/corrupt entry and a description mismatch both count
+     * as misses (`stats.rejected` distinguishes them from absence).
+     */
+    std::optional<std::string> lookup(std::uint64_t key,
+                                      const std::string &desc);
+
+    /** Atomically (re)write the entry for `key`. */
+    void store(std::uint64_t key, const std::string &desc,
+               const std::string &payload);
+
+    /** Entry path for `key` (tests poke entries directly). */
+    std::string entryPath(std::uint64_t key) const;
+
+    const std::string &dir() const { return dir_; }
+
+    struct Stats
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        /** Present-but-rejected entries (corrupt or description
+         *  mismatch); included in `misses` too. */
+        std::uint64_t rejected = 0;
+    };
+    Stats stats;
+
+  private:
+    std::string dir_;
+};
+
+} // namespace mitts::orchestrate
+
+#endif // MITTS_ORCHESTRATE_RESULT_CACHE_HH

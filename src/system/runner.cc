@@ -6,9 +6,8 @@
 namespace mitts
 {
 
-Tick
-runAlone(const SystemConfig &base, unsigned app_idx,
-         const RunnerOptions &opts)
+SystemConfig
+aloneConfig(const SystemConfig &base, unsigned app_idx)
 {
     MITTS_ASSERT(app_idx < base.apps.size(), "bad app index");
     MITTS_ASSERT(base.customProfiles.empty() ||
@@ -24,7 +23,14 @@ runAlone(const SystemConfig &base, unsigned app_idx,
     cfg.sched = SchedulerKind::Frfcfs;
     cfg.mittsConfigs.clear();
     cfg.staticIntervals.clear();
+    return cfg;
+}
 
+Tick
+runAlone(const SystemConfig &base, unsigned app_idx,
+         const RunnerOptions &opts)
+{
+    const SystemConfig cfg = aloneConfig(base, app_idx);
     System sys(cfg);
     auto results = sys.runUntilInstructions(opts.instrTarget,
                                             opts.maxCycles);

@@ -24,6 +24,14 @@ struct RunnerOptions
 };
 
 /**
+ * The configuration runAlone() actually simulates for app `app_idx`
+ * of `base`: same memory system, no co-runners, no gates, FR-FCFS.
+ * Exposed so callers that cache alone baselines (the sweep
+ * orchestrator) can key entries on the exact simulated config.
+ */
+SystemConfig aloneConfig(const SystemConfig &base, unsigned app_idx);
+
+/**
  * Run application `app_idx` of `base` alone: same memory system, no
  * co-runners, no gates, FR-FCFS. @return cycles to the target.
  */

@@ -209,14 +209,23 @@ tuneMultiProgram(const SystemConfig &base,
     std::uint64_t ca_evals = 0, analytic_evals = 0;
 
     std::optional<ThreadPool> local = poolOverride(opts);
+
+    // Cycle-accurate evaluation of an index-ordered genome batch:
+    // in-process (parallelMap keeps the result index-ordered) or
+    // through the external hook (the sweep farm).
+    auto ca_batch = [&](const std::vector<Genome> &batch_gen) {
+        ca_evals += batch_gen.size();
+        if (opts.caEvaluator)
+            return opts.caEvaluator(batch_gen);
+        return parallelMap(
+            batch_gen.size(),
+            [&](std::size_t i) { return eval_one(batch_gen[i]); },
+            local ? &*local : nullptr);
+    };
+
     auto batch = [&](const std::vector<Genome> &gen) {
-        if (!opts.prefilter.enabled) {
-            ca_evals += gen.size();
-            return parallelMap(
-                gen.size(),
-                [&](std::size_t i) { return eval_one(gen[i]); },
-                local ? &*local : nullptr);
-        }
+        if (!opts.prefilter.enabled)
+            return ca_batch(gen);
 
         // Rank the generation analytically (sequential, so the
         // ranking is identical for every thread count)...
@@ -233,14 +242,14 @@ tuneMultiProgram(const SystemConfig &base,
         analytic_evals += gen.size();
 
         // ...then spend cycle-accurate runs on the top fraction
-        // only, in index order (deterministic parallelMap).
+        // only, in index order.
         auto keep = prefilterKeep(score, opts.prefilter);
         std::sort(keep.begin(), keep.end());
-        const auto kept_fit = parallelMap(
-            keep.size(),
-            [&](std::size_t j) { return eval_one(gen[keep[j]]); },
-            local ? &*local : nullptr);
-        ca_evals += keep.size();
+        std::vector<Genome> kept_gen;
+        kept_gen.reserve(keep.size());
+        for (const std::size_t k : keep)
+            kept_gen.push_back(gen[k]);
+        const auto kept_fit = ca_batch(kept_gen);
 
         std::vector<double> fitness(gen.size(), 0.0);
         std::vector<bool> kept(gen.size(), false);

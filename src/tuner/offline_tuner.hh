@@ -40,6 +40,15 @@ struct OfflineTunerOptions
      *  a fitness strictly below every kept child's, preserving the
      *  analytic order, so the GA trajectory stays deterministic. */
     PreFilterOptions prefilter;
+    /** External cycle-accurate evaluator (multi-program tuner only).
+     *  When set it replaces the built-in in-process evaluation of a
+     *  generation (or, with the prefilter, of the kept subset) —
+     *  the hook the sweep orchestrator uses to shard evaluations
+     *  across worker processes and serve them from its result
+     *  cache. Must return index-ordered fitness values that are
+     *  bit-identical to the in-process evaluation, or the GA
+     *  trajectory will diverge from an unsharded run. */
+    GeneticAlgorithm::BatchEvaluator caEvaluator;
 };
 
 /** Split a concatenated per-core genome into BinConfigs. */

@@ -63,6 +63,9 @@ reject "$SIM" --apps gcc --noc 5xq
 
 # Conflicting combinations.
 reject "$SIM" --apps gcc --checkpoint-every 100
+printf 'name = x\n' > "$WORK/dummy.scenario"
+reject "$SIM" --scenario "$WORK/dummy.scenario" --tune fairness
+reject "$SIM" --scenario "$WORK/dummy.scenario" --apps gcc
 reject "$SIM" --apps gcc,mcf --tune fairness \
     --checkpoint-out "$WORK/ck"
 reject "$SIM" --apps gcc,mcf --tune fairness \

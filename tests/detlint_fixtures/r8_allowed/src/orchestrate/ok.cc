@@ -1,0 +1,32 @@
+// The sanctioned merge idiom: results land in preallocated slots
+// addressed by unit index, and the merged stream is written by
+// walking indices in ascending order — completion order never
+// appears in the output.
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mitts::orchestrate
+{
+
+void
+ok(std::ostream &merged_os, std::vector<std::string> &unitPayloads,
+   unsigned long index, const std::string &chunk)
+{
+    // Index-addressed assignment: arrival order is irrelevant.
+    unitPayloads[index] = chunk;
+
+    // Deterministic merge: ascending index walk through the slots.
+    for (const auto &payload : unitPayloads)
+        merged_os << payload;
+
+    // Work queues are fine — only result-like state is guarded.
+    std::vector<unsigned long> todo;
+    todo.push_back(index);
+
+    // Outside a result/merged/record name, += stays legal too.
+    std::string diagnostics;
+    diagnostics += chunk;
+}
+
+} // namespace mitts::orchestrate

@@ -1,0 +1,25 @@
+// Arrival-order reductions: every variant grows result-like state in
+// the order workers happen to finish, so the merged bytes depend on
+// worker count and scheduling.
+#include <string>
+#include <vector>
+
+namespace mitts::orchestrate
+{
+
+void
+bad(const std::string &chunk)
+{
+    std::vector<std::string> results;
+    results.push_back(chunk);
+    results.emplace_back(chunk);
+
+    std::string merged;
+    merged.append(chunk);
+    merged += chunk;
+
+    std::vector<std::string> unitRecords;
+    unitRecords.push_back(chunk);
+}
+
+} // namespace mitts::orchestrate

@@ -30,11 +30,12 @@ check_case() {
     rm -f /tmp/detlint_got.$$
 }
 
-for d in r1_bad r2_bad r3_bad r4_bad r6_bad r7_bad stale_allow; do
+for d in r1_bad r2_bad r3_bad r4_bad r6_bad r7_bad r8_bad \
+         stale_allow; do
     check_case "$FIXTURES/$d" 1
 done
 for d in r1_allowed r2_allowed r3_allowed r4_allowed r5_allowed \
-         r6_allowed r7_allowed; do
+         r6_allowed r7_allowed r8_allowed; do
     check_case "$FIXTURES/$d" 0
 done
 

@@ -32,6 +32,13 @@ run.  detlint checks them on every line of every PR:
       make_unique<MemRequest> or raw `new MemRequest` anywhere else.
       Ad-hoc allocation would bypass the arena's stable slots,
       generation checks and checkpoint interning.
+  R8  no arrival-order reductions in src/orchestrate/: growing a
+      result/merged/record container with push_back/emplace_back/
+      append/+= accumulates in completion order, which varies with
+      worker count and scheduling.  Merged sweep output must be
+      assembled by unit index into preallocated, index-addressed
+      slots (the byte-identical-merge contract the CI sweep job
+      diffs).
 
 Suppression:
   * inline: `// detlint-allow(R2): <reason>` on the finding's line or
@@ -52,7 +59,7 @@ import re
 import subprocess
 import sys
 
-RULES = ("R1", "R2", "R3", "R4", "R5", "R6", "R7")
+RULES = ("R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8")
 ALLOW_RE = re.compile(
     r"detlint-allow\(\s*(?P<rules>[A-Za-z0-9_,\s]+)\s*\)"
     r"(?P<colon>:?)\s*(?P<reason>.*)")
@@ -486,6 +493,29 @@ def check_r7(path, code, report):
             report("R7", line_of(code, m.start()), what)
 
 
+# --------------------------------------------------------------- R8
+
+# Mutating growth of an identifier that names result-like state.
+# `merged_os << chunk` and `slots[idx] = chunk` stay legal: both are
+# index-driven, not arrival-driven.
+R8_ACCUM_RE = re.compile(
+    r"\b(\w*(?:result|merged|record)\w*)\s*"
+    r"(?:\.\s*(?:push_back|emplace_back|append)\s*\(|\+=)",
+    re.IGNORECASE)
+
+
+def check_r8(path, code, report):
+    """src/orchestrate/ merges worker results; any container of
+    results grown in arrival order breaks the byte-identical-merge
+    contract the moment two workers race."""
+    for m in R8_ACCUM_RE.finditer(code):
+        report("R8", line_of(code, m.start()),
+               "arrival-order accumulation into '%s'; results must "
+               "be assigned into index-addressed slots and merged by "
+               "unit index, never appended in completion order"
+               % m.group(1))
+
+
 # --------------------------------------------------------------- R5
 
 def check_r5(root, headers, report, cxx):
@@ -633,6 +663,9 @@ def main(argv):
             if rel.startswith(
                     os.path.join("src", "analytic") + os.sep):
                 check_r6(path, code, raw_lines, report)
+            if rel.startswith(
+                    os.path.join("src", "orchestrate") + os.sep):
+                check_r8(path, code, report)
             if (path.endswith((".hh", ".hpp", ".h"))
                     and re.search(r"\bMITTS_ASSERT\b", code)):
                 r5_headers.append(path)

@@ -96,8 +96,8 @@ exit codes:
      cycle-accurate-only flag: --cycles --stats --no-skip
      --telemetry-out --sample-interval --trace-events
      --checkpoint-out --checkpoint-every --restore --tune,
-     --scenario with any single-system flag), or an
-     invalid/corrupt/mismatched checkpoint
+     --scenario with any single-system flag such as --apps or
+     --tune), or an invalid/corrupt/mismatched checkpoint
 
 every rejected combination prints a one-line reason on stderr.
 )");

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Sweep/tune orchestrator CLI: expand a sweep spec into work units,
+ * shard them across forked worker processes, and merge the results
+ * deterministically (see src/orchestrate/).
+ *
+ *   mitts_sweep --spec fig12.sweep --out out/fig12 --workers 4
+ *   mitts_sweep --spec tune.sweep --out out/tune --cache /tmp/cache
+ *
+ * Run with --help for the full flag reference.
+ */
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "ckpt/serialize.hh"
+#include "orchestrate/orchestrator.hh"
+#include "orchestrate/sweep_spec.hh"
+#include "orchestrate/worker.hh"
+
+using namespace mitts;
+using namespace mitts::orchestrate;
+
+namespace
+{
+
+constexpr const char *kToolVersion = "1.0.0";
+
+[[noreturn]] void
+usage(int code)
+{
+    std::printf(R"(mitts_sweep - sharded sweep / GA-tuning orchestrator
+
+  --spec FILE        sweep description (required; see DESIGN.md
+                     "Sweep orchestration" for the format)
+  --out DIR          output directory for results.txt, summary.json
+                     and journal.log (required; created if missing)
+  --workers N        worker processes to fork (default 0 = evaluate
+                     inline in this process; max 256)
+  --cache DIR        persistent result-cache directory shared across
+                     runs (default <out>/cache)
+  --worker-exe PATH  binary to exec as `PATH --worker` (default: this
+                     binary)
+  --timeout SEC      per-unit wall-clock deadline before a worker is
+                     killed and the unit re-queued (default 600;
+                     0 = no deadline)
+  --retries N        re-dispatches of one unit after worker crashes
+                     or timeouts before giving up (default 2)
+  --worker           internal: run as a worker on stdin/stdout
+  --version          print version, then exit
+  --help             this text
+
+The merged results.txt and summary.json are byte-identical for any
+--workers value, any cache state, and across a kill-and-resume.
+Counters (units dispatched/cached/retried, per-worker wall time) go
+to stdout and are the only nondeterministic output.
+
+exit codes:
+  0  success
+  1  configuration or runtime error (invalid sweep spec, worker exec
+     failure, retry budget exhausted, cache/journal I/O failure)
+  2  usage error: unknown flag, missing --spec/--out, malformed or
+     out-of-range numeric value (--workers at most 256, --retries a
+     non-negative integer, --timeout a non-negative number)
+
+every rejected combination prints a one-line reason on stderr.
+)");
+    std::exit(code);
+}
+
+/** One-line usage-error reason on stderr, exit 2 (no usage dump —
+ *  scripts keying on stderr want exactly one line). */
+[[noreturn]] void
+usageError(const std::string &msg)
+{
+    std::fprintf(stderr, "mitts_sweep: %s (see --help)\n",
+                 msg.c_str());
+    std::exit(2);
+}
+
+/** Checked u64 parse: the whole token must be digits and fit. */
+std::uint64_t
+parseU64(const std::string &flag, const std::string &s)
+{
+    if (s.empty() ||
+        s.find_first_not_of("0123456789") != std::string::npos)
+        usageError(flag + " expects a non-negative integer, got '" +
+                   s + "'");
+    errno = 0;
+    char *end = nullptr;
+    const std::uint64_t v = std::strtoull(s.c_str(), &end, 10);
+    if (errno == ERANGE || end != s.c_str() + s.size())
+        usageError(flag + " value out of range: '" + s + "'");
+    return v;
+}
+
+/** Checked non-negative double parse. */
+double
+parseNonNegDouble(const std::string &flag, const std::string &s)
+{
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(s.c_str(), &end);
+    if (s.empty() || errno == ERANGE || end != s.c_str() + s.size() ||
+        v < 0.0)
+        usageError(flag + " expects a non-negative number, got '" +
+                   s + "'");
+    return v;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string specPath;
+    OrchestratorOptions opts;
+    opts.workerExe = argv[0];
+    bool workerMode = false;
+    bool cacheSet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usageError(arg + " requires a value");
+            return argv[++i];
+        };
+        if (arg == "--help") {
+            usage(0);
+        } else if (arg == "--version") {
+            std::printf("mitts_sweep %s (record v%u, checkpoint "
+                        "format v%u)\n",
+                        kToolVersion, kRecordVersion,
+                        ckpt::kFormatVersion);
+            return 0;
+        } else if (arg == "--worker") {
+            workerMode = true;
+        } else if (arg == "--spec") {
+            specPath = value();
+        } else if (arg == "--out") {
+            opts.outDir = value();
+        } else if (arg == "--cache") {
+            opts.cacheDir = value();
+            cacheSet = true;
+        } else if (arg == "--worker-exe") {
+            opts.workerExe = value();
+        } else if (arg == "--workers") {
+            const std::uint64_t n = parseU64(arg, value());
+            if (n > 256)
+                usageError("--workers must be at most 256");
+            opts.workers = static_cast<unsigned>(n);
+        } else if (arg == "--retries") {
+            opts.maxRetries =
+                static_cast<unsigned>(parseU64(arg, value()));
+        } else if (arg == "--timeout") {
+            opts.unitTimeoutSec = parseNonNegDouble(arg, value());
+        } else {
+            usageError("unknown flag '" + arg + "'");
+        }
+    }
+
+    if (workerMode) {
+        // Frames only flow over stdin/stdout; a parent death shows
+        // up as EOF or EPIPE, both handled in workerMain.
+        std::signal(SIGPIPE, SIG_IGN);
+        return workerMain(0, 1);
+    }
+
+    if (specPath.empty())
+        usageError("--spec is required");
+    if (opts.outDir.empty())
+        usageError("--out is required");
+    if (!cacheSet)
+        opts.cacheDir = opts.outDir + "/cache";
+
+    try {
+        const SweepSpec spec = parseSweepFile(specPath);
+        validateSweep(spec);
+        const OrchestratorCounters counters = runSweep(spec, opts);
+        counters.print(std::cout, spec.name);
+    } catch (const SweepError &e) {
+        std::fprintf(stderr, "mitts_sweep: %s\n", e.what());
+        return 1;
+    } catch (const OrchestrateError &e) {
+        std::fprintf(stderr, "mitts_sweep: %s\n", e.what());
+        return 1;
+    } catch (const ckpt::Error &e) {
+        std::fprintf(stderr, "mitts_sweep: %s\n", e.what());
+        return 1;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "mitts_sweep: %s\n", e.what());
+        return 1;
+    }
+    return 0;
+}
