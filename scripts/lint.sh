@@ -7,19 +7,25 @@
 #   3. format check — clang-format on changed files via
 #                     scripts/format.sh --check (skipped if absent)
 #
-# Usage: scripts/lint.sh [--no-tidy] [--no-format]
+# Usage: scripts/lint.sh [--changed] [--no-tidy] [--no-format]
+#   --changed   lint only files that differ from origin/main (plus
+#               every file that #includes a changed header) — the
+#               fast pre-merge mode; clang-tidy is restricted to the
+#               same set.
 # Exits nonzero if any stage that ran found a problem.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 RUN_TIDY=1
 RUN_FORMAT=1
+CHANGED_ONLY=0
 for arg in "$@"; do
     case "$arg" in
+        --changed) CHANGED_ONLY=1 ;;
         --no-tidy) RUN_TIDY=0 ;;
         --no-format) RUN_FORMAT=0 ;;
         -h|--help)
-            sed -n '2,11p' "$0" | sed 's/^# \{0,1\}//'
+            sed -n '2,15p' "$0" | sed 's/^# \{0,1\}//'
             exit 0 ;;
         *)
             echo "lint.sh: unknown flag '$arg' (try --help)" >&2
@@ -27,13 +33,76 @@ for arg in "$@"; do
     esac
 done
 
+# ----------------------------------------------------- changed set
+# Files differing from the merge base with origin/main (committed,
+# staged, unstaged and untracked), plus every tracked file that
+# includes a changed header: a header edit can introduce a finding in
+# any file that includes it, so includers re-lint too.
+changed_files=()
+if [ "$CHANGED_ONLY" -eq 1 ]; then
+    base_ref=""
+    for ref in origin/main main; do
+        if git rev-parse --verify -q "$ref" >/dev/null; then
+            base_ref=$(git merge-base "$ref" HEAD)
+            break
+        fi
+    done
+    if [ -z "$base_ref" ]; then
+        echo "lint.sh: --changed: no origin/main or main ref;" \
+             "linting everything" >&2
+        CHANGED_ONLY=0
+    else
+        mapfile -t changed < <(
+            { git diff --name-only "$base_ref"
+              git ls-files --others --exclude-standard; } \
+            | sort -u \
+            | grep -E '^(src|bench|tools|tests)/.*\.(hh|hpp|h|cc|cpp)$' \
+            | grep -v detlint_fixtures || true)
+        # Includers of changed headers (resolved against -Isrc).
+        incl=()
+        for f in "${changed[@]:+${changed[@]}}"; do
+            case "$f" in
+                src/*.hh|src/*.hpp|src/*.h)
+                    mapfile -t -O "${#incl[@]}" incl < <(
+                        git grep -l \
+                            "#include \"${f#src/}\"" -- \
+                            src bench tools tests \
+                            2>/dev/null || true) ;;
+            esac
+        done
+        mapfile -t changed_files < <(
+            printf '%s\n' \
+                "${changed[@]:+${changed[@]}}" \
+                "${incl[@]:+${incl[@]}}" \
+            | grep -E '\.(hh|hpp|h|cc|cpp)$' \
+            | grep -v detlint_fixtures \
+            | sort -u | while read -r f; do
+                  [ -f "$f" ] && printf '%s\n' "$f"
+              done)
+        if [ "${#changed_files[@]}" -eq 0 ]; then
+            echo "lint.sh: --changed: no lintable files differ" \
+                 "from $base_ref; nothing to do"
+            exit 0
+        fi
+        echo "lint.sh: --changed: ${#changed_files[@]} file(s) in scope"
+    fi
+fi
+
 status=0
 
 echo "== detlint"
-if python3 tools/detlint/detlint.py; then
-    echo "detlint: clean"
+if [ "$CHANGED_ONLY" -eq 1 ]; then
+    if python3 tools/detlint/detlint.py "${changed_files[@]}"; then
+        echo "detlint: clean"
+    else
+        status=1
+    fi
 else
-    status=1
+    if python3 tools/detlint/detlint.py; then
+        echo "detlint: clean"
+    else
+        status=1
+    fi
 fi
 
 if [ "$RUN_TIDY" -eq 1 ]; then
@@ -49,7 +118,15 @@ if [ "$RUN_TIDY" -eq 1 ]; then
         mapfile -t tidy_files < <(
             git ls-files 'src/**/*.cc' 'tools/*.cpp' \
                          'bench/*.cc' 'bench/*.cpp')
-        if ! printf '%s\n' "${tidy_files[@]}" \
+        if [ "$CHANGED_ONLY" -eq 1 ]; then
+            mapfile -t tidy_files < <(
+                comm -12 \
+                    <(printf '%s\n' "${tidy_files[@]}" | sort -u) \
+                    <(printf '%s\n' "${changed_files[@]}" | sort -u))
+        fi
+        if [ "${#tidy_files[@]}" -eq 0 ]; then
+            echo "clang-tidy: no files in scope"
+        elif ! printf '%s\n' "${tidy_files[@]}" \
             | xargs -P "$(nproc)" -n 8 \
                 clang-tidy -p build-lint --quiet; then
             status=1

@@ -83,7 +83,9 @@ class CacheArray
     const Line *findLine(Addr block_addr) const;
 
     unsigned assoc_;
+    // detlint-transient(derived from geometry at construction)
     unsigned setShift_;   ///< log2(block size)
+    // detlint-transient(derived from geometry at construction)
     std::uint64_t setMask_;
     std::vector<Set> sets_;
     std::uint64_t useClock_ = 0;

@@ -95,7 +95,9 @@ class L1Cache : public Clocked, public ckpt::Serializable
   private:
     void sendWriteback(Addr block_addr, Tick now);
 
+    // detlint-transient(construction-time config; never mutated after build)
     L1Config cfg_;
+    // detlint-transient(immutable owning-core id)
     CoreId core_;
     RequestPool &pool_;
     EventQueue &events_;

@@ -131,6 +131,7 @@ class MshrFile
 
   private:
     std::vector<Mshr> entries_;
+    // detlint-transient(construction-time config; never mutated after build)
     unsigned maxTargets_;
 };
 

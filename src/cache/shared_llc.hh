@@ -125,6 +125,7 @@ class SharedLlc : public Clocked, public MemSink,
     void respondToL1(const ReqPtr &req, Tick delay, Tick now);
     void notifyGate(const ReqPtr &req, bool hit, Tick now);
 
+    // detlint-transient(construction-time config; never mutated after build)
     LlcConfig cfg_;
     RequestPool &pool_;
     EventQueue &events_;
@@ -142,6 +143,7 @@ class SharedLlc : public Clocked, public MemSink,
     std::deque<ReqPtr> wbQueue_;
     SeqNum nextWbSeq_ = 1ULL << 61;
 
+    // detlint-transient(probe wiring re-registered on rebuild, not state)
     telemetry::ProbeOwner probes_;
 
     stats::Group stats_;

@@ -59,7 +59,9 @@ class CloudTrace : public TraceSource
   private:
     void rebuild();
 
+    // detlint-transient(construction config; read by rebuild() on load)
     Addr base_;
+    // detlint-transient(construction config; read by rebuild() on load)
     std::uint64_t seedBase_;
 
     bool occupied_ = false;

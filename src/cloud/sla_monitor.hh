@@ -139,6 +139,7 @@ class SlaMonitor : public Clocked, public ckpt::Serializable
     std::vector<stats::Counter *> latViolations_;
     std::vector<stats::Counter *> bwViolations_;
 
+    // detlint-transient(probe wiring re-registered on rebuild, not state)
     telemetry::ProbeOwner probes_;
 };
 

@@ -141,7 +141,9 @@ class Core : public Clocked, public L1Client,
     unsigned dispatch(Tick now, bool &chase_wait, bool &l1_blocked);
     bool prevLoadDone() const;
 
+    // detlint-transient(construction-time config; never mutated after build)
     CoreConfig cfg_;
+    // detlint-transient(immutable core id)
     CoreId id_;
     TraceSource *trace_;
     L1Cache *l1_;
@@ -163,8 +165,10 @@ class Core : public Clocked, public L1Client,
     IdleState idle_ = IdleState::Active; ///< as of the last full tick
 
     // Telemetry (null/empty unless registerTelemetry was called).
+    // detlint-transient(probe wiring re-registered on rebuild, not state)
     telemetry::ProbeOwner probes_;
     telemetry::TraceEventWriter *traceWriter_ = nullptr;
+    // detlint-transient(trace-track id re-registered on rebuild)
     int traceTrack_ = 0;
     Tick robStallStart_ = kTickNever; ///< open mem-stall episode
 

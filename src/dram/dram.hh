@@ -139,6 +139,7 @@ class Dram : public ckpt::Serializable
     void recordActivate(Tick at);
     Tick earliestActivate(Tick from, Tick precharge) const;
 
+    // detlint-transient(construction-time config; never mutated after build)
     DramConfig cfg_;
     // Per-bank row-buffer state, structure-of-arrays: the controller's
     // quiescence scan probes earliestIssueTick() for every queued
@@ -162,8 +163,10 @@ class Dram : public ckpt::Serializable
     Tick refBlockUntil_ = 0;
 
     // Telemetry (null/empty unless registerTelemetry was called).
+    // detlint-transient(probe wiring re-registered on rebuild, not state)
     telemetry::ProbeOwner probes_;
     telemetry::TraceEventWriter *trace_ = nullptr;
+    // detlint-transient(trace-track id re-registered on rebuild)
     int traceTrack_ = 0;
 
     stats::Group stats_;

@@ -67,7 +67,9 @@ class Tenant : public ckpt::Serializable
     void loadState(ckpt::Reader &r) override;
 
   private:
+    // detlint-transient(immutable tenant id)
     std::string name_;
+    // detlint-transient(construction-time config; never mutated after build)
     PricingModel pricing_;
     std::vector<MittsShaper *> shapers_;
     BinConfig current_;

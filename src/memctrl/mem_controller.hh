@@ -75,7 +75,15 @@ class MemController : public Clocked, public MemSink
     MemController(std::string name, const McConfig &cfg,
                   const DramConfig &dram_cfg, EventQueue &events);
 
-    void setScheduler(MemScheduler *sched) { sched_ = sched; }
+    // Swapping the scheduler changes what nextWakeTick would answer
+    // (it folds in sched_->nextWakeTick), so the cached claim must be
+    // invalidated even though this is normally a wiring-time call.
+    void
+    setScheduler(MemScheduler *sched)
+    {
+        sched_ = sched;
+        markWakeDirty();
+    }
     void setLlc(SharedLlc *llc) { llc_ = llc; }
 
     // MemSink (LLC -> MC side)
@@ -190,6 +198,7 @@ class MemController : public Clocked, public MemSink
         markWakeDirty();
     }
 
+    // detlint-transient(construction config; load validates geometry against it)
     McConfig cfg_;
     EventQueue &events_;
     std::vector<std::unique_ptr<Dram>> drams_; ///< one per channel
@@ -214,6 +223,7 @@ class MemController : public Clocked, public MemSink
     mutable std::vector<Tick> scanMin_;
     mutable std::vector<std::uint8_t> scanValid_;
 
+    // detlint-transient(probe wiring re-registered on rebuild, not state)
     telemetry::ProbeOwner probes_;
 
     stats::Group stats_;

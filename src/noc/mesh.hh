@@ -89,6 +89,7 @@ class MeshNoc : public ckpt::Serializable
     /** Next node along the XY route from `at` toward `dst`. */
     unsigned nextHop(unsigned at, unsigned dst) const;
 
+    // detlint-transient(construction-time config; never mutated after build)
     NocConfig cfg_;
     /** busy-until time per directed link (4 per node). */
     std::vector<Tick> linkBusyUntil_;

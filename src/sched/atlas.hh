@@ -57,7 +57,9 @@ class AtlasScheduler : public RankedFrfcfs
   private:
     void requantize();
 
+    // detlint-transient(fixed at construction; load validates counts against it)
     unsigned numCores_;
+    // detlint-transient(construction-time config; never mutated after build)
     AtlasConfig cfg_;
     std::vector<double> quantumService_; ///< this quantum's service
     std::vector<double> totalService_;   ///< decayed history

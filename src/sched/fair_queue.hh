@@ -49,7 +49,9 @@ class FairQueueScheduler : public MemScheduler
     double virtualFinishOf(CoreId core, Tick now,
                            double service_cost) const;
 
+    // detlint-transient(fixed at construction; load validates counts against it)
     unsigned numCores_;
+    // detlint-transient(per-core weights fixed at construction)
     std::vector<double> shares_;
     std::vector<double> virtualClock_;
     double systemVt_ = 0.0; ///< system virtual time (start tags)

@@ -63,6 +63,7 @@ class FstGate : public SourceGate
 
   private:
     FstScheduler &owner_;
+    // detlint-transient(immutable owning-core id)
     CoreId core_;
     double allowance_ = 1.0;
     Tick lastRefill_ = 0;
@@ -96,7 +97,9 @@ class FstScheduler : public RankedFrfcfs
   private:
     void adjust();
 
+    // detlint-transient(fixed at construction; load validates counts against it)
     unsigned numCores_;
+    // detlint-transient(construction-time config; never mutated after build)
     FstConfig cfg_;
     std::unique_ptr<SlowdownEstimator> est_;
     std::vector<double> levels_;

@@ -121,9 +121,12 @@ class MemGuardController : public Clocked, public ckpt::Serializable
     }
 
   private:
+    // detlint-transient(construction-time config; never mutated after build)
     MemGuardConfig cfg_;
+    // detlint-transient(fixed at construction; load validates counts against it)
     unsigned numCores_;
     const MemController *mc_ = nullptr;
+    // detlint-transient(stateless per-core facades over controller state)
     std::vector<std::unique_ptr<MemGuardGate>> gates_;
     std::vector<std::uint64_t> budget_;
     std::vector<std::uint64_t> used_;

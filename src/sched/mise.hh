@@ -48,7 +48,9 @@ class MiseScheduler : public RankedFrfcfs
   private:
     void reprioritize();
 
+    // detlint-transient(fixed at construction; load validates counts against it)
     unsigned numCores_;
+    // detlint-transient(construction-time config; never mutated after build)
     MiseConfig cfg_;
     std::unique_ptr<SlowdownEstimator> est_;
     std::vector<int> ranks_;

@@ -57,7 +57,9 @@ class ParbsScheduler : public MemScheduler
     /** Mark the current queue contents; returns the batch size. */
     std::size_t formBatch(const TxnQueue &queue);
 
+    // detlint-transient(fixed at construction; load validates counts against it)
     unsigned numCores_;
+    // detlint-transient(construction-time config; never mutated after build)
     ParbsConfig cfg_;
     /** Marked entries observed in the queue at the last pick().
      *  Batch membership itself rides flat on each request

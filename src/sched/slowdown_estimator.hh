@@ -99,7 +99,9 @@ class SlowdownEstimator
   private:
     void closeEpoch(Tick now);
 
+    // detlint-transient(fixed at construction; load validates counts against it)
     unsigned numCores_;
+    // detlint-transient(construction-time config; never mutated after build)
     SlowdownEstimatorConfig cfg_;
     RankedFrfcfs *sched_ = nullptr;
     const AppMonitor *monitor_ = nullptr;

@@ -59,7 +59,9 @@ class StfmScheduler : public RankedFrfcfs
   private:
     void reevaluate();
 
+    // detlint-transient(fixed at construction; sized containers validated on load)
     unsigned numCores_;
+    // detlint-transient(construction-time config; never mutated after build)
     StfmConfig cfg_;
     std::unique_ptr<SlowdownEstimator> est_;
     CoreId prioritized_ = kNoCore;

@@ -60,7 +60,9 @@ class TcmScheduler : public RankedFrfcfs
     void recluster(Tick now);
     void shuffle();
 
+    // detlint-transient(fixed at construction; load validates counts against it)
     unsigned numCores_;
+    // detlint-transient(construction-time config; never mutated after build)
     TcmConfig cfg_;
     Random rng_;
 

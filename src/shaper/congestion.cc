@@ -17,8 +17,10 @@ CongestionController::CongestionController(
 {
 }
 
+// nextCheckAt_ moves only once the registered claim has fired, and
+// the kernel re-polls fired claims unconditionally (clocked.hh).
 void
-CongestionController::tick(Tick now)
+CongestionController::tick(Tick now) // detlint-allow(R11): fired claim
 {
     if (now < nextCheckAt_)
         return;

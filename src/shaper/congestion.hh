@@ -79,6 +79,7 @@ class CongestionController : public Clocked, public ckpt::Serializable
   private:
     void apply();
 
+    // detlint-transient(construction-time config; never mutated after build)
     CongestionConfig cfg_;
     const MemController &mc_;
     std::vector<MittsShaper *> shapers_;

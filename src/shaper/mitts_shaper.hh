@@ -137,6 +137,7 @@ class MittsShaper : public SourceGate, public ckpt::Serializable
     void rebuildCreditMask();
 
     BinConfig cfg_;
+    // detlint-transient(hybrid method fixed at construction)
     HybridMethod method_;
     bool enabled_ = true;
 
@@ -150,6 +151,7 @@ class MittsShaper : public SourceGate, public ckpt::Serializable
      * instead of linear walks. Only maintained while numBins <= 64
      * (the paper uses 10); larger geometries fall back to the scans.
      */
+    // detlint-transient(derived cache; rebuilt by rebuildCreditMask() on load)
     std::uint64_t creditMask_ = 0;
     std::vector<double> rollingAcc_;     ///< Rolling policy remainders
     double congestionScale_ = 1.0;
@@ -176,8 +178,10 @@ class MittsShaper : public SourceGate, public ckpt::Serializable
     Tick lastLlcMissStamp_ = kTickNever;
 
     // Telemetry (null/empty unless registerTelemetry was called).
+    // detlint-transient(probe wiring re-registered on rebuild, not state)
     telemetry::ProbeOwner probes_;
     telemetry::TraceEventWriter *trace_ = nullptr;
+    // detlint-transient(trace-track id re-registered on rebuild)
     int traceTrack_ = 0;
     Tick throttleStart_ = kTickNever; ///< open dry-stall episode
 

@@ -82,7 +82,9 @@ class StaticRateGate : public SourceGate, public ckpt::Serializable
     }
 
   private:
+    // detlint-transient(construction-time config; never mutated after build)
     double interval_;
+    // detlint-transient(construction-time config; never mutated after build)
     double depth_;
     double tokens_;
     Tick lastRefill_ = 0;

@@ -233,6 +233,7 @@ class EventQueue
     };
 
     std::vector<Event> heap_;
+    // detlint-transient(pending events are renumbered 0..n-1 on load)
     std::uint64_t nextSeq_ = 0;
     /** Tick of the most recent runDue(); past-schedule clamp floor. */
     Tick horizon_ = 0;

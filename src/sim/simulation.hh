@@ -324,14 +324,18 @@ class Simulation
         std::size_t slot;
     };
 
+    // detlint-transient(construction-time config; never mutated after build)
     SimulationConfig cfg_;
     Tick now_ = 0;
     std::uint64_t cyclesSkipped_ = 0;
     std::vector<Clocked *> components_;
     std::vector<Clocked *> polled_;    ///< re-polled every cycle
+    // detlint-transient(component wiring registered at construction)
     std::vector<CachedClaim> cached_;  ///< claims live in the wheel
+    // detlint-transient(derived claim cache; reset and re-polled on load)
     WakeWheel wheel_;
     std::vector<stats::Group *> statGroups_;
+    // detlint-transient(checkpointed by the System, which owns the event factory)
     EventQueue events_;
 };
 

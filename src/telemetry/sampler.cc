@@ -36,8 +36,10 @@ TimeSeriesSampler::TimeSeriesSampler(ProbeRegistry &registry,
     MITTS_ASSERT(opts.ringWindows > 0, "sampler ring must hold >= 1");
 }
 
+// nextBoundary_ moves only once the registered claim has fired, and
+// the kernel re-polls fired claims unconditionally (clocked.hh).
 void
-TimeSeriesSampler::tick(Tick now)
+TimeSeriesSampler::tick(Tick now) // detlint-allow(R11): fired claim
 {
     if (now < nextBoundary_)
         return;

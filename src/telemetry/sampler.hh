@@ -92,12 +92,14 @@ class TimeSeriesSampler : public Clocked, public ckpt::Serializable
     void writeHeader();
 
     ProbeRegistry &registry_;
+    // detlint-transient(construction-time config; never mutated after build)
     SamplerOptions opts_;
     std::ostream *out_;
 
     /** Cached probe set; refreshed only when the registry version
      *  moves (the lock-free common case). */
     std::vector<Probe> probes_;
+    // detlint-transient(registry-version cache; re-derived on load)
     std::uint64_t seenVersion_ = ~0ull;
     /** Previous raw value per cached probe (delta base; counters
      *  start from 0 so window sums equal aggregates). */

@@ -82,14 +82,19 @@ class Telemetry
 
   private:
     TelemetryOptions opts_;
+    // detlint-transient(probe registry wiring, re-registered on rebuild)
     ProbeRegistry registry_;
     std::ostringstream memCsv_;
     std::ofstream csvFile_;
+    // detlint-transient(derived output path fixed at construction)
     std::string csvPath_;
+    // detlint-transient(derived output path fixed at construction)
     std::string tracePath_;
     std::unique_ptr<TimeSeriesSampler> sampler_;
     std::unique_ptr<TraceEventWriter> trace_;
+    // detlint-transient(end-of-run output latch; finalize() runs after the last checkpoint)
     bool finalized_ = false;
+    // detlint-transient(end-of-run output latch; finalize() runs after the last checkpoint)
     Tick finalizedAt_ = 0;
 };
 

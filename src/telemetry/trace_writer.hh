@@ -81,12 +81,14 @@ class TraceEventWriter : public ckpt::Serializable
 
     const char *intern(const std::string &s);
 
+    // detlint-transient(construction-time config; never mutated after build)
     Options opts_;
     std::vector<std::string> tracks_;
     std::vector<Event> events_;
     std::size_t dropped_ = 0;
     /** Stable storage for restored event strings (std::set nodes
      *  never move). */
+    // detlint-transient(string intern arena; rebuilt by intern() during load)
     std::set<std::string> internPool_;
 };
 

@@ -41,9 +41,13 @@ class SyntheticTrace : public TraceSource
     void advancePhase();
     Addr randomBlock(Addr region_bytes);
 
+    // detlint-transient(construction config; phase cursor is the mutable state)
     AppProfile profile_;
+    // detlint-transient(construction-time config; never mutated after build)
     Addr base_;
+    // detlint-transient(construction seed; live RNG state is checkpointed instead)
     std::uint64_t seed_;
+    // detlint-transient(construction-time config; never mutated after build)
     unsigned threadId_;
     Random rng_;
 
@@ -106,6 +110,7 @@ class ScriptedTrace : public TraceSource
     }
 
   private:
+    // detlint-transient(trace content injected at construction; only the cursor is mutable)
     std::vector<TraceOp> ops_;
     std::size_t idx_ = 0;
 };

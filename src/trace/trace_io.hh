@@ -72,6 +72,7 @@ class FileTrace : public TraceSource
     }
 
   private:
+    // detlint-transient(trace content injected at construction; only the cursor is mutable)
     std::vector<TraceOp> ops_;
     std::size_t idx_ = 0;
 };

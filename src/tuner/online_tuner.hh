@@ -115,9 +115,12 @@ class OnlineTuner : public Clocked, public ckpt::Serializable
     void stepGeneration(Tick now);
 
     System &sys_;
+    // detlint-transient(construction-time config; never mutated after build)
     OnlineTunerOptions opts_;
     Random rng_;
+    // detlint-transient(construction-time config; never mutated after build)
     unsigned numCores_;
+    // detlint-transient(bin-spec template fixed at construction)
     BinSpec spec_;
 
     State state_ = State::Measure;
@@ -146,8 +149,10 @@ class OnlineTuner : public Clocked, public ckpt::Serializable
     Tick overheadApplied_ = 0;
 
     // Telemetry (null/empty unless a hub was attached).
+    // detlint-transient(probe wiring re-registered on rebuild, not state)
     telemetry::ProbeOwner probes_;
     telemetry::TraceEventWriter *trace_ = nullptr;
+    // detlint-transient(trace-track id re-registered on rebuild)
     int traceTrack_ = 0;
     Tick configPhaseStart_ = kTickNever; ///< open CONFIG_PHASE
     std::uint64_t configSwitches_ = 0;

@@ -80,8 +80,10 @@ class PhaseSwitcher : public Clocked, public ckpt::Serializable
 
   private:
     System &sys_;
+    // detlint-transient(configured schedule; applied_ cursor is the mutable state)
     std::vector<PhaseSchedule> schedules_;
     std::vector<unsigned> applied_; ///< phase index currently applied
+    // detlint-transient(construction-time config; never mutated after build)
     Tick checkPeriod_;
     Tick nextCheckAt_ = 0;
     std::uint64_t switches_ = 0;

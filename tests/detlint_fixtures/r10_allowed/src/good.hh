@@ -1,0 +1,62 @@
+#ifndef FIXTURE_R10_ALLOWED_HH
+#define FIXTURE_R10_ALLOWED_HH
+
+#include <cstdint>
+#include <vector>
+
+// Free helpers taking the Writer/Reader: detlint splices their op
+// sequences into the caller before comparing.
+inline void
+saveSpan(ckpt::Writer &w, const std::vector<std::uint32_t> &v)
+{
+    w.u64(v.size());
+    for (std::size_t i = 0; i < v.size(); ++i)
+        w.u32(v[i]);
+}
+
+inline void
+loadSpan(ckpt::Reader &r, std::vector<std::uint32_t> &v)
+{
+    const std::uint64_t n = r.u64();
+    v.clear();
+    for (std::uint64_t i = 0; i < n; ++i)
+        v.push_back(r.u32());
+}
+
+// R10 clean: matched widths, loop against loop with agreeing count
+// expressions, conditional against conditional, helper splice on
+// both sides.
+struct Mirror
+{
+    void
+    saveState(ckpt::Writer &w) const
+    {
+        w.u64(vals_.size());
+        for (double v : vals_)
+            w.f64(v);
+        w.b(hasExtra_);
+        if (hasExtra_)
+            w.u32(extra_);
+        saveSpan(w, tags_);
+    }
+
+    void
+    loadState(ckpt::Reader &r)
+    {
+        const std::uint64_t n = r.u64();
+        vals_.clear();
+        for (std::uint64_t i = 0; i < n; ++i)
+            vals_.push_back(r.f64());
+        hasExtra_ = r.b();
+        if (hasExtra_)
+            extra_ = r.u32();
+        loadSpan(r, tags_);
+    }
+
+    std::vector<double> vals_;
+    bool hasExtra_ = false;
+    std::uint32_t extra_ = 0;
+    std::vector<std::uint32_t> tags_;
+};
+
+#endif // FIXTURE_R10_ALLOWED_HH

@@ -1,0 +1,56 @@
+#ifndef FIXTURE_R10_BAD_HH
+#define FIXTURE_R10_BAD_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+// R10: save/load symmetry. KindMismatch writes a u32 that load reads
+// back as a u64; SaveCount writes one container's size but loops over
+// another, and loads a count into `n` while bounding the loop by
+// `bound_`.
+struct KindMismatch
+{
+    void
+    saveState(ckpt::Writer &w) const
+    {
+        w.u32(x_);
+    }
+
+    void
+    loadState(ckpt::Reader &r)
+    {
+        x_ = r.u64();
+    }
+
+    std::uint32_t x_ = 0;
+};
+
+struct SaveCount
+{
+    void
+    saveState(ckpt::Writer &w) const
+    {
+        w.u64(names_.size());
+        for (double v : others_)
+            w.f64(v);
+        w.u64(bound_);
+    }
+
+    void
+    loadState(ckpt::Reader &r)
+    {
+        const std::uint64_t n = r.u64();
+        names_.resize(n);
+        others_.clear();
+        for (std::uint64_t i = 0; i < bound_; ++i)
+            others_.push_back(r.f64());
+        bound_ = r.u64();
+    }
+
+    std::vector<std::string> names_;
+    std::vector<double> others_;
+    std::uint64_t bound_ = 0;
+};
+
+#endif // FIXTURE_R10_BAD_HH

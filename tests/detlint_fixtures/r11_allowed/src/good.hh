@@ -1,0 +1,79 @@
+#ifndef FIXTURE_R11_ALLOWED_HH
+#define FIXTURE_R11_ALLOWED_HH
+
+#include <cstdint>
+
+// R11 clean: every wake-relevant write marks the claim dirty, either
+// directly (setRate) or through a helper (setPeriod -> touch);
+// loadState is excluded (Simulation force-dirties restored claims),
+// and NonCacheable never vouches for its claim in the first place.
+class GoodPacer
+{
+  public:
+    bool wakeClaimCacheable() const { return true; }
+
+    std::uint64_t
+    nextWakeTick(std::uint64_t now) const
+    {
+        return nextAt_ > now ? nextAt_ : now + 1;
+    }
+
+    void
+    setRate(std::uint64_t period)
+    {
+        period_ = period;
+        nextAt_ = period;
+        markWakeDirty();
+    }
+
+    void
+    setPeriod(std::uint64_t period)
+    {
+        period_ = period;
+        nextAt_ = period;
+        touch();
+    }
+
+    void
+    saveState(ckpt::Writer &w) const
+    {
+        w.u64(period_);
+        w.u64(nextAt_);
+    }
+
+    void
+    loadState(ckpt::Reader &r)
+    {
+        period_ = r.u64();
+        nextAt_ = r.u64();
+    }
+
+  private:
+    void
+    touch()
+    {
+        markWakeDirty();
+    }
+
+    std::uint64_t period_ = 1;
+    std::uint64_t nextAt_ = 1;
+};
+
+class NonCacheable
+{
+  public:
+    bool wakeClaimCacheable() const { return false; }
+
+    std::uint64_t
+    nextWakeTick(std::uint64_t now) const
+    {
+        return nextAt_ > now ? nextAt_ : now + 1;
+    }
+
+    void setNext(std::uint64_t t) { nextAt_ = t; }
+
+  private:
+    std::uint64_t nextAt_ = 1;
+};
+
+#endif // FIXTURE_R11_ALLOWED_HH

@@ -1,0 +1,51 @@
+#ifndef FIXTURE_R11_BAD_HH
+#define FIXTURE_R11_BAD_HH
+
+#include <cstdint>
+
+// R11: wake-dirty pairing. The class caches its wake claim and
+// nextWakeTick reads `nextAt_` only through the boundary() helper;
+// setPeriod and the bump() helper both write it without ever calling
+// markWakeDirty.
+class Pacer
+{
+  public:
+    bool wakeClaimCacheable() const { return true; }
+
+    std::uint64_t
+    nextWakeTick(std::uint64_t now) const
+    {
+        return boundary(now);
+    }
+
+    void
+    setPeriod(std::uint64_t period)
+    {
+        period_ = period;
+        nextAt_ = period;
+    }
+
+    void
+    advance()
+    {
+        bump();
+    }
+
+  private:
+    std::uint64_t
+    boundary(std::uint64_t now) const
+    {
+        return nextAt_ > now ? nextAt_ : now + 1;
+    }
+
+    void
+    bump()
+    {
+        nextAt_ += period_;
+    }
+
+    std::uint64_t period_ = 1;
+    std::uint64_t nextAt_ = 1;
+};
+
+#endif // FIXTURE_R11_BAD_HH

@@ -23,8 +23,8 @@ class SteppedModel : public Clocked
   public:
     void tick(Tick now) override { lastAt_ = now; }
     Tick nextWakeTick(Tick now) const override { return now + 1; }
-    void saveState() override {}
-    void loadState() override {}
+    void saveState() override { (void)lastAt_; }
+    void loadState() override { lastAt_ = 0; }
 
   private:
     Tick lastAt_ = 0;

@@ -1,0 +1,63 @@
+#ifndef FIXTURE_R9_ALLOWED_HH
+#define FIXTURE_R9_ALLOWED_HH
+
+#include <cstdint>
+#include <vector>
+
+struct Config
+{
+    unsigned depth = 4;
+};
+
+// R9 clean: `bins_` is covered through one level of delegation
+// (saveBins/loadBins), `seed_` carries a reasoned transient, and the
+// static/const/ref/ptr/mutable members are exempt by flag.
+class Gadget
+{
+  public:
+    explicit Gadget(Config &cfg) : cfg_(cfg) {}
+
+    void
+    saveState(ckpt::Writer &w) const
+    {
+        w.u64(val_);
+        saveBins(w);
+    }
+
+    void
+    loadState(ckpt::Reader &r)
+    {
+        val_ = r.u64();
+        loadBins(r);
+    }
+
+  private:
+    void
+    saveBins(ckpt::Writer &w) const
+    {
+        w.u64(bins_.size());
+        for (std::uint32_t b : bins_)
+            w.u32(b);
+    }
+
+    void
+    loadBins(ckpt::Reader &r)
+    {
+        const std::uint64_t n = r.u64();
+        bins_.clear();
+        for (std::uint64_t i = 0; i < n; ++i)
+            bins_.push_back(r.u32());
+    }
+
+    static constexpr unsigned kMax_ = 64;
+    Config &cfg_;
+    const unsigned limit_ = 8;
+    Gadget *next_ = nullptr;
+    mutable std::uint64_t scanCache_ = 0;
+    // detlint-transient(construction seed; live RNG state is saved)
+    std::uint64_t seed_ = 1;
+    std::uint64_t val_ = 0;
+    std::vector<std::uint32_t> bins_;
+};
+
+#endif // FIXTURE_R9_ALLOWED_HH

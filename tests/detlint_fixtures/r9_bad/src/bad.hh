@@ -1,0 +1,40 @@
+#ifndef FIXTURE_R9_BAD_HH
+#define FIXTURE_R9_BAD_HH
+
+#include <cstdint>
+
+// R9: checkpoint field coverage. `missing_` appears in neither
+// saveState nor loadState, `onlySaved_` only in saveState; the
+// transient on `staleTr_` is stale (the field IS covered) and the
+// one above the comment block is attached to no field at all.
+struct Widget
+{
+    void
+    saveState(ckpt::Writer &w) const
+    {
+        w.u32(covered_);
+        w.u64(ticks_ + onlySaved_);
+        w.f64(staleTr_);
+    }
+
+    void
+    loadState(ckpt::Reader &r)
+    {
+        covered_ = r.u32();
+        ticks_ = r.u64();
+        staleTr_ = r.f64();
+    }
+
+    std::uint32_t covered_ = 0;
+    std::uint64_t ticks_ = 0;
+    std::uint64_t onlySaved_ = 0;
+    std::uint64_t missing_ = 0;
+    // detlint-transient(stale: the field below is fully covered)
+    double staleTr_ = 0.0;
+
+    // detlint-transient(floating: attached to nothing)
+
+    void reset() { missing_ = 0; }
+};
+
+#endif // FIXTURE_R9_BAD_HH

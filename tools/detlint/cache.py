@@ -1,0 +1,88 @@
+"""Content-hash incremental cache.
+
+Analysis is split into units -- per-file lexical scans + model
+digests, per-header R5 compile checks, per-class semantic checks --
+and each unit's result is cached under a key derived from the rule-set
+version and the content hashes of every file the unit read.  A warm
+run therefore re-reads and re-hashes the tree (cheap) but skips all
+analysis whose inputs are unchanged; editing one file invalidates only
+the units that saw it.
+
+The cache lives in one JSON file (default `<root>/.detlint.cache.json`,
+gitignored).  On save, only keys touched by the current run are kept,
+so the file cannot grow without bound.  A version mismatch or any
+parse problem discards the cache silently -- it is a pure
+accelerator, never a source of truth.
+"""
+
+import hashlib
+import json
+import os
+
+
+def content_hash(data):
+    if isinstance(data, str):
+        data = data.encode("utf-8", "replace")
+    return hashlib.sha256(data).hexdigest()
+
+
+def unit_key(*parts):
+    h = hashlib.sha256()
+    for p in parts:
+        h.update(str(p).encode("utf-8", "replace"))
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+class Cache:
+    def __init__(self, path, ruleset_version, enabled=True):
+        self.path = path
+        self.version = ruleset_version
+        self.enabled = enabled
+        self.entries = {}
+        self.touched = {}
+        self.hits = 0
+        self.misses = 0
+        if not enabled or path is None:
+            return
+        try:
+            with open(path, encoding="utf-8") as f:
+                doc = json.load(f)
+            if (isinstance(doc, dict)
+                    and doc.get("version") == ruleset_version
+                    and isinstance(doc.get("entries"), dict)):
+                self.entries = doc["entries"]
+        except (OSError, ValueError):
+            self.entries = {}
+
+    def get(self, key):
+        if not self.enabled:
+            return None
+        hit = self.entries.get(key)
+        if hit is not None:
+            self.touched[key] = hit
+            self.hits += 1
+        else:
+            self.misses += 1
+        return hit
+
+    def put(self, key, value):
+        if not self.enabled:
+            return
+        self.entries[key] = value
+        self.touched[key] = value
+
+    def save(self):
+        if not self.enabled or self.path is None:
+            return
+        doc = {"version": self.version, "entries": self.touched}
+        tmp = self.path + ".tmp.%d" % os.getpid()
+        try:
+            with open(tmp, "w", encoding="utf-8") as f:
+                json.dump(doc, f, sort_keys=True)
+            os.replace(tmp, self.path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass

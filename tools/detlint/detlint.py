@@ -1,742 +1,24 @@
 #!/usr/bin/env python3
 """detlint: determinism & Clocked-contract static analyzer for MITTS.
 
-The simulator's headline guarantees -- bit-identical results across
-thread counts, skip vs. no-skip kernels, and checkpoint/restore -- are
-invariants of the *code*, not just of the inputs the tests happen to
-run.  detlint checks them on every line of every PR:
+Entry shim: the analyzer lives in the package next to this file
+(cli.py, lexer.py, cppmodel.py, report.py, cache.py, rules/).  This
+script exists so every existing call site -- scripts/lint.sh, the
+CTest wiring, CI, and muscle memory -- keeps working:
 
-  R1  no nondeterminism sources in src/ (wall clocks, rand(),
-      std::random_device) and no opaque lambdas scheduled into the
-      EventQueue (closures cannot be checkpointed).
-  R2  no range-for / iterator loop over std::unordered_map/set unless
-      the body only copies keys out for sorting.  Unordered iteration
-      order feeding simulated state, stats or floating-point
-      accumulation is the classic cross-platform determinism bug.
-  R3  no comparison, hashing or container keying on raw pointer
-      values; pointer order changes run to run.
-  R4  Clocked-contract completeness: every class in src/ deriving from
-      Clocked that declares member state must override nextWakeTick
-      and implement saveState/loadState, so a new component cannot
-      silently break skip-ahead or checkpointing.  (onFastForward has
-      a safe default -- always-execute -- and is not required.)
-  R5  every MITTS_ASSERT-bearing header under src/ compiles
-      standalone (include-what-you-use lite).
-  R6  the analytic tier stays closed-form: nothing under
-      src/analytic/ may derive from Clocked or include the
-      event-loop headers (sim/clocked.hh, sim/event_queue.hh).
-      AnalyticModel results must be pure functions of the config,
-      never stepped state.
-  R7  MemRequest objects are born only inside the RequestPool slab
-      arena: no shared_ptr<MemRequest>, make_shared<MemRequest>,
-      make_unique<MemRequest> or raw `new MemRequest` anywhere else.
-      Ad-hoc allocation would bypass the arena's stable slots,
-      generation checks and checkpoint interning.
-  R8  no arrival-order reductions in src/orchestrate/: growing a
-      result/merged/record container with push_back/emplace_back/
-      append/+= accumulates in completion order, which varies with
-      worker count and scheduling.  Merged sweep output must be
-      assembled by unit index into preallocated, index-addressed
-      slots (the byte-identical-merge contract the CI sweep job
-      diffs).
+    python3 tools/detlint/detlint.py [options] [paths...]
 
-Suppression:
-  * inline: `// detlint-allow(R2): <reason>` on the finding's line or
-    the line above.  A suppression that no longer suppresses anything
-    is itself an error (stale-allow) -- annotations cannot rot.
-  * file-level (R1 only by convention, any rule accepted):
-    tools/detlint/allowlist.txt lines of `<rule> <path-glob> # why`.
-    Entries matching no scanned file are stale-allowlist errors.
-
-Exit codes: 0 clean, 1 findings, 2 usage error.
-Diagnostic format: `path:line: detlint(RULE): message`.
+See `--help` for the rule catalog, suppression idioms and exit codes,
+or DESIGN.md's "Static analysis" section for the full write-up of
+rules R1-R11.
 """
 
-import argparse
-import fnmatch
 import os
-import re
-import subprocess
 import sys
 
-RULES = ("R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8")
-ALLOW_RE = re.compile(
-    r"detlint-allow\(\s*(?P<rules>[A-Za-z0-9_,\s]+)\s*\)"
-    r"(?P<colon>:?)\s*(?P<reason>.*)")
-CXX_EXTS = (".hh", ".cc", ".cpp", ".hpp", ".h")
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-
-class Finding:
-    def __init__(self, rule, path, line, message):
-        self.rule = rule
-        self.path = path
-        self.line = line
-        self.message = message
-
-    def render(self, root):
-        rel = os.path.relpath(self.path, root)
-        return "%s:%d: detlint(%s): %s" % (
-            rel, self.line, self.rule, self.message)
-
-
-class Allow:
-    """One inline detlint-allow annotation."""
-
-    def __init__(self, path, line, rules, reason):
-        self.path = path
-        self.line = line            # line the annotation sits on
-        self.rules = rules
-        self.reason = reason
-        self.used = False
-
-
-def strip_code(text):
-    """Blank out comments and string/char literals, preserving line
-    structure, so rule regexes never match inside either.  Returns the
-    stripped text."""
-    out = []
-    i = 0
-    n = len(text)
-    state = "code"      # code | line_comment | block_comment | str | chr | raw
-    raw_delim = ""
-    while i < n:
-        c = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if state == "code":
-            if c == "/" and nxt == "/":
-                state = "line_comment"
-                out.append("  ")
-                i += 2
-            elif c == "/" and nxt == "*":
-                state = "block_comment"
-                out.append("  ")
-                i += 2
-            elif c == '"' and text[max(0, i - 1):i] == "R":
-                m = re.match(r'R"([^(\s]*)\(', text[i - 1:])
-                if m:
-                    state = "raw"
-                    raw_delim = ")" + m.group(1) + '"'
-                    out.append('"')
-                    i += 1
-                else:
-                    state = "str"
-                    out.append('"')
-                    i += 1
-            elif c == '"':
-                state = "str"
-                out.append('"')
-                i += 1
-            elif c == "'":
-                state = "chr"
-                out.append("'")
-                i += 1
-            else:
-                out.append(c)
-                i += 1
-        elif state == "line_comment":
-            if c == "\n":
-                state = "code"
-                out.append(c)
-            else:
-                out.append(" ")
-            i += 1
-        elif state == "block_comment":
-            if c == "*" and nxt == "/":
-                state = "code"
-                out.append("  ")
-                i += 2
-            else:
-                out.append(c if c == "\n" else " ")
-                i += 1
-        elif state == "raw":
-            if text.startswith(raw_delim, i):
-                state = "code"
-                out.append('"')
-                i += len(raw_delim)
-            else:
-                out.append(c if c == "\n" else " ")
-                i += 1
-        else:  # str / chr
-            quote = '"' if state == "str" else "'"
-            if c == "\\":
-                out.append("  ")
-                i += 2
-            elif c == quote:
-                state = "code"
-                out.append(quote)
-                i += 1
-            elif c == "\n":   # unterminated; be forgiving
-                state = "code"
-                out.append(c)
-                i += 1
-            else:
-                out.append(" ")
-                i += 1
-    return "".join(out)
-
-
-def line_of(text, pos):
-    return text.count("\n", 0, pos) + 1
-
-
-def balanced_span(text, open_pos, open_ch="(", close_ch=")"):
-    """Index one past the matching close for the opener at open_pos,
-    or -1 if unbalanced."""
-    depth = 0
-    for i in range(open_pos, len(text)):
-        if text[i] == open_ch:
-            depth += 1
-        elif text[i] == close_ch:
-            depth -= 1
-            if depth == 0:
-                return i + 1
-    return -1
-
-
-def parse_allows(path, raw_lines, errors):
-    """Collect inline detlint-allow annotations; malformed ones are
-    reported immediately."""
-    allows = []
-    for idx, line in enumerate(raw_lines, start=1):
-        if "detlint-allow" not in line:
-            continue
-        m = ALLOW_RE.search(line)
-        if not m:
-            errors.append(Finding(
-                "allow-syntax", path, idx,
-                "malformed detlint-allow; expected "
-                "`// detlint-allow(Rn): reason`"))
-            continue
-        rules = [r.strip() for r in m.group("rules").split(",")]
-        bad = [r for r in rules if r not in RULES]
-        if bad:
-            errors.append(Finding(
-                "allow-syntax", path, idx,
-                "unknown rule %s in detlint-allow (known: %s)"
-                % (",".join(bad), " ".join(RULES))))
-            continue
-        if m.group("colon") != ":" or not m.group("reason").strip():
-            errors.append(Finding(
-                "allow-syntax", path, idx,
-                "detlint-allow(%s) needs a `: reason`"
-                % ",".join(rules)))
-            continue
-        allows.append(Allow(path, idx, rules,
-                            m.group("reason").strip()))
-    return allows
-
-
-# --------------------------------------------------------------- R1
-
-R1_BANNED = [
-    (re.compile(r"\b\w*_clock\s*::\s*now\s*\("),
-     "wall-clock read (std::chrono ...::now())"),
-    (re.compile(r"\btime\s*\(\s*(?:NULL|nullptr|0)?\s*\)"),
-     "wall-clock read (time())"),
-    (re.compile(r"\b(?:clock_gettime|gettimeofday|clock)\s*\(\s*[A-Z_,&\w\s]*\)"),
-     "wall-clock read"),
-    (re.compile(r"\bs?rand\s*\(\s*\)|\bsrand\s*\("),
-     "C rand()/srand(); use mitts::Random (seeded, checkpointable)"),
-    (re.compile(r"\brandom_device\b"),
-     "std::random_device; use mitts::Random (seeded, checkpointable)"),
-]
-LAMBDA_RE = re.compile(r"\[[^\[\]]*\]\s*(?:\([^)]*\))?\s*(?:mutable\s*)?\{")
-
-
-def check_r1(path, code, report):
-    for pat, what in R1_BANNED:
-        for m in pat.finditer(code):
-            report("R1", line_of(code, m.start()),
-                   "banned nondeterminism source: %s" % what)
-    # Opaque lambdas scheduled into the EventQueue: a closure without
-    # an EventDesc cannot survive a checkpoint.
-    for m in re.finditer(r"\bschedule\s*\(", code):
-        end = balanced_span(code, m.end() - 1)
-        if end < 0:
-            continue
-        call = code[m.start():end]
-        if LAMBDA_RE.search(call) and "EventDesc" not in call:
-            report("R1", line_of(code, m.start()),
-                   "lambda scheduled into EventQueue without an "
-                   "EventDesc; opaque events cannot be checkpointed")
-
-
-# --------------------------------------------------------------- R2
-
-UNORDERED_DECL_RE = re.compile(
-    r"unordered_(?:map|set)\s*<[^;{}]*?>\s*[&*]?\s*"
-    r"(?:const\s+)?(\w+)\s*[;,={(\[)]")
-KEY_COPY_STMT_RE = re.compile(
-    r"^\s*(?:\w+\.(?:push_back|emplace_back|insert)\s*\([^;]*\)|continue)\s*;\s*$")
-
-
-def unordered_names(code):
-    """Identifiers declared (member, local or parameter) with an
-    unordered_map/unordered_set type anywhere in this file."""
-    return set(m.group(1) for m in UNORDERED_DECL_RE.finditer(code))
-
-
-def loop_body_span(code, pos):
-    """Span of the loop body starting at `pos` (just after the closing
-    paren of `for (...)`): a balanced {...} block or a single
-    statement."""
-    while pos < len(code) and code[pos] in " \t\n":
-        pos += 1
-    if pos >= len(code):
-        return pos, pos
-    if code[pos] == "{":
-        end = balanced_span(code, pos, "{", "}")
-        return pos + 1, (end - 1 if end > 0 else len(code))
-    semi = code.find(";", pos)
-    return pos, (semi + 1 if semi >= 0 else len(code))
-
-
-def body_only_copies_keys(body):
-    stmts = [s.strip() for s in body.strip().splitlines() if s.strip()]
-    if not stmts:
-        return False
-    return all(KEY_COPY_STMT_RE.match(s) for s in stmts)
-
-
-def sibling_header_code(path):
-    """Stripped text of the same-stem header next to a .cc/.cpp file,
-    so member declarations are visible when linting the definition."""
-    stem, ext = os.path.splitext(path)
-    if ext not in (".cc", ".cpp"):
-        return ""
-    for hext in (".hh", ".hpp", ".h"):
-        hdr = stem + hext
-        if os.path.isfile(hdr):
-            try:
-                with open(hdr, encoding="utf-8",
-                          errors="replace") as f:
-                    return strip_code(f.read())
-            except OSError:
-                return ""
-    return ""
-
-
-def check_r2(path, code, report):
-    names = unordered_names(code) | unordered_names(
-        sibling_header_code(path))
-    for m in re.finditer(r"\bfor\s*\(", code):
-        end = balanced_span(code, m.end() - 1)
-        if end < 0:
-            continue
-        head = code[m.end():end - 1]
-        line = line_of(code, m.start())
-        target = None
-        # Range-for: `for (decl : expr)`
-        colon = re.search(r":(?!:)", head)
-        if colon:
-            expr = head[colon.end():].strip()
-            ids = set(re.findall(r"\w+", expr))
-            if "unordered_map" in expr or "unordered_set" in expr:
-                target = expr
-            elif ids & names:
-                target = (ids & names).pop()
-        else:
-            # Iterator loop: `for (auto it = name.begin(); ...)`
-            it = re.search(r"=\s*(\w+)\s*\.\s*(?:begin|cbegin)\s*\(",
-                           head)
-            if it and it.group(1) in names:
-                target = it.group(1)
-        if not target:
-            continue
-        body_start, body_end = loop_body_span(code, end)
-        if body_only_copies_keys(code[body_start:body_end]):
-            continue  # sanctioned copy-keys-then-sort idiom
-        report("R2", line,
-               "iteration over unordered container '%s'; order is "
-               "not deterministic. hint: collect and sort keys "
-               "first (see SharedLlc::saveState / PAR-BS)" % target)
-
-
-# --------------------------------------------------------------- R3
-
-R3_PATTERNS = [
-    (re.compile(r"\b(?:multi)?(?:map|set)\s*<\s*(?:const\s+)?"
-                r"[\w:]+(?:\s*<[^<>]*>)?\s*\*"),
-     "associative container keyed on a raw pointer; pointer order "
-     "varies run to run. hint: key on a stable id (core id, seq num, "
-     "address)"),
-    (re.compile(r"\bunordered_(?:map|set)\s*<\s*(?:const\s+)?"
-                r"[\w:]+(?:\s*<[^<>]*>)?\s*\*"),
-     "unordered container keyed on a raw pointer; both hash and "
-     "iteration order vary run to run. hint: key on a stable id"),
-    (re.compile(r"\bstd::hash\s*<\s*(?:const\s+)?[\w:]+\s*\*"),
-     "hashing a raw pointer value. hint: hash a stable id instead"),
-    (re.compile(r"\bstd::less\s*<\s*(?:const\s+)?[\w:]+\s*\*"),
-     "ordering by raw pointer value. hint: compare a stable id"),
-    (re.compile(r"\b(\w+)\.get\(\)\s*[<>]=?\s*(\w+)\.get\(\)"),
-     "comparing raw pointer values from smart pointers. hint: "
-     "compare a stable id instead"),
-]
-# `unordered_map<const MemRequest *, id>` used purely for positional
-# interning is still R3: detlint cannot see intent, so such uses carry
-# an inline allow.
-
-
-def check_r3(path, code, report):
-    for pat, what in R3_PATTERNS:
-        for m in pat.finditer(code):
-            report("R3", line_of(code, m.start()), what)
-
-
-# --------------------------------------------------------------- R4
-
-CLASS_RE = re.compile(
-    r"\b(?:class|struct)\s+(\w+)\s*(?:final\s*)?:\s*([^{;]*?)\{")
-MEMBER_RE = re.compile(
-    r"^\s*(?:mutable\s+)?[\w:]+(?:\s*<[^;{}]*>)?(?:\s*[&*])*\s+"
-    r"\w+_\s*(?:=[^;]*|\{[^;]*\})?;", re.M)
-
-
-def class_body(code, brace_pos):
-    end = balanced_span(code, brace_pos, "{", "}")
-    return code[brace_pos + 1:end - 1] if end > 0 else code[brace_pos + 1:]
-
-
-def strip_nested_classes(body):
-    """Remove nested class/struct bodies so their members/overrides
-    don't count for the outer class."""
-    out = body
-    while True:
-        m = CLASS_RE.search(out)
-        if not m:
-            m2 = re.search(r"\b(?:class|struct)\s+\w+\s*\{", out)
-            if not m2:
-                return out
-            start, brace = m2.start(), out.find("{", m2.start())
-        else:
-            start, brace = m.start(), out.find("{", m.end() - 1)
-        end = balanced_span(out, brace, "{", "}")
-        if end < 0:
-            return out
-        out = out[:start] + out[end:]
-
-
-def check_r4(path, code, report):
-    for m in CLASS_RE.finditer(code):
-        name, bases = m.group(1), m.group(2)
-        if not re.search(r"\bClocked\b", bases):
-            continue
-        line = line_of(code, m.start())
-        brace = code.find("{", m.end() - 1)
-        body = strip_nested_classes(class_body(code, brace))
-        if not MEMBER_RE.search(body):
-            continue  # stateless wrapper: defaults are safe
-        missing = []
-        if not re.search(r"\bnextWakeTick\s*\(", body):
-            missing.append("nextWakeTick (skip-ahead wake claim)")
-        if not re.search(r"\bsaveState\s*\(", body):
-            missing.append("saveState (checkpointing)")
-        if not re.search(r"\bloadState\s*\(", body):
-            missing.append("loadState (checkpointing)")
-        for what in missing:
-            report("R4", line,
-                   "Clocked subclass '%s' declares member state but "
-                   "does not override %s" % (name, what))
-
-
-# --------------------------------------------------------------- R6
-
-R6_BANNED_INCLUDES = ("sim/clocked.hh", "sim/event_queue.hh")
-
-
-def check_r6(path, code, raw_lines, report):
-    """src/analytic/ is the closed-form tier: its components are pure
-    functions of a SystemConfig, so they must never enter the Clocked
-    contract or the event loop."""
-    for m in CLASS_RE.finditer(code):
-        name, bases = m.group(1), m.group(2)
-        if re.search(r"\bClocked\b", bases):
-            report("R6", line_of(code, m.start()),
-                   "analytic component '%s' derives from Clocked; "
-                   "the analytic tier is closed-form and must not "
-                   "be stepped" % name)
-    # Includes live inside string literals, which strip_code blanks;
-    # scan the raw lines instead.
-    inc_re = re.compile(r'^\s*#\s*include\s*[<"]([^">]+)[">]')
-    for idx, line in enumerate(raw_lines, start=1):
-        m = inc_re.match(line)
-        if m and m.group(1) in R6_BANNED_INCLUDES:
-            report("R6", idx,
-                   "analytic tier includes %s; closed-form "
-                   "components must stay out of the Clocked/event "
-                   "contract" % m.group(1))
-
-
-# --------------------------------------------------------------- R7
-
-# The arena itself is the one place allowed to materialize storage.
-R7_EXEMPT = (os.path.join("src", "mem", "request_pool.hh"),)
-R7_PATTERNS = [
-    (re.compile(r"\bshared_ptr\s*<\s*(?:const\s+)?MemRequest\b"),
-     "shared_ptr<MemRequest>; requests live in the RequestPool slab "
-     "arena. hint: hold a ReqPtr (mem/request_pool.hh)"),
-    (re.compile(r"\bmake_shared\s*<\s*(?:const\s+)?MemRequest\b"),
-     "make_shared<MemRequest>; requests are born only via "
-     "RequestPool::make"),
-    (re.compile(r"\bmake_unique\s*<\s*(?:const\s+)?MemRequest\s*>"),
-     "make_unique<MemRequest>; requests are born only via "
-     "RequestPool::make"),
-    (re.compile(r"\bnew\s+MemRequest\b"),
-     "raw `new MemRequest` outside the pool; requests are born only "
-     "via RequestPool::make"),
-]
-
-
-def check_r7(path, code, report):
-    for pat, what in R7_PATTERNS:
-        for m in pat.finditer(code):
-            report("R7", line_of(code, m.start()), what)
-
-
-# --------------------------------------------------------------- R8
-
-# Mutating growth of an identifier that names result-like state.
-# `merged_os << chunk` and `slots[idx] = chunk` stay legal: both are
-# index-driven, not arrival-driven.
-R8_ACCUM_RE = re.compile(
-    r"\b(\w*(?:result|merged|record)\w*)\s*"
-    r"(?:\.\s*(?:push_back|emplace_back|append)\s*\(|\+=)",
-    re.IGNORECASE)
-
-
-def check_r8(path, code, report):
-    """src/orchestrate/ merges worker results; any container of
-    results grown in arrival order breaks the byte-identical-merge
-    contract the moment two workers race."""
-    for m in R8_ACCUM_RE.finditer(code):
-        report("R8", line_of(code, m.start()),
-               "arrival-order accumulation into '%s'; results must "
-               "be assigned into index-addressed slots and merged by "
-               "unit index, never appended in completion order"
-               % m.group(1))
-
-
-# --------------------------------------------------------------- R5
-
-def check_r5(root, headers, report, cxx):
-    src_dir = os.path.join(root, "src")
-    for hdr in headers:
-        rel = os.path.relpath(hdr, src_dir)
-        cmd = [cxx, "-std=c++20", "-fsyntax-only", "-x", "c++",
-               "-I", src_dir, "-"]
-        tu = '#include "%s"\n' % rel
-        try:
-            proc = subprocess.run(
-                cmd, input=tu, capture_output=True, text=True,
-                timeout=60)
-        except (OSError, subprocess.TimeoutExpired) as e:
-            report("R5", hdr, 1,
-                   "could not compile header standalone: %s" % e)
-            continue
-        if proc.returncode != 0:
-            first = next(
-                (ln for ln in proc.stderr.splitlines()
-                 if ": error:" in ln or ": fatal error:" in ln),
-                proc.stderr.strip().splitlines()[0]
-                if proc.stderr.strip() else "unknown error")
-            report("R5", hdr, 1,
-                   "MITTS_ASSERT-bearing header does not compile "
-                   "standalone: %s" % first.strip())
-
-
-# ---------------------------------------------------------- driver
-
-def collect_files(root, subdirs):
-    files = []
-    for sub in subdirs:
-        base = os.path.join(root, sub)
-        if not os.path.isdir(base):
-            continue
-        for dirpath, dirnames, filenames in os.walk(base):
-            dirnames[:] = [
-                d for d in dirnames
-                if d not in ("detlint_fixtures",)
-                and not d.startswith("build")
-                and not d.startswith(".")]
-            for fn in sorted(filenames):
-                if fn.endswith(CXX_EXTS):
-                    files.append(os.path.join(dirpath, fn))
-    return sorted(files)
-
-
-def load_allowlist(path, errors):
-    entries = []  # (rule, glob, lineno, [used])
-    if not os.path.isfile(path):
-        return entries
-    with open(path, encoding="utf-8") as f:
-        for idx, line in enumerate(f, start=1):
-            line = line.split("#", 1)[0].strip()
-            if not line:
-                continue
-            parts = line.split()
-            if len(parts) != 2 or parts[0] not in RULES:
-                errors.append(Finding(
-                    "allowlist-syntax", path, idx,
-                    "expected `<rule> <path-glob>`"))
-                continue
-            entries.append([parts[0], parts[1], idx, False])
-    return entries
-
-
-def in_src(root, path):
-    rel = os.path.relpath(path, root)
-    return rel == "src" or rel.startswith("src" + os.sep)
-
-
-def main(argv):
-    ap = argparse.ArgumentParser(
-        prog="detlint", description=__doc__,
-        formatter_class=argparse.RawDescriptionHelpFormatter)
-    ap.add_argument("--root", default=None,
-                    help="repository root (default: nearest parent "
-                         "of this script containing src/)")
-    ap.add_argument("--allowlist", default=None,
-                    help="file-level allowlist (default: "
-                         "<root>/tools/detlint/allowlist.txt)")
-    ap.add_argument("--cxx", default=os.environ.get("CXX", "g++"),
-                    help="compiler for R5 standalone-header checks")
-    ap.add_argument("--no-r5", action="store_true",
-                    help="skip the (slower) R5 compile checks")
-    ap.add_argument("paths", nargs="*",
-                    help="files to scan (default: src bench tools "
-                         "tests under --root)")
-    args = ap.parse_args(argv)
-
-    root = args.root
-    if root is None:
-        here = os.path.dirname(os.path.abspath(__file__))
-        root = os.path.dirname(os.path.dirname(here))
-    root = os.path.abspath(root)
-    if not os.path.isdir(os.path.join(root, "src")):
-        print("detlint: no src/ under root %s" % root,
-              file=sys.stderr)
-        return 2
-
-    full_tree = not args.paths
-    if args.paths:
-        files = []
-        for p in args.paths:
-            p = os.path.abspath(p)
-            if os.path.isdir(p):
-                rel = os.path.relpath(p, root)
-                files.extend(collect_files(root, [rel]))
-            elif p.endswith(CXX_EXTS):
-                files.append(p)
-        files = sorted(set(files))
-    else:
-        files = collect_files(root, ["src", "bench", "tools",
-                                     "tests"])
-
-    allow_path = args.allowlist or os.path.join(
-        root, "tools", "detlint", "allowlist.txt")
-    errors = []
-    allowlist = load_allowlist(allow_path, errors)
-
-    findings = []
-    r5_headers = []
-    for path in files:
-        try:
-            with open(path, encoding="utf-8",
-                      errors="replace") as f:
-                raw = f.read()
-        except OSError as e:
-            errors.append(Finding("io", path, 1, str(e)))
-            continue
-        raw_lines = raw.splitlines()
-        allows = parse_allows(path, raw_lines, errors)
-        code = strip_code(raw)
-        rel = os.path.relpath(path, root)
-
-        raw_findings = []
-
-        def report(rule, line, message):
-            raw_findings.append(Finding(rule, path, line, message))
-
-        if in_src(root, path):
-            check_r1(path, code, report)
-            check_r4(path, code, report)
-            if rel.startswith(
-                    os.path.join("src", "analytic") + os.sep):
-                check_r6(path, code, raw_lines, report)
-            if rel.startswith(
-                    os.path.join("src", "orchestrate") + os.sep):
-                check_r8(path, code, report)
-            if (path.endswith((".hh", ".hpp", ".h"))
-                    and re.search(r"\bMITTS_ASSERT\b", code)):
-                r5_headers.append(path)
-        check_r2(path, code, report)
-        check_r3(path, code, report)
-        if rel not in R7_EXEMPT:
-            check_r7(path, code, report)
-
-        # Apply suppressions: same line or the line above; then the
-        # file-level allowlist.
-        for f_ in raw_findings:
-            suppressed = False
-            for a in allows:
-                if f_.rule in a.rules and a.line in (f_.line,
-                                                     f_.line - 1):
-                    a.used = True
-                    suppressed = True
-            for entry in allowlist:
-                if entry[0] == f_.rule and fnmatch.fnmatch(
-                        rel, entry[1]):
-                    entry[3] = True
-                    suppressed = True
-            if not suppressed:
-                findings.append(f_)
-
-        for a in allows:
-            if not a.used:
-                errors.append(Finding(
-                    "stale-allow", path, a.line,
-                    "detlint-allow(%s) suppresses nothing; remove "
-                    "it or fix the rule reference"
-                    % ",".join(a.rules)))
-
-    if r5_headers and not args.no_r5:
-        def report_r5(rule, path, line, message):
-            findings.append(Finding(rule, path, line, message))
-        # R5 has no inline-allow anchor inside detlint output (the
-        # finding is about the whole header); the file allowlist is
-        # the suppression mechanism.
-        unsuppressed = []
-        for hdr in sorted(r5_headers):
-            rel = os.path.relpath(hdr, root)
-            skip = False
-            for entry in allowlist:
-                if entry[0] == "R5" and fnmatch.fnmatch(rel,
-                                                        entry[1]):
-                    entry[3] = True
-                    skip = True
-            if not skip:
-                unsuppressed.append(hdr)
-        check_r5(root, unsuppressed, report_r5, args.cxx)
-
-    if full_tree:
-        for rule, glob, lineno, used in allowlist:
-            if not used:
-                errors.append(Finding(
-                    "stale-allowlist", allow_path, lineno,
-                    "%s %s matches no finding in the tree; remove "
-                    "the entry" % (rule, glob)))
-
-    all_out = sorted(findings + errors,
-                     key=lambda f: (os.path.relpath(f.path, root),
-                                    f.line, f.rule))
-    for f_ in all_out:
-        print(f_.render(root))
-    if all_out:
-        print("detlint: %d finding(s)" % len(all_out),
-              file=sys.stderr)
-        return 1
-    return 0
-
+from cli import main  # noqa: E402
 
 if __name__ == "__main__":
     sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,102 @@
+"""Finding type and the three output renderers (text, JSON, SARIF).
+
+Every renderer sorts findings the same way and contains nothing
+run-dependent (no timestamps, no absolute paths, no tool versions
+beyond the rule-set version), so repeated runs over the same tree are
+byte-identical -- the CI lint job diffs reruns to prove it.
+"""
+
+import json
+import os
+
+
+class Finding:
+    def __init__(self, rule, path, line, message):
+        self.rule = rule
+        self.path = path        # absolute
+        self.line = line
+        self.message = message
+
+    def render(self, root):
+        rel = os.path.relpath(self.path, root)
+        return "%s:%d: detlint(%s): %s" % (
+            rel, self.line, self.rule, self.message)
+
+    def to_dict(self, root):
+        return {
+            "rule": self.rule,
+            "path": os.path.relpath(self.path, root).replace(
+                os.sep, "/"),
+            "line": self.line,
+            "message": self.message,
+        }
+
+    @staticmethod
+    def from_dict(d, root):
+        return Finding(d["rule"],
+                       os.path.join(root,
+                                    d["path"].replace("/", os.sep)),
+                       d["line"], d["message"])
+
+
+def sort_key(root):
+    return lambda f: (os.path.relpath(f.path, root), f.line, f.rule)
+
+
+def render_text(findings, root):
+    return "".join(f.render(root) + "\n"
+                   for f in sorted(findings, key=sort_key(root)))
+
+
+def render_json(findings, root, ruleset_version):
+    doc = {
+        "tool": "detlint",
+        "rulesetVersion": ruleset_version,
+        "findings": [f.to_dict(root)
+                     for f in sorted(findings, key=sort_key(root))],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+
+def render_sarif(findings, root, ruleset_version, rule_docs):
+    """Minimal SARIF 2.1.0: one run, one result per finding, rule
+    metadata from the registry.  Static content only."""
+    ordered = sorted(findings, key=sort_key(root))
+    rule_ids = sorted({f.rule for f in ordered})
+    rules = [{
+        "id": rid,
+        "shortDescription": {
+            "text": rule_docs.get(rid, "detlint internal check"),
+        },
+    } for rid in rule_ids]
+    results = [{
+        "ruleId": f.rule,
+        "level": "error",
+        "message": {"text": f.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {
+                    "uri": os.path.relpath(f.path, root).replace(
+                        os.sep, "/"),
+                },
+                "region": {"startLine": f.line},
+            },
+        }],
+    } for f in ordered]
+    doc = {
+        "$schema": ("https://raw.githubusercontent.com/oasis-tcs/"
+                    "sarif-spec/master/Schemata/sarif-schema-2.1.0"
+                    ".json"),
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "detlint",
+                    "semanticVersion": ruleset_version,
+                    "rules": rules,
+                },
+            },
+            "results": results,
+        }],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"
